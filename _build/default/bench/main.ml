@@ -1,0 +1,110 @@
+(* The reproduction harness. Two parts:
+
+   1. The per-theorem experiment tables (E1..E9 from DESIGN.md) — the
+      "tables and figures" of this theory paper, regenerated on every
+      run.
+   2. Bechamel wall-clock microbenchmarks (B1..B6): construction and
+      query throughput of the library primitives. *)
+
+module Rng = Ds_util.Rng
+module Graph = Ds_graph.Graph
+module Gen = Ds_graph.Gen
+module Levels = Ds_core.Levels
+module Label = Ds_core.Label
+module Registry = Ds_experiments.Registry
+
+open Bechamel
+open Toolkit
+
+let bench_tests () =
+  let n = 256 in
+  let rng = Rng.create 1 in
+  let g = Gen.erdos_renyi ~rng ~n ~avg_degree:6.0 () in
+  let levels = Levels.sample ~rng:(Rng.create 2) ~n ~k:3 in
+  let labels = Ds_core.Tz_centralized.build g ~levels in
+  let slack = Ds_core.Slack.build_distributed ~rng:(Rng.create 3) g ~eps:0.25 in
+  let pair_rng = Rng.create 4 in
+  let pick () =
+    let u = Rng.int pair_rng n in
+    let v = (u + 1 + Rng.int pair_rng (n - 1)) mod n in
+    (u, v)
+  in
+  [
+    Test.make ~name:"B1 tz-centralized build (n=256,k=3)"
+      (Staged.stage (fun () -> Ds_core.Tz_centralized.build g ~levels));
+    Test.make ~name:"B2 tz-distributed build (n=256,k=3)"
+      (Staged.stage (fun () -> Ds_core.Tz_distributed.build g ~levels));
+    Test.make ~name:"B3 tz-echo build (n=256,k=3)"
+      (Staged.stage (fun () -> Ds_core.Tz_echo.build g ~levels));
+    Test.make ~name:"B4 label query"
+      (Staged.stage (fun () ->
+           let u, v = pick () in
+           Label.query labels.(u) labels.(v)));
+    Test.make ~name:"B5 slack query (eps=0.25)"
+      (Staged.stage (fun () ->
+           let u, v = pick () in
+           Ds_core.Slack.query slack.Ds_core.Slack.sketches.(u)
+             slack.Ds_core.Slack.sketches.(v)));
+    Test.make ~name:"B6 dijkstra sssp (n=256)"
+      (Staged.stage (fun () -> Ds_graph.Dijkstra.sssp g ~src:0));
+    Test.make ~name:"B7 spanner extraction (n=256,k=3)"
+      (Staged.stage (fun () -> Ds_core.Spanner.of_levels g ~levels));
+    Test.make ~name:"B8 cdg build distributed (n=256,eps=.25,k=2)"
+      (Staged.stage (fun () ->
+           Ds_core.Cdg.build_distributed ~rng:(Rng.create 5) g ~eps:0.25 ~k:2));
+    Test.make ~name:"B9 engine round (multi-bf, n=256)"
+      (Staged.stage
+         (let eng =
+            Ds_congest.Engine.create g
+              (Ds_congest.Multi_bf.protocol
+                 ~is_source:(fun u -> u < 8)
+                 ~bound:(fun _ -> Ds_graph.Dist.none))
+          in
+          fun () -> Ds_congest.Engine.step eng));
+  ]
+
+let run_microbenches () =
+  print_endline "### Microbenchmarks (Bechamel, monotonic clock)\n";
+  let tests = Test.make_grouped ~name:"distsketch" (bench_tests ()) in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold (fun name r acc -> (name, r) :: acc) results []
+    |> List.sort compare
+  in
+  let t =
+    Ds_util.Table.create ~title:"wall-clock per run"
+      ~headers:[ "benchmark"; "time/run"; "r^2" ]
+  in
+  List.iter
+    (fun (name, r) ->
+      let est =
+        match Analyze.OLS.estimates r with Some (e :: _) -> e | _ -> nan
+      in
+      let pretty =
+        if est > 1e9 then Printf.sprintf "%.3f s" (est /. 1e9)
+        else if est > 1e6 then Printf.sprintf "%.3f ms" (est /. 1e6)
+        else if est > 1e3 then Printf.sprintf "%.3f us" (est /. 1e3)
+        else Printf.sprintf "%.1f ns" est
+      in
+      let r2 =
+        match Analyze.OLS.r_square r with
+        | Some v -> Printf.sprintf "%.4f" v
+        | None -> "-"
+      in
+      Ds_util.Table.add_row t [ name; pretty; r2 ])
+    rows;
+  Ds_util.Table.print t
+
+let () =
+  print_endline
+    "Reproduction harness: 'Efficient Computation of Distance Sketches in \
+     Distributed Networks' (Das Sarma, Dinitz, Pandurangan; SPAA 2012).\n\
+     The paper is theory-only; each experiment below reproduces one theorem \
+     or lemma (see DESIGN.md / EXPERIMENTS.md).\n";
+  Registry.run_all ();
+  run_microbenches ()

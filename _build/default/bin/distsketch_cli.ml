@@ -1,0 +1,252 @@
+(* Command-line driver: run paper experiments or one-off constructions
+   with chosen parameters. *)
+
+module Rng = Ds_util.Rng
+module Table = Ds_util.Table
+module Graph = Ds_graph.Graph
+module Gen = Ds_graph.Gen
+module Props = Ds_graph.Props
+module Metrics = Ds_congest.Metrics
+module Levels = Ds_core.Levels
+module Label = Ds_core.Label
+module Eval = Ds_core.Eval
+module Registry = Ds_experiments.Registry
+
+open Cmdliner
+
+let family_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "er" | "erdos-renyi" -> Ok (Gen.Erdos_renyi { avg_degree = 6.0 })
+    | "geometric" -> Ok (Gen.Geometric { radius = 0.1 })
+    | "grid" -> Ok Gen.Grid
+    | "torus" -> Ok Gen.Torus
+    | "ring-chords" -> Ok (Gen.Ring_chords { chords_frac = 0.2 })
+    | "tree" -> Ok Gen.Tree
+    | "power-law" -> Ok (Gen.Power_law { edges_per_node = 2 })
+    | "star-ring" -> Ok (Gen.Star_ring { heavy_frac = 0.25 })
+    | other -> Error (`Msg (Printf.sprintf "unknown family %S" other))
+  in
+  Arg.conv (parse, fun ppf f -> Format.pp_print_string ppf (Gen.family_name f))
+
+let n_arg =
+  Arg.(
+    value & opt int 256
+    & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Number of nodes.")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let k_arg =
+  Arg.(value & opt int 3 & info [ "k" ] ~docv:"K" ~doc:"Hierarchy depth k.")
+
+let family_arg =
+  Arg.(
+    value
+    & opt family_conv (Gen.Erdos_renyi { avg_degree = 6.0 })
+    & info [ "family" ] ~docv:"FAMILY"
+        ~doc:
+          "Graph family: er, geometric, grid, torus, ring-chords, tree, \
+           power-law, star-ring.")
+
+let make_graph family n seed =
+  let rng = Rng.create seed in
+  Gen.build ~rng family ~n
+
+(* ---- experiments ---- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun e ->
+        Printf.printf "%-4s %-42s %s\n" e.Registry.id e.Registry.title
+          e.Registry.claim)
+      Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List available experiments.")
+    Term.(const run $ const ())
+
+let run_cmd =
+  let ids =
+    Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids.")
+  in
+  let csv_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"DIR" ~doc:"Also save each table as CSV in $(docv).")
+  in
+  let run csv_dir ids =
+    match ids with
+    | [] -> Registry.run_all ?csv_dir ()
+    | ids ->
+      List.iter
+        (fun id ->
+          match Registry.find id with
+          | Some e -> Registry.run_one ?csv_dir e
+          | None -> Printf.eprintf "unknown experiment %S (try `list')\n" id)
+        ids
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Run experiments by id (all when none given); see `list'.")
+    Term.(const run $ csv_arg $ ids)
+
+(* ---- profile ---- *)
+
+let profile_cmd =
+  let run family n seed =
+    let g = make_graph family n seed in
+    let p = Props.profile g in
+    Format.printf "%s: %a@." (Gen.family_name family) Props.pp_profile p
+  in
+  Cmd.v
+    (Cmd.info "profile" ~doc:"Generate a graph and print n, |E|, D, S.")
+    Term.(const run $ family_arg $ n_arg $ seed_arg)
+
+(* ---- build ---- *)
+
+let mode_conv =
+  Arg.enum [ ("central", `Central); ("dist", `Dist); ("echo", `Echo) ]
+
+let build_cmd =
+  let mode_arg =
+    Arg.(
+      value & opt mode_conv `Dist
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:"Construction: central, dist (known-S), echo (self-terminating).")
+  in
+  let run family n seed k mode =
+    let g = make_graph family n seed in
+    let gn = Graph.n g in
+    let levels = Levels.sample ~rng:(Rng.create (seed + 1)) ~n:gn ~k in
+    let describe labels metrics =
+      let sizes = Eval.size_summary Label.size_words labels in
+      Format.printf "labels built: %d nodes, k=%d@." gn k;
+      Format.printf "sizes (words): %a@." Ds_util.Stats.pp_summary sizes;
+      match metrics with
+      | None -> ()
+      | Some m ->
+        Format.printf "cost: %a@." Metrics.pp m;
+        List.iter
+          (fun p ->
+            Format.printf "  %-10s rounds=%6d messages=%9d@."
+              p.Metrics.name p.Metrics.rounds p.Metrics.messages)
+          (Metrics.phases m)
+    in
+    match mode with
+    | `Central -> describe (Ds_core.Tz_centralized.build g ~levels) None
+    | `Dist ->
+      let r = Ds_core.Tz_distributed.build g ~levels in
+      describe r.Ds_core.Tz_distributed.labels
+        (Some r.Ds_core.Tz_distributed.metrics)
+    | `Echo ->
+      let r = Ds_core.Tz_echo.build g ~levels in
+      Format.printf "leader: %d@." r.Ds_core.Tz_echo.leader;
+      describe r.Ds_core.Tz_echo.labels (Some r.Ds_core.Tz_echo.metrics)
+  in
+  Cmd.v
+    (Cmd.info "build"
+       ~doc:"Build Thorup-Zwick sketches on a generated graph and report \
+             sizes and CONGEST cost.")
+    Term.(const run $ family_arg $ n_arg $ seed_arg $ k_arg $ mode_arg)
+
+(* ---- spanner ---- *)
+
+let spanner_cmd =
+  let run family n seed k =
+    let g = make_graph family n seed in
+    let gn = Graph.n g in
+    let levels = Levels.sample ~rng:(Rng.create (seed + 1)) ~n:gn ~k in
+    let sp, metrics = Ds_core.Spanner.of_distributed g ~levels in
+    Format.printf "input:   n=%d |E|=%d@." gn (Graph.m g);
+    Format.printf "spanner: |E'|=%d (bound %d * 2k-1 stretch), %.1f%% of edges@."
+      (Graph.m sp) ((2 * k) - 1)
+      (100.0 *. float_of_int (Graph.m sp) /. float_of_int (Graph.m g));
+    Format.printf "max stretch: %.3f (bound %d)@."
+      (Ds_core.Spanner.max_stretch g ~spanner:sp)
+      ((2 * k) - 1);
+    Format.printf "construction cost: %a@." Metrics.pp metrics
+  in
+  Cmd.v
+    (Cmd.info "spanner"
+       ~doc:"Extract the (2k-1)-spanner from the distributed construction.")
+    Term.(const run $ family_arg $ n_arg $ seed_arg $ k_arg)
+
+(* ---- query ---- *)
+
+let query_cmd =
+  let u_arg =
+    Arg.(value & opt int 0 & info [ "u"; "from" ] ~docv:"U" ~doc:"Query endpoint u.")
+  in
+  let v_arg =
+    Arg.(value & opt int 1 & info [ "v"; "to" ] ~docv:"V" ~doc:"Query endpoint v.")
+  in
+  let run family n seed k u v =
+    let g = make_graph family n seed in
+    let gn = Graph.n g in
+    if u < 0 || u >= gn || v < 0 || v >= gn then begin
+      Printf.eprintf "endpoints must be in [0, %d)\n" gn;
+      exit 1
+    end;
+    let levels = Levels.sample ~rng:(Rng.create (seed + 1)) ~n:gn ~k in
+    let built = Ds_core.Tz_distributed.build g ~levels in
+    let tree, _ = Ds_congest.Setup.run g in
+    let r =
+      Ds_core.Query_protocol.query g ~tree
+        ~labels:built.Ds_core.Tz_distributed.labels ~u ~v
+    in
+    let exact = Ds_graph.Dijkstra.sssp g ~src:u in
+    Format.printf
+      "estimate d(%d,%d) = %d (exact %d, stretch %.2f), exchanged in %d \
+       rounds / %d messages@."
+      u v r.Ds_core.Query_protocol.estimate exact.(v)
+      (float_of_int r.Ds_core.Query_protocol.estimate /. float_of_int exact.(v))
+      r.Ds_core.Query_protocol.rounds r.Ds_core.Query_protocol.messages
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:"Answer one distance query by in-network sketch exchange.")
+    Term.(const run $ family_arg $ n_arg $ seed_arg $ k_arg $ u_arg $ v_arg)
+
+(* ---- route ---- *)
+
+let route_cmd =
+  let u_arg =
+    Arg.(value & opt int 0 & info [ "src" ] ~docv:"SRC" ~doc:"Token source.")
+  in
+  let v_arg =
+    Arg.(value & opt int 1 & info [ "dst" ] ~docv:"DST" ~doc:"Token target.")
+  in
+  let run family n seed k src dst =
+    let g = make_graph family n seed in
+    let gn = Graph.n g in
+    let levels = Levels.sample ~rng:(Rng.create (seed + 1)) ~n:gn ~k in
+    let built = Ds_core.Tz_distributed.build g ~levels in
+    match
+      Ds_core.Routing.with_labels g built.Ds_core.Tz_distributed.labels ~src
+        ~dst
+    with
+    | None -> Printf.printf "token gave up (hop budget exhausted)\n"
+    | Some o ->
+      let exact = Ds_graph.Dijkstra.sssp g ~src in
+      Printf.printf "delivered in %d hops, cost %d (shortest %d, %.2fx)\n"
+        o.Ds_core.Routing.hops o.Ds_core.Routing.cost exact.(dst)
+        (float_of_int o.Ds_core.Routing.cost /. float_of_int exact.(dst));
+      Printf.printf "path: %s\n"
+        (String.concat " -> "
+           (List.map string_of_int o.Ds_core.Routing.path))
+  in
+  Cmd.v
+    (Cmd.info "route"
+       ~doc:"Greedily forward a token using sketches as the distance oracle.")
+    Term.(const run $ family_arg $ n_arg $ seed_arg $ k_arg $ u_arg $ v_arg)
+
+let main =
+  Cmd.group
+    (Cmd.info "distsketch" ~version:"1.0.0"
+       ~doc:"Distributed distance sketches (Das Sarma-Dinitz-Pandurangan).")
+    [ list_cmd; run_cmd; profile_cmd; build_cmd; spanner_cmd; query_cmd;
+      route_cmd ]
+
+let () = exit (Cmd.eval main)

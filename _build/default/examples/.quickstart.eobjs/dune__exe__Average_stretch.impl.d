@@ -1,0 +1,1 @@
+examples/average_stretch.ml: Array Ds_core Ds_graph Ds_util List Printf

@@ -1,0 +1,1 @@
+examples/monitoring.ml: Array Ds_congest Ds_core Ds_graph Ds_util Hashtbl List Option Printf String

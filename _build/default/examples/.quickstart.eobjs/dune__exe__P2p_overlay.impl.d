@@ -1,0 +1,1 @@
+examples/p2p_overlay.ml: Array Ds_congest Ds_core Ds_graph Ds_util Format List Printf

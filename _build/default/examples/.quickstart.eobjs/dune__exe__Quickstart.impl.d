@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Ds_congest Ds_core Ds_graph Ds_util List Printf

@@ -1,0 +1,1 @@
+examples/spanner_backbone.ml: Array Ds_congest Ds_core Ds_graph Ds_util Printf

@@ -1,0 +1,1 @@
+examples/spanner_backbone.mli:

@@ -1,0 +1,1 @@
+examples/token_routing.ml: Array Ds_core Ds_graph Ds_util Printf

@@ -1,0 +1,70 @@
+(* P2P overlay scenario (paper Section 2.1): a peer-to-peer overlay
+   with heterogeneous link latencies wants to answer many pairwise
+   latency queries. Computing each on demand costs Omega(S) rounds of
+   distributed Bellman-Ford; preprocessing once with distance sketches
+   reduces every query to a sketch exchange.
+
+   The overlay here is the S >> D regime the paper's Section 2.1
+   highlights: a hub gives every pair a 2-hop (but expensive) route,
+   while the cheap shortest paths wind around a large ring — so any
+   on-demand shortest-path computation needs Omega(S) ~ n rounds, yet
+   the hop diameter D is 2.
+
+   Run with: dune exec examples/p2p_overlay.exe *)
+
+module Rng = Ds_util.Rng
+module Gen = Ds_graph.Gen
+module Props = Ds_graph.Props
+module Metrics = Ds_congest.Metrics
+module Super_bf = Ds_congest.Super_bf
+module Levels = Ds_core.Levels
+module Label = Ds_core.Label
+module Tz_distributed = Ds_core.Tz_distributed
+
+let () =
+  let n = 257 in
+  let g = Gen.star_ring ~n ~heavy:64 in
+  let p = Props.profile g in
+  Format.printf "Overlay: %a@." Props.pp_profile p;
+
+  (* Preprocess once. *)
+  let k = 3 in
+  let levels = Levels.sample ~rng:(Rng.create 13) ~n ~k in
+  let built = Tz_distributed.build g ~levels in
+  let build_rounds = Metrics.rounds built.Tz_distributed.metrics in
+  let labels = built.Tz_distributed.labels in
+  let mean_words =
+    float_of_int
+      (Array.fold_left (fun a l -> a + Label.size_words l) 0 labels)
+    /. float_of_int n
+  in
+  Printf.printf "One-time preprocessing: %d rounds; mean sketch %.1f words.\n"
+    build_rounds mean_words;
+
+  (* Cost model per query:
+     - on demand: one distributed Bellman-Ford = Omega(S) rounds;
+     - with sketches: fetch the peer's sketch over the overlay,
+       O(D + |L|) rounds pipelined (a peer that knows the target's IP
+       contacts it directly: O(|L|) in the underlying network). *)
+  let _, bf = Super_bf.single_source g ~src:(n / 2) in
+  let on_demand = Metrics.rounds bf in
+  let with_sketch = p.Props.d + int_of_float mean_words in
+  Printf.printf "Per query: on-demand %d rounds vs sketch exchange ~%d rounds.\n"
+    on_demand with_sketch;
+  let queries = 1000 in
+  let total_on_demand = queries * on_demand in
+  let total_sketch = build_rounds + (queries * with_sketch) in
+  Printf.printf
+    "For %d queries: %d rounds on demand vs %d rounds with sketches (%.1fx).\n"
+    queries total_on_demand total_sketch
+    (float_of_int total_on_demand /. float_of_int total_sketch);
+
+  (* Show a few queries. *)
+  let exact = Ds_graph.Apsp.compute g in
+  Printf.printf "\nSample queries (estimate/exact):";
+  List.iter
+    (fun (u, v) ->
+      let est = Label.query labels.(u) labels.(v) in
+      Printf.printf " %d-%d:%d/%d" u v est (Ds_graph.Apsp.dist exact u v))
+    [ (3, 117); (40, 160); (77, 191); (1, 129) ];
+  print_newline ()

@@ -1,0 +1,46 @@
+(* Quickstart: build Thorup-Zwick distance sketches on a small random
+   network with the self-terminating distributed algorithm, then answer
+   distance queries from sketches alone.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Rng = Ds_util.Rng
+module Gen = Ds_graph.Gen
+module Dijkstra = Ds_graph.Dijkstra
+module Metrics = Ds_congest.Metrics
+module Levels = Ds_core.Levels
+module Label = Ds_core.Label
+module Tz_echo = Ds_core.Tz_echo
+
+let () =
+  (* 1. A weighted network: 100 nodes, Erdos-Renyi with average degree
+     5, weights in [1, 100]. *)
+  let n = 100 in
+  let g = Gen.erdos_renyi ~rng:(Rng.create 42) ~n ~avg_degree:5.0 () in
+
+  (* 2. Sample the level hierarchy (every node flips its own coins)
+     and run the distributed construction. k = 3 gives stretch <= 5
+     with sketches of ~ k * n^{1/k} words. *)
+  let k = 3 in
+  let levels = Levels.sample ~rng:(Rng.create 7) ~n ~k in
+  let { Tz_echo.labels; metrics; leader; _ } = Tz_echo.build g ~levels in
+  Printf.printf "Built sketches for %d nodes (k = %d, leader = node %d).\n" n k
+    leader;
+  Printf.printf "Distributed cost: %d rounds, %d messages, %d words.\n"
+    (Metrics.rounds metrics) (Metrics.messages metrics) (Metrics.words metrics);
+  let words = Array.fold_left (fun a l -> a + Label.size_words l) 0 labels in
+  Printf.printf "Average sketch size: %.1f words.\n\n"
+    (float_of_int words /. float_of_int n);
+
+  (* 3. Query distances from two sketches only, and compare with the
+     exact distance. *)
+  let exact_from_0 = Dijkstra.sssp g ~src:0 in
+  Printf.printf "%4s %10s %10s %8s\n" "pair" "estimate" "exact" "stretch";
+  List.iter
+    (fun v ->
+      let est = Label.query labels.(0) labels.(v) in
+      Printf.printf "0-%-3d %9d %10d %7.2fx\n" v est exact_from_0.(v)
+        (float_of_int est /. float_of_int exact_from_0.(v)))
+    [ 10; 25; 50; 75; 99 ];
+  Printf.printf "\nGuarantee: every estimate is >= exact and <= %d * exact.\n"
+    ((2 * k) - 1)

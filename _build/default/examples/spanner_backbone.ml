@@ -1,0 +1,49 @@
+(* Spanner backbone: the sketch construction implicitly builds a
+   (2k-1)-spanner (union of cluster shortest-path trees). An overlay
+   can keep only those edges as its "backbone" — fewer links to
+   maintain — and pay at most a (2k-1) factor on any route.
+
+   This example extracts the spanner from the distributed run, then
+   compares (a) edge/maintenance counts and (b) the cost of a network-
+   wide broadcast (one message per edge) on the backbone vs the full
+   overlay.
+
+   Run with: dune exec examples/spanner_backbone.exe *)
+
+module Rng = Ds_util.Rng
+module Graph = Ds_graph.Graph
+module Gen = Ds_graph.Gen
+module Levels = Ds_core.Levels
+module Spanner = Ds_core.Spanner
+
+let () =
+  let n = 300 in
+  let g = Gen.erdos_renyi ~rng:(Rng.create 55) ~n ~avg_degree:12.0 () in
+  let k = 3 in
+  let levels = Levels.sample ~rng:(Rng.create 57) ~n ~k in
+  let backbone, metrics = Spanner.of_distributed g ~levels in
+  Printf.printf "overlay:  %d nodes, %d links\n" n (Graph.m g);
+  Printf.printf "backbone: %d links (%.1f%%), built in %d rounds\n"
+    (Graph.m backbone)
+    (100.0 *. float_of_int (Graph.m backbone) /. float_of_int (Graph.m g))
+    (Ds_congest.Metrics.rounds metrics);
+  let stretch = Spanner.max_stretch g ~spanner:backbone in
+  Printf.printf "worst route inflation: %.2fx (guarantee: <= %d)\n" stretch
+    ((2 * k) - 1);
+  (* A flood visits every edge twice (once per direction); fewer edges
+     means proportionally cheaper maintenance traffic. *)
+  Printf.printf "broadcast cost: %d messages on backbone vs %d on overlay\n"
+    (2 * Graph.m backbone) (2 * Graph.m g);
+  (* Average route inflation over a pair sample. *)
+  let rng = Rng.create 59 in
+  let ratios =
+    Array.init 200 (fun _ ->
+        let u = Rng.int rng n in
+        let v = (u + 1 + Rng.int rng (n - 1)) mod n in
+        let dg = Ds_graph.Dijkstra.sssp g ~src:u in
+        let db = Ds_graph.Dijkstra.sssp backbone ~src:u in
+        float_of_int db.(v) /. float_of_int (max 1 dg.(v)))
+  in
+  Printf.printf "route inflation over 200 random pairs: mean %.3fx, p99 %.3fx\n"
+    (Ds_util.Stats.mean ratios)
+    (Ds_util.Stats.percentile ratios 99.0)

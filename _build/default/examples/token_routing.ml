@@ -1,0 +1,49 @@
+(* Greedy token forwarding with a sketch as the distance oracle: a
+   token at node u headed for target t is forwarded to the neighbor w
+   minimising (edge weight + estimated distance to t), computed from
+   sketches alone (u holds its neighbors' sketches; in a real
+   deployment neighbors exchange sketches once after preprocessing).
+
+   Because estimates have bounded stretch, greedy forwarding reaches
+   the target with a small detour; this is the kind of "token
+   management / routing" use the paper's Section 2.1 lists.
+
+   Run with: dune exec examples/token_routing.exe *)
+
+module Rng = Ds_util.Rng
+module Gen = Ds_graph.Gen
+module Levels = Ds_core.Levels
+module Routing = Ds_core.Routing
+module Tz_distributed = Ds_core.Tz_distributed
+
+let () =
+  let n = 150 in
+  let g = Gen.random_geometric ~rng:(Rng.create 33) ~n ~radius:0.14 () in
+  let k = 2 in
+  let levels = Levels.sample ~rng:(Rng.create 35) ~n ~k in
+  let built = Tz_distributed.build g ~levels in
+  let labels = built.Tz_distributed.labels in
+  let apsp = Ds_graph.Apsp.compute g in
+
+  let rng = Rng.create 37 in
+  let delivered = ref 0 and total = 60 in
+  let detours = ref [] in
+  for _ = 1 to total do
+    let src = Rng.int rng n in
+    let dst = (src + 1 + Rng.int rng (n - 1)) mod n in
+    match Routing.with_labels g labels ~src ~dst with
+    | Some o ->
+      incr delivered;
+      let d = Ds_graph.Apsp.dist apsp src dst in
+      detours :=
+        (float_of_int o.Routing.cost /. float_of_int (max 1 d)) :: !detours
+    | None -> ()
+  done;
+  Printf.printf "Greedy sketch routing (k=%d, stretch bound %d):\n" k
+    ((2 * k) - 1);
+  Printf.printf "  delivered %d / %d tokens\n" !delivered total;
+  if !detours <> [] then begin
+    let a = Array.of_list !detours in
+    Printf.printf "  route cost vs shortest path: mean %.2fx, worst %.2fx\n"
+      (Ds_util.Stats.mean a) (Ds_util.Stats.max_of a)
+  end

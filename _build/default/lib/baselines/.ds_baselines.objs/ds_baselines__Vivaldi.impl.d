@@ -1,0 +1,1 @@
+lib/baselines/vivaldi.ml: Array Ds_graph Ds_util Float

@@ -1,0 +1,1 @@
+lib/baselines/vivaldi.mli: Ds_graph Ds_util

@@ -1,0 +1,92 @@
+module Rng = Ds_util.Rng
+module Graph = Ds_graph.Graph
+
+type config = {
+  dim : int;
+  rounds : int;
+  samples_per_round : int;
+  ce : float;
+  cc : float;
+}
+
+let default_config =
+  { dim = 3; rounds = 200; samples_per_round = 4; ce = 0.25; cc = 0.25 }
+
+type t = {
+  config : config;
+  coords : float array array;
+  heights : float array;
+  errors : float array;
+}
+
+let coordinate t u = Array.copy t.coords.(u)
+let height t u = t.heights.(u)
+let error t u = t.errors.(u)
+
+let euclidean a b =
+  let acc = ref 0.0 in
+  Array.iteri (fun i x -> acc := !acc +. ((x -. b.(i)) ** 2.0)) a;
+  sqrt !acc
+
+let raw_estimate t u v =
+  euclidean t.coords.(u) t.coords.(v) +. t.heights.(u) +. t.heights.(v)
+
+let estimate t u v =
+  if u = v then 0 else max 0 (int_of_float (Float.round (raw_estimate t u v)))
+
+(* One Vivaldi update at u against a measured distance to v. *)
+let update t rng u v measured =
+  let cfg = t.config in
+  let measured = float_of_int (max 1 measured) in
+  let predicted = raw_estimate t u v in
+  let sample_error = Float.abs (predicted -. measured) /. measured in
+  let w = t.errors.(u) /. (t.errors.(u) +. t.errors.(v) +. 1e-9) in
+  t.errors.(u) <-
+    (sample_error *. cfg.ce *. w) +. (t.errors.(u) *. (1.0 -. (cfg.ce *. w)));
+  let delta = cfg.cc *. w in
+  let xu = t.coords.(u) and xv = t.coords.(v) in
+  let dist = euclidean xu xv in
+  let force = delta *. (measured -. predicted) in
+  if dist > 1e-9 then begin
+    for i = 0 to cfg.dim - 1 do
+      xu.(i) <- xu.(i) +. (force *. (xu.(i) -. xv.(i)) /. dist)
+    done
+  end
+  else
+    (* Coincident points: push in a random direction. *)
+    for i = 0 to cfg.dim - 1 do
+      xu.(i) <- xu.(i) +. (force *. (Rng.float rng 2.0 -. 1.0))
+    done;
+  (* Heights absorb the residual the plane cannot express; keep a
+     small nonnegative share. *)
+  t.heights.(u) <- Float.max 0.0 (t.heights.(u) +. (0.1 *. force))
+
+let run ~rng ?(config = default_config) g ~distance =
+  let n = Graph.n g in
+  let t =
+    {
+      config;
+      coords =
+        Array.init n (fun _ ->
+            Array.init config.dim (fun _ -> Rng.float rng 1.0));
+      heights = Array.make n 0.0;
+      errors = Array.make n 1.0;
+    }
+  in
+  for _ = 1 to config.rounds do
+    for u = 0 to n - 1 do
+      for _ = 1 to config.samples_per_round do
+        (* Mix neighbor and long-range samples, as deployments do. *)
+        let v =
+          if Rng.bool rng 0.5 && Graph.degree g u > 0 then
+            fst (Graph.neighbor_at g u (Rng.int rng (Graph.degree g u)))
+          else begin
+            let v = Rng.int rng (n - 1) in
+            if v >= u then v + 1 else v
+          end
+        in
+        if v <> u then update t rng u v (distance u v)
+      done
+    done
+  done;
+  t

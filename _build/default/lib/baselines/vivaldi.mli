@@ -1,0 +1,42 @@
+(** Vivaldi network coordinates (Dabek–Cox–Kaashoek–Morris, SIGCOMM'04)
+    — the baseline the paper's introduction contrasts distance sketches
+    against.
+
+    Each node maintains a point in R^dim plus a "height" modelling
+    access-link cost; spring-relaxation updates pull the embedding
+    toward measured distances. Estimates are Euclidean distance plus
+    heights. Unlike the Thorup–Zwick sketches, there is no stretch
+    guarantee: coordinates can (and on pathological metrics do) both
+    under- and over-estimate arbitrarily — the behaviour experiment
+    E12 quantifies.
+
+    As a baseline it is granted a privilege the CONGEST algorithms do
+    not have: it samples distances to arbitrary peers through an
+    oracle (real deployments ping arbitrary IPs), the same modelling
+    liberty the paper attributes to the Slivkins/Meridian line. *)
+
+type config = {
+  dim : int;  (** embedding dimension *)
+  rounds : int;  (** relaxation rounds *)
+  samples_per_round : int;  (** distance measurements per node per round *)
+  ce : float;  (** error-adaptation gain (0.25 in the paper) *)
+  cc : float;  (** coordinate-adaptation gain (0.25 in the paper) *)
+}
+
+val default_config : config
+
+type t
+
+val coordinate : t -> int -> float array
+val height : t -> int -> float
+val error : t -> int -> float
+
+val estimate : t -> int -> int -> int
+(** Rounded Euclidean-plus-heights estimate (never negative). *)
+
+val run :
+  rng:Ds_util.Rng.t -> ?config:config -> Ds_graph.Graph.t ->
+  distance:(int -> int -> int) -> t
+(** [run ~rng g ~distance] relaxes coordinates using [distance] as the
+    measurement oracle (use exact distances, e.g.
+    [Ds_graph.Apsp.dist apsp]). *)

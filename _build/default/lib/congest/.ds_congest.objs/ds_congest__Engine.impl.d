@@ -1,0 +1,1 @@
+lib/congest/engine.ml: Array Ds_graph Ds_parallel Ds_util Metrics Option Printf Queue

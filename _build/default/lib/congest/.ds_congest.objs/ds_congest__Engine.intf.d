@@ -1,0 +1,1 @@
+lib/congest/engine.mli: Ds_graph Ds_parallel Ds_util Metrics

@@ -1,0 +1,1 @@
+lib/congest/metrics.ml: Format List

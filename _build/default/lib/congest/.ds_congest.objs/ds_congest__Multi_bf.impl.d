@@ -1,0 +1,1 @@
+lib/congest/multi_bf.ml: Array Ds_graph Engine Hashtbl List Queue

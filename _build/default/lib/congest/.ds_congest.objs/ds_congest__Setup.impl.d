@@ -1,0 +1,1 @@
+lib/congest/setup.ml: Array Ds_graph Engine Hashtbl List

@@ -1,0 +1,1 @@
+lib/congest/setup.mli: Ds_graph Ds_parallel Engine Metrics

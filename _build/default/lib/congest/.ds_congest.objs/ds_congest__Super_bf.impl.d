@@ -1,0 +1,1 @@
+lib/congest/super_bf.ml: Array Ds_graph Engine List

@@ -1,0 +1,1 @@
+lib/congest/super_bf.mli: Ds_graph Ds_parallel Engine Metrics

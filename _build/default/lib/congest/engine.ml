@@ -1,0 +1,187 @@
+module Graph = Ds_graph.Graph
+module Pool = Ds_parallel.Pool
+module Rng = Ds_util.Rng
+
+type 'msg api = {
+  id : int;
+  degree : int;
+  neighbor_id : int -> int;
+  neighbor_weight : int -> int;
+  send : int -> 'msg -> unit;
+  broadcast : 'msg -> unit;
+  round : unit -> int;
+}
+
+type ('state, 'msg) protocol = {
+  name : string;
+  init : 'msg api -> 'state;
+  on_round : 'msg api -> 'state -> (int * 'msg) list -> unit;
+  halted : 'state -> bool;
+  msg_words : 'msg -> int;
+  max_msg_words : int;
+}
+
+type jitter = { rng : Rng.t; max_delay : int }
+
+(* A queued message and the earliest round at which its link may
+   deliver it (links are FIFO, so a delayed head blocks the rest). *)
+type 'msg in_transit = { msg : 'msg; ready_at : int }
+
+type ('state, 'msg) t = {
+  graph : Graph.t;
+  protocol : ('state, 'msg) protocol;
+  pool : Pool.t;
+  jitter : jitter option;
+  apis : 'msg api array;
+  node_states : 'state array;
+  links : 'msg in_transit Queue.t array array;
+      (* links.(u).(i): pending u -> i-th neighbor *)
+  rev : int array array; (* rev.(u).(i): index of u in nbr's adjacency *)
+  inboxes : (int * 'msg) list array; (* built during delivery, consumed next *)
+  metrics : Metrics.t;
+  mutable round : int;
+  mutable in_flight : int; (* total queued messages *)
+  mutable sent_this_round : int;
+}
+
+let graph t = t.graph
+let metrics t = t.metrics
+let states t = t.node_states
+let state t u = t.node_states.(u)
+
+let create ?(pool = Pool.sequential) ?jitter g protocol =
+  let n = Graph.n g in
+  let nbrs = Array.init n (fun u -> Graph.neighbors g u) in
+  let rev =
+    Array.init n (fun u ->
+        Array.map (fun (v, _) -> Graph.neighbor_index g v u) nbrs.(u))
+  in
+  let links =
+    Array.init n (fun u ->
+        Array.init (Array.length nbrs.(u)) (fun _ -> Queue.create ()))
+  in
+  let t_ref = ref None in
+  let make_api u =
+    let deg = Array.length nbrs.(u) in
+    let send i m =
+      let t = Option.get !t_ref in
+      if protocol.msg_words m > protocol.max_msg_words then
+        invalid_arg
+          (Printf.sprintf "Engine(%s): message exceeds %d words" protocol.name
+             protocol.max_msg_words);
+      let delay =
+        match t.jitter with
+        | None -> 0
+        | Some { rng; max_delay } -> Rng.int rng (max_delay + 1)
+      in
+      Queue.push { msg = m; ready_at = t.round + 1 + delay } t.links.(u).(i)
+    in
+    {
+      id = u;
+      degree = deg;
+      neighbor_id = (fun i -> fst nbrs.(u).(i));
+      neighbor_weight = (fun i -> snd nbrs.(u).(i));
+      send;
+      broadcast =
+        (fun m ->
+          for i = 0 to deg - 1 do
+            send i m
+          done);
+      round = (fun () -> match !t_ref with Some t -> t.round | None -> 0);
+    }
+  in
+  let apis = Array.init n make_api in
+  let t =
+    {
+      graph = g;
+      protocol;
+      pool;
+      jitter;
+      apis;
+      node_states = [||];
+      links;
+      rev;
+      inboxes = Array.make n [];
+      metrics = Metrics.create ();
+      round = 0;
+      in_flight = 0;
+      sent_this_round = 0;
+    }
+  in
+  t_ref := Some t;
+  let node_states = Array.init n (fun u -> protocol.init apis.(u)) in
+  let t = { t with node_states } in
+  t_ref := Some t;
+  (* Count init-phase sends. *)
+  let queued = ref 0 in
+  Array.iter (Array.iter (fun q -> queued := !queued + Queue.length q)) links;
+  t.in_flight <- !queued;
+  t
+
+(* Delivery happens at the start of round (t.round + 1): a head message
+   is released once that round reaches its ready_at. *)
+let deliver t =
+  let n = Graph.n t.graph in
+  let now = t.round + 1 in
+  let delivered = ref 0 in
+  for u = 0 to n - 1 do
+    let qs = t.links.(u) in
+    for i = 0 to Array.length qs - 1 do
+      Metrics.observe_backlog t.metrics (Queue.length qs.(i));
+      match Queue.peek_opt qs.(i) with
+      | Some { msg; ready_at } when ready_at <= now ->
+        ignore (Queue.pop qs.(i));
+        incr delivered;
+        let v = t.apis.(u).neighbor_id i in
+        let j = t.rev.(u).(i) in
+        t.inboxes.(v) <- (j, msg) :: t.inboxes.(v);
+        Metrics.count_message t.metrics ~words:(t.protocol.msg_words msg)
+      | Some _ | None -> ()
+    done
+  done;
+  t.in_flight <- t.in_flight - !delivered;
+  !delivered
+
+let step t =
+  let n = Graph.n t.graph in
+  let before = t.in_flight in
+  let delivered = deliver t in
+  t.round <- t.round + 1;
+  Metrics.tick_round t.metrics;
+  Pool.parallel_for t.pool ~lo:0 ~hi:n (fun u ->
+      let inbox = t.inboxes.(u) in
+      t.inboxes.(u) <- [];
+      t.protocol.on_round t.apis.(u) t.node_states.(u) inbox);
+  (* Sends during this round's computation raised in_flight; compute
+     how many were enqueued for the activity check. *)
+  t.sent_this_round <- 0;
+  let queued = ref 0 in
+  Array.iter (Array.iter (fun q -> queued := !queued + Queue.length q)) t.links;
+  t.sent_this_round <- !queued - (before - delivered);
+  t.in_flight <- !queued
+
+let quiescent t = t.in_flight = 0
+
+type stop_reason = Quiescent | All_halted | Round_limit
+
+let all_halted t = Array.for_all t.protocol.halted t.node_states
+
+let run ?(max_rounds = 10_000_000) t =
+  let rec go () =
+    if all_halted t && t.in_flight = 0 then All_halted
+    else if t.round >= max_rounds then Round_limit
+    else begin
+      let before_flight = t.in_flight in
+      step t;
+      if before_flight = 0 && t.in_flight = 0 then begin
+        (* Nothing was in flight and the computation round produced no
+           new messages: the system is quiescent. The probe round did
+           no work, so it is not charged. *)
+        Metrics.untick_round t.metrics;
+        t.round <- t.round - 1;
+        if all_halted t then All_halted else Quiescent
+      end
+      else go ()
+    end
+  in
+  go ()

@@ -1,0 +1,67 @@
+(** Synchronous CONGEST-model simulator.
+
+    Semantics, per the paper's Section 2.2: computation proceeds in
+    rounds; in each round every node may send one small message along
+    each incident edge; messages sent in round [r] are available to the
+    receiver in round [r+1].
+
+    Protocols call {!api}[.send] freely; the engine serialises the
+    sends through per-link FIFO queues so that the wire discipline
+    (one message per edge per direction per round) always holds, and
+    charges every delivered message to {!Metrics}. *)
+
+type 'msg api = {
+  id : int;  (** this node's ID *)
+  degree : int;
+  neighbor_id : int -> int;  (** neighbor index -> node ID *)
+  neighbor_weight : int -> int;  (** neighbor index -> edge weight *)
+  send : int -> 'msg -> unit;  (** enqueue a message to a neighbor index *)
+  broadcast : 'msg -> unit;  (** enqueue to every neighbor *)
+  round : unit -> int;  (** current round number *)
+}
+
+type ('state, 'msg) protocol = {
+  name : string;
+  init : 'msg api -> 'state;
+      (** Round-0 computation; may send. Called once per node. *)
+  on_round : 'msg api -> 'state -> (int * 'msg) list -> unit;
+      (** Per-round computation. The inbox lists
+          [(neighbor index, message)] pairs delivered this round. *)
+  halted : 'state -> bool;
+      (** True once the node has locally terminated. *)
+  msg_words : 'msg -> int;  (** size accounting, in words *)
+  max_msg_words : int;
+      (** CONGEST bandwidth cap; sends above it raise. *)
+}
+
+type ('state, 'msg) t
+
+type jitter = { rng : Ds_util.Rng.t; max_delay : int }
+(** Asynchronous-link model: each message is held on its link for an
+    extra uniform 0..max_delay rounds (links stay FIFO — no
+    reordering). This is the bounded-asynchrony extension the paper's
+    conclusion calls for; delay-tolerant protocols ({!Setup},
+    {!Super_bf}, the phase-tagged [Ds_core.Tz_echo]) stay correct,
+    round counts become meaningless as a complexity measure. *)
+
+val create :
+  ?pool:Ds_parallel.Pool.t -> ?jitter:jitter -> Ds_graph.Graph.t ->
+  ('state, 'msg) protocol -> ('state, 'msg) t
+
+val graph : ('state, 'msg) t -> Ds_graph.Graph.t
+val metrics : ('state, 'msg) t -> Metrics.t
+val states : ('state, 'msg) t -> 'state array
+val state : ('state, 'msg) t -> int -> 'state
+
+val step : ('state, 'msg) t -> unit
+(** Execute one synchronous round (delivery then computation). *)
+
+type stop_reason = Quiescent | All_halted | Round_limit
+
+val run : ?max_rounds:int -> ('state, 'msg) t -> stop_reason
+(** Run rounds until no message is in flight and none was sent
+    (quiescence), every node reports [halted], or the round limit is
+    hit (default 10 million — a bug guard, not a tuning knob). *)
+
+val quiescent : ('state, 'msg) t -> bool
+(** No queued or in-flight messages. *)

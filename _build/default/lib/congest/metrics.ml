@@ -1,0 +1,76 @@
+type phase = { name : string; rounds : int; messages : int; words : int }
+
+type t = {
+  mutable rounds : int;
+  mutable messages : int;
+  mutable words : int;
+  mutable max_msg_words : int;
+  mutable max_link_backlog : int;
+  mutable phases : phase list; (* reversed *)
+  mutable mark_rounds : int;
+  mutable mark_messages : int;
+  mutable mark_words : int;
+}
+
+let create () =
+  {
+    rounds = 0;
+    messages = 0;
+    words = 0;
+    max_msg_words = 0;
+    max_link_backlog = 0;
+    phases = [];
+    mark_rounds = 0;
+    mark_messages = 0;
+    mark_words = 0;
+  }
+
+let rounds t = t.rounds
+let messages t = t.messages
+let words t = t.words
+let max_msg_words t = t.max_msg_words
+let max_link_backlog t = t.max_link_backlog
+
+let tick_round t = t.rounds <- t.rounds + 1
+let untick_round t = t.rounds <- t.rounds - 1
+
+let count_message t ~words =
+  t.messages <- t.messages + 1;
+  t.words <- t.words + words;
+  if words > t.max_msg_words then t.max_msg_words <- words
+
+let observe_backlog t b =
+  if b > t.max_link_backlog then t.max_link_backlog <- b
+
+let mark_phase t name =
+  let p =
+    {
+      name;
+      rounds = t.rounds - t.mark_rounds;
+      messages = t.messages - t.mark_messages;
+      words = t.words - t.mark_words;
+    }
+  in
+  t.phases <- p :: t.phases;
+  t.mark_rounds <- t.rounds;
+  t.mark_messages <- t.messages;
+  t.mark_words <- t.words
+
+let phases t = List.rev t.phases
+
+let add a b =
+  {
+    rounds = a.rounds + b.rounds;
+    messages = a.messages + b.messages;
+    words = a.words + b.words;
+    max_msg_words = max a.max_msg_words b.max_msg_words;
+    max_link_backlog = max a.max_link_backlog b.max_link_backlog;
+    phases = b.phases @ a.phases;
+    mark_rounds = 0;
+    mark_messages = 0;
+    mark_words = 0;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "rounds=%d messages=%d words=%d" t.rounds t.messages
+    t.words

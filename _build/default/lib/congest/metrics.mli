@@ -1,0 +1,36 @@
+(** Round / message / word accounting for CONGEST executions.
+
+    A "message" is one payload crossing one edge in one direction in
+    one round; a "word" is an O(log n)-bit block (one node ID or one
+    distance), the unit the paper's message bounds are stated in. *)
+
+type t
+
+val create : unit -> t
+
+val rounds : t -> int
+val messages : t -> int
+val words : t -> int
+val max_msg_words : t -> int
+val max_link_backlog : t -> int
+
+val tick_round : t -> unit
+
+(** Remove one round; used by the engine to avoid charging the final
+    quiescence-probe round in which nothing happened. *)
+val untick_round : t -> unit
+val count_message : t -> words:int -> unit
+val observe_backlog : t -> int -> unit
+
+type phase = { name : string; rounds : int; messages : int; words : int }
+
+val mark_phase : t -> string -> unit
+(** Close the current phase under [name]; counters keep accumulating. *)
+
+val phases : t -> phase list
+(** Completed phases, in execution order. *)
+
+val add : t -> t -> t
+(** Pointwise sum (phases concatenated); for composing protocol runs. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,101 @@
+module Graph = Ds_graph.Graph
+module Dist = Ds_graph.Dist
+
+type entry = {
+  mutable dist : int;
+  mutable queued : bool;
+  mutable parent_idx : int; (* neighbor that delivered [dist]; -1 at source *)
+}
+
+type state = {
+  bound : int * int;
+  tbl : (int, entry) Hashtbl.t;
+  pending : int Queue.t;
+  mutable max_pending : int;
+}
+
+let accept st src nd from =
+  if Dist.lex_lt (nd, src) st.bound then begin
+    match Hashtbl.find_opt st.tbl src with
+    | Some e when e.dist <= nd -> None
+    | Some e ->
+      e.dist <- nd;
+      e.parent_idx <- from;
+      Some e
+    | None ->
+      let e = { dist = nd; queued = false; parent_idx = from } in
+      Hashtbl.replace st.tbl src e;
+      Some e
+  end
+  else None
+
+let enqueue st src e =
+  if not e.queued then begin
+    e.queued <- true;
+    Queue.push src st.pending;
+    if Queue.length st.pending > st.max_pending then
+      st.max_pending <- Queue.length st.pending
+  end
+
+let pop_and_broadcast api st =
+  match Queue.take_opt st.pending with
+  | None -> ()
+  | Some src ->
+    let e = Hashtbl.find st.tbl src in
+    e.queued <- false;
+    api.Engine.broadcast (src, e.dist)
+
+let protocol ~is_source ~bound : (state, int * int) Engine.protocol =
+  let open Engine in
+  {
+    name = "multi-bf";
+    max_msg_words = 2;
+    msg_words = (fun _ -> 2);
+    halted = (fun st -> Queue.is_empty st.pending);
+    init =
+      (fun api ->
+        let st =
+          {
+            bound = bound api.id;
+            tbl = Hashtbl.create 16;
+            pending = Queue.create ();
+            max_pending = 0;
+          }
+        in
+        (* A source records and announces itself only if its own (0, id)
+           passes its bound — the Thorup–Zwick condition for belonging
+           to its own bunch, which always holds for phase-i sources. *)
+        if is_source api.id && Dist.lex_lt (0, api.id) st.bound then begin
+          let e = { dist = 0; queued = false; parent_idx = -1 } in
+          Hashtbl.replace st.tbl api.id e;
+          enqueue st api.id e
+        end;
+        st);
+    on_round =
+      (fun api st inbox ->
+        let process (i, (src, dist)) =
+          let nd = dist + api.neighbor_weight i in
+          match accept st src nd i with
+          | None -> ()
+          | Some e -> enqueue st src e
+        in
+        List.iter process inbox;
+        pop_and_broadcast api st);
+  }
+
+let found st = Hashtbl.fold (fun src e acc -> (src, e.dist) :: acc) st.tbl []
+
+let found_with_parents st =
+  Hashtbl.fold (fun src e acc -> (src, e.dist, e.parent_idx) :: acc) st.tbl []
+
+let max_pending st = st.max_pending
+
+let run ?pool g ~sources ~bound =
+  let n = Graph.n g in
+  let src_set = Array.make n false in
+  List.iter (fun s -> src_set.(s) <- true) sources;
+  let eng = Engine.create ?pool g (protocol ~is_source:(fun u -> src_set.(u)) ~bound) in
+  (match Engine.run eng with
+  | Engine.Quiescent | Engine.All_halted -> ()
+  | Engine.Round_limit -> failwith "Multi_bf: round limit hit");
+  (Array.map found (Engine.states eng), Engine.metrics eng)

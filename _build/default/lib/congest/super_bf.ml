@@ -1,0 +1,108 @@
+module Graph = Ds_graph.Graph
+module Dist = Ds_graph.Dist
+
+type msg =
+  | Update of { src : int; dist : int }
+  | Claim
+  | Unclaim
+
+type state = {
+  mutable best_dist : int;
+  mutable best_src : int;
+  mutable parent_idx : int; (* neighbor index; -1 = none/source *)
+  mutable dirty : bool;
+  child : bool array; (* per neighbor index *)
+}
+
+let msg_words = function Update _ -> 2 | Claim | Unclaim -> 1
+
+let protocol ~is_source : (state, msg) Engine.protocol =
+  let open Engine in
+  {
+    name = "super-bf";
+    max_msg_words = 2;
+    msg_words;
+    halted = (fun st -> not st.dirty);
+    init =
+      (fun api ->
+        let source = is_source api.id in
+        let st =
+          {
+            best_dist = (if source then 0 else Dist.infinity);
+            best_src = (if source then api.id else max_int);
+            parent_idx = -1;
+            dirty = false;
+            child = Array.make api.degree false;
+          }
+        in
+        if source then api.broadcast (Update { src = api.id; dist = 0 });
+        st);
+    on_round =
+      (fun api st inbox ->
+        let process (i, m) =
+          match m with
+          | Claim -> st.child.(i) <- true
+          | Unclaim -> st.child.(i) <- false
+          | Update { src; dist } ->
+            let nd = dist + api.neighbor_weight i in
+            if Dist.lex_lt (nd, src) (st.best_dist, st.best_src) then begin
+              if st.parent_idx >= 0 && st.parent_idx <> i then
+                api.send st.parent_idx Unclaim;
+              if st.parent_idx <> i then api.send i Claim;
+              st.best_dist <- nd;
+              st.best_src <- src;
+              st.parent_idx <- i;
+              st.dirty <- true
+            end
+        in
+        List.iter process inbox;
+        if st.dirty then begin
+          st.dirty <- false;
+          api.broadcast (Update { src = st.best_src; dist = st.best_dist })
+        end);
+  }
+
+type result = {
+  dist : int array;
+  nearest : int array;
+  parent : int array;
+  children : int list array;
+}
+
+let run ?pool ?jitter g ~sources =
+  let n = Graph.n g in
+  let src_set = Array.make n false in
+  List.iter (fun s -> src_set.(s) <- true) sources;
+  let eng =
+    Engine.create ?pool ?jitter g (protocol ~is_source:(fun u -> src_set.(u)))
+  in
+  (match Engine.run eng with
+  | Engine.Quiescent | Engine.All_halted -> ()
+  | Engine.Round_limit -> failwith "Super_bf: round limit hit");
+  let states = Engine.states eng in
+  let dist = Array.map (fun st -> st.best_dist) states in
+  let nearest =
+    Array.map (fun st -> if st.best_src = max_int then -1 else st.best_src) states
+  in
+  let parent =
+    Array.mapi
+      (fun u st ->
+        if st.parent_idx < 0 then -1 else fst (Graph.neighbor_at g u st.parent_idx))
+      states
+  in
+  let children =
+    Array.mapi
+      (fun u st ->
+        let acc = ref [] in
+        Array.iteri
+          (fun i is_child ->
+            if is_child then acc := fst (Graph.neighbor_at g u i) :: !acc)
+          st.child;
+        !acc)
+      states
+  in
+  ({ dist; nearest; parent; children }, Engine.metrics eng)
+
+let single_source ?pool g ~src =
+  let r, m = run ?pool g ~sources:[ src ] in
+  (r.dist, m)

@@ -1,0 +1,1 @@
+lib/core/cdg.ml: Array Cell_cast Density_net Ds_congest Ds_graph Label Levels List Tz_centralized Tz_distributed

@@ -1,0 +1,1 @@
+lib/core/cdg.mli: Ds_congest Ds_graph Ds_parallel Ds_util Label Levels

@@ -1,0 +1,1 @@
+lib/core/cell_cast.ml: Array Ds_congest Ds_graph List

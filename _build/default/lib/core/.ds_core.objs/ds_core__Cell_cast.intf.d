@@ -1,0 +1,1 @@
+lib/core/cell_cast.mli: Ds_congest Ds_graph Ds_parallel

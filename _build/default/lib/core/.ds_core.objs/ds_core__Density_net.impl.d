@@ -1,0 +1,1 @@
+lib/core/density_net.ml: Array Ds_graph Ds_util List

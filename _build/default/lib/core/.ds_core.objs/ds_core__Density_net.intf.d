@@ -1,0 +1,1 @@
+lib/core/density_net.mli: Ds_graph Ds_util

@@ -1,0 +1,1 @@
+lib/core/eval.ml: Array Ds_graph Ds_util Format

@@ -1,0 +1,1 @@
+lib/core/eval.mli: Ds_graph Ds_util Format

@@ -1,0 +1,1 @@
+lib/core/graceful.ml: Array Cdg Ds_congest Ds_graph List

@@ -1,0 +1,1 @@
+lib/core/graceful.mli: Cdg Ds_congest Ds_graph Ds_parallel Ds_util

@@ -1,0 +1,1 @@
+lib/core/levels.ml: Array Ds_util List

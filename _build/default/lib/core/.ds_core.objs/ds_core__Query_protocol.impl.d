@@ -1,0 +1,1 @@
+lib/core/query_protocol.ml: Array Ds_congest Ds_graph Label List

@@ -1,0 +1,1 @@
+lib/core/query_protocol.mli: Ds_congest Ds_graph Ds_parallel Label

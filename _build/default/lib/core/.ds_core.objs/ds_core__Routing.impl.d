@@ -1,0 +1,1 @@
+lib/core/routing.ml: Array Ds_graph Hashtbl Label List Option

@@ -1,0 +1,1 @@
+lib/core/slack.ml: Array Density_net Ds_congest Ds_graph List

@@ -1,0 +1,1 @@
+lib/core/slack.mli: Ds_congest Ds_graph Ds_parallel Ds_util

@@ -1,0 +1,1 @@
+lib/core/spanner.ml: Array Ds_congest Ds_graph Hashtbl Levels List Tz_centralized

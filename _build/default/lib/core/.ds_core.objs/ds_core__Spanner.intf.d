@@ -1,0 +1,1 @@
+lib/core/spanner.mli: Ds_congest Ds_graph Ds_parallel Levels

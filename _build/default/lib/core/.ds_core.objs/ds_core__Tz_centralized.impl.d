@@ -1,0 +1,1 @@
+lib/core/tz_centralized.ml: Array Ds_graph Label Levels

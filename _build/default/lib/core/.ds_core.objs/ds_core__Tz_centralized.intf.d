@@ -1,0 +1,1 @@
+lib/core/tz_centralized.mli: Ds_graph Label Levels

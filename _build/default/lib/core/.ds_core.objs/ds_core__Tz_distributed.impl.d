@@ -1,0 +1,1 @@
+lib/core/tz_distributed.ml: Array Ds_congest Ds_graph Label Levels List Printf

@@ -1,0 +1,1 @@
+lib/core/tz_echo.ml: Array Ds_congest Ds_graph Hashtbl Label Levels List Queue

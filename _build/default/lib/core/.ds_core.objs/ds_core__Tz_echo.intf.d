@@ -1,0 +1,1 @@
+lib/core/tz_echo.mli: Ds_congest Ds_graph Ds_parallel Label Levels

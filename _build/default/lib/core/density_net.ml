@@ -1,0 +1,40 @@
+module Rng = Ds_util.Rng
+module Apsp = Ds_graph.Apsp
+
+let sample_probability ~n ~eps =
+  if eps <= 0.0 || eps > 1.0 then invalid_arg "Density_net: eps out of (0,1]";
+  min 1.0 (5.0 *. log (float_of_int n) /. (eps *. float_of_int n))
+
+let sample ~rng ~n ~eps =
+  let p = sample_probability ~n ~eps in
+  let rec go attempts =
+    if attempts > 1000 then failwith "Density_net.sample: empty net";
+    let net = ref [] in
+    for u = n - 1 downto 0 do
+      if Rng.bool rng p then net := u :: !net
+    done;
+    if !net = [] then go (attempts + 1) else !net
+  in
+  go 0
+
+let size_bound ~n ~eps = 10.0 /. eps *. log (float_of_int n)
+
+let covering_radius apsp ~eps ~u =
+  let n = Apsp.n apsp in
+  let row = Array.init n (fun v -> Apsp.dist apsp u v) in
+  Array.sort compare row;
+  let need = int_of_float (ceil (eps *. float_of_int n)) in
+  let need = max 1 (min n need) in
+  (* row.(0) = d(u,u) = 0; the ball of radius row.(need-1) holds >= need
+     nodes. *)
+  row.(need - 1)
+
+let is_valid_net apsp ~eps net =
+  let n = Apsp.n apsp in
+  let ok = ref true in
+  for u = 0 to n - 1 do
+    let r = covering_radius apsp ~eps ~u in
+    let covered = List.exists (fun w -> Apsp.dist apsp u w <= r) net in
+    if not covered then ok := false
+  done;
+  !ok

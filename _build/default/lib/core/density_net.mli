@@ -1,0 +1,22 @@
+(** ε-density nets (paper Definition 4.1, Lemma 4.2).
+
+    A set [N] such that (1) every node [u] has a net node within
+    [R(u, ε)] — the radius of the smallest ball around [u] holding
+    [εn] nodes — and (2) [|N| <= (10/ε) ln n]. Sampling each node with
+    probability [5 ln n / (ε n)] achieves both with high probability,
+    with zero communication (every coin is local). *)
+
+val sample_probability : n:int -> eps:float -> float
+
+val sample : rng:Ds_util.Rng.t -> n:int -> eps:float -> int list
+(** Never empty: resamples in the unlikely all-tails case (the paper
+    absorbs this into the failure probability). *)
+
+val size_bound : n:int -> eps:float -> float
+(** The Lemma 4.2 bound [(10/ε) ln n]. *)
+
+val covering_radius : Ds_graph.Apsp.t -> eps:float -> u:int -> int
+(** [R(u, ε)] computed from exact distances (evaluation only). *)
+
+val is_valid_net : Ds_graph.Apsp.t -> eps:float -> int list -> bool
+(** Checks property (1) exactly (evaluation only). *)

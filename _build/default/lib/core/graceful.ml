@@ -1,0 +1,71 @@
+module Graph = Ds_graph.Graph
+module Dist = Ds_graph.Dist
+module Metrics = Ds_congest.Metrics
+
+type sketch = {
+  owner : int;
+  parts : (float * Cdg.sketch) array;
+}
+
+let size_words s =
+  Array.fold_left (fun acc (_, part) -> acc + Cdg.size_words part) 0 s.parts
+
+let query a b =
+  if Array.length a.parts <> Array.length b.parts then
+    invalid_arg "Graceful.query: mismatched sketches";
+  let best = ref Dist.infinity in
+  Array.iteri
+    (fun i (_, pa) ->
+      let _, pb = b.parts.(i) in
+      let est = Cdg.query pa pb in
+      if est < !best then best := est)
+    a.parts;
+  !best
+
+type result = {
+  sketches : sketch array;
+  metrics : Metrics.t;
+}
+
+let levels_for n =
+  let imax =
+    max 1 (int_of_float (ceil (log (float_of_int n) /. log 2.0)))
+  in
+  List.init imax (fun j ->
+      let i = j + 1 in
+      (i, 1.0 /. float_of_int (1 lsl i)))
+
+let assemble n per_level =
+  Array.init n (fun u ->
+      {
+        owner = u;
+        parts =
+          Array.of_list
+            (List.map (fun (eps, sk) -> (eps, sk.(u))) per_level);
+      })
+
+let build_distributed ?pool ~rng g =
+  let n = Graph.n g in
+  let runs =
+    List.map
+      (fun (k, eps) ->
+        let r = Cdg.build_distributed ?pool ~rng g ~eps ~k in
+        (eps, r))
+      (levels_for n)
+  in
+  let per_level = List.map (fun (eps, r) -> (eps, r.Cdg.sketches)) runs in
+  let metrics =
+    List.fold_left
+      (fun acc (_, r) -> Metrics.add acc r.Cdg.metrics)
+      (Metrics.create ()) runs
+  in
+  { sketches = assemble n per_level; metrics }
+
+let build_centralized ~rng g =
+  let n = Graph.n g in
+  let per_level =
+    List.map
+      (fun (k, eps) -> (eps, Cdg.build_centralized ~rng g ~eps ~k))
+      (levels_for n)
+  in
+  assemble n per_level

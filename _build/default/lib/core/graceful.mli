@@ -1,0 +1,32 @@
+(** Gracefully degrading sketches (paper Section 4.1, Theorem 4.8,
+    Corollary 4.9).
+
+    The union of [⌈log n⌉] CDG sketches, one per slack level
+    [ε_i = 2^{-i}] with [k_i = i]: a single sketch of [O(log^4 n)]
+    words whose estimate for any pair where [v] is ε-far from [u] has
+    stretch [O(log (1/ε))] — hence worst-case stretch [O(log n)] and,
+    by the Lemma 4.7 shell argument, average stretch [O(1)]. *)
+
+type sketch = {
+  owner : int;
+  parts : (float * Cdg.sketch) array;  (** (ε_i, part), i = 1.. *)
+}
+
+val size_words : sketch -> int
+
+val query : sketch -> sketch -> int
+(** Minimum estimate over all slack levels. *)
+
+type result = {
+  sketches : sketch array;
+  metrics : Ds_congest.Metrics.t;
+}
+
+val levels_for : int -> (int * float) list
+(** [(k_i, ε_i)] pairs used for an n-node network. *)
+
+val build_distributed :
+  ?pool:Ds_parallel.Pool.t -> rng:Ds_util.Rng.t -> Ds_graph.Graph.t -> result
+
+val build_centralized :
+  rng:Ds_util.Rng.t -> Ds_graph.Graph.t -> sketch array

@@ -1,0 +1,120 @@
+module Dist = Ds_graph.Dist
+
+type t = {
+  owner : int;
+  k : int;
+  pivots : (int * int) array;
+  bunch : (int, int * int) Hashtbl.t;
+}
+
+let create ~owner ~k =
+  {
+    owner;
+    k;
+    pivots = Array.make k Dist.none;
+    bunch = Hashtbl.create 16;
+  }
+
+let add_bunch t ~node ~dist ~level = Hashtbl.replace t.bunch node (dist, level)
+
+let set_pivot t ~level ~dist ~node = t.pivots.(level) <- (dist, node)
+
+let bunch_dist t w =
+  match Hashtbl.find_opt t.bunch w with Some (d, _) -> Some d | None -> None
+
+let bunch_size t = Hashtbl.length t.bunch
+
+let bunch_nodes t =
+  Hashtbl.fold (fun w (d, l) acc -> (w, d, l) :: acc) t.bunch []
+  |> List.sort compare
+
+let size_words t = (2 * t.k) + (2 * bunch_size t)
+
+let query lu lv =
+  if lu.k <> lv.k then invalid_arg "Label.query: mismatched k";
+  let rec go i =
+    if i >= lu.k then Dist.infinity
+    else begin
+      let du, pu = lu.pivots.(i) and dv, pv = lv.pivots.(i) in
+      let via_pu =
+        if Dist.is_finite du then
+          match bunch_dist lv pu with
+          | Some d -> Dist.add du d
+          | None -> Dist.infinity
+        else Dist.infinity
+      in
+      let via_pv =
+        if Dist.is_finite dv then
+          match bunch_dist lu pv with
+          | Some d -> Dist.add dv d
+          | None -> Dist.infinity
+        else Dist.infinity
+      in
+      let est = min via_pu via_pv in
+      if Dist.is_finite est then est else go (i + 1)
+    end
+  in
+  go 0
+
+let query_bidirectional lu lv =
+  if lu.k <> lv.k then invalid_arg "Label.query_bidirectional: mismatched k";
+  let best = ref Dist.infinity in
+  for i = 0 to lu.k - 1 do
+    let du, pu = lu.pivots.(i) and dv, pv = lv.pivots.(i) in
+    (if Dist.is_finite du then
+       match bunch_dist lv pu with
+       | Some d -> best := min !best (Dist.add du d)
+       | None -> ());
+    if Dist.is_finite dv then
+      match bunch_dist lu pv with
+      | Some d -> best := min !best (Dist.add dv d)
+      | None -> ()
+  done;
+  !best
+
+let equal a b =
+  a.owner = b.owner && a.k = b.k
+  && Array.for_all2 ( = ) a.pivots b.pivots
+  && Hashtbl.length a.bunch = Hashtbl.length b.bunch
+  && Hashtbl.fold
+       (fun w (d, _) ok ->
+         ok
+         &&
+         match Hashtbl.find_opt b.bunch w with
+         | Some (d', _) -> d = d'
+         | None -> false)
+       a.bunch true
+
+let to_words t =
+  let bunch = bunch_nodes t in
+  let out = Array.make (1 + t.k + List.length bunch) (0, 0) in
+  out.(0) <- (t.owner, t.k);
+  Array.iteri (fun i (d, p) -> out.(1 + i) <- (d, p)) t.pivots;
+  List.iteri (fun i (w, d, _) -> out.(1 + t.k + i) <- (w, d)) bunch;
+  out
+
+let of_words words =
+  if Array.length words < 1 then invalid_arg "Label.of_words: empty";
+  let owner, k = words.(0) in
+  if k < 1 || Array.length words < 1 + k then
+    invalid_arg "Label.of_words: truncated";
+  let t = create ~owner ~k in
+  for i = 0 to k - 1 do
+    t.pivots.(i) <- words.(1 + i)
+  done;
+  for i = 1 + k to Array.length words - 1 do
+    let w, d = words.(i) in
+    add_bunch t ~node:w ~dist:d ~level:(-1)
+  done;
+  t
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>label(owner=%d k=%d words=%d)@," t.owner t.k
+    (size_words t);
+  Array.iteri
+    (fun i (d, p) -> Format.fprintf ppf "  p_%d = %d (d=%d)@," i p d)
+    t.pivots;
+  List.iter
+    (fun (w, d, l) -> Format.fprintf ppf "  bunch %d d=%d lvl=%d@," w d l)
+    (bunch_nodes t);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,57 @@
+(** Thorup–Zwick distance labels (the per-node sketches).
+
+    A label holds the pivots [p_0(u), …, p_{k-1}(u)] with their
+    distances and the bunch [B(u) = ∪_i B_i(u)] as a map from node to
+    distance. Two labels alone suffice to answer a distance query with
+    stretch [2k-1] (Lemma 3.2 of the paper). *)
+
+type t = {
+  owner : int;
+  k : int;
+  pivots : (int * int) array;
+      (** [pivots.(i) = (d(u, A_i), p_i(u))], length [k]. *)
+  bunch : (int, int * int) Hashtbl.t;
+      (** node [w] -> [(d(u,w), level of w)]; the level is analysis
+          metadata and is not charged to the sketch size. *)
+}
+
+val create : owner:int -> k:int -> t
+
+val add_bunch : t -> node:int -> dist:int -> level:int -> unit
+val set_pivot : t -> level:int -> dist:int -> node:int -> unit
+
+val bunch_dist : t -> int -> int option
+val bunch_size : t -> int
+val bunch_nodes : t -> (int * int * int) list
+(** [(node, dist, level)] triples. *)
+
+val size_words : t -> int
+(** Sketch size in the paper's units: two words per pivot (ID and
+    distance) plus two words per bunch entry. *)
+
+val query : t -> t -> int
+(** Lemma 3.2: scan levels upward; at the first level [i] where
+    [p_i(u) ∈ B(v)] or [p_i(v) ∈ B(u)], return the triangle estimate
+    (the smaller one if both hit). Guarantees
+    [d(u,v) <= query l_u l_v <= (2k-1) d(u,v)] when both labels come
+    from the same hierarchy with [A_0] containing all nodes. *)
+
+val query_bidirectional : t -> t -> int
+(** Ablation: minimum triangle estimate over {e every} level and both
+    directions — never worse than {!query}, same worst-case bound. *)
+
+val equal : t -> t -> bool
+(** Structural equality (pivots and bunch distances); used to check
+    distributed-vs-centralized agreement. *)
+
+val to_words : t -> (int * int) array
+(** Wire format, one pair = two words per array cell:
+    [(owner, k); pivot_0; …; pivot_{k-1}; (node, dist); …]. Length is
+    [size_words t / 2 + 1]. Bunch levels are analysis metadata and are
+    not shipped. *)
+
+val of_words : (int * int) array -> t
+(** Inverse of {!to_words} (bunch levels come back as [-1]).
+    Raises [Invalid_argument] on malformed input. *)
+
+val pp : Format.formatter -> t -> unit

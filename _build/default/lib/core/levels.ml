@@ -1,0 +1,74 @@
+module Rng = Ds_util.Rng
+
+type t = { k : int; level : int array }
+
+let k t = t.k
+let n t = Array.length t.level
+let level t u = t.level.(u)
+
+let in_set t i u =
+  if i >= t.k then false else if i < 0 then invalid_arg "Levels.in_set" else t.level.(u) >= i
+
+let members t i =
+  let acc = ref [] in
+  for u = Array.length t.level - 1 downto 0 do
+    if in_set t i u then acc := u :: !acc
+  done;
+  !acc
+
+let exactly t i =
+  let acc = ref [] in
+  for u = Array.length t.level - 1 downto 0 do
+    if t.level.(u) = i then acc := u :: !acc
+  done;
+  !acc
+
+let counts t =
+  let c = Array.make t.k 0 in
+  Array.iter
+    (fun l ->
+      for i = 0 to min l (t.k - 1) do
+        c.(i) <- c.(i) + 1
+      done)
+    t.level;
+  c
+
+let of_level_array ~k level =
+  if k < 1 then invalid_arg "Levels: k must be >= 1";
+  Array.iter
+    (fun l -> if l < -1 || l >= k then invalid_arg "Levels: level out of range")
+    level;
+  { k; level }
+
+let draw_level rng ~k ~prob ~member =
+  if not member then -1
+  else begin
+    let l = ref 0 in
+    while !l < k - 1 && Rng.bool rng prob do
+      incr l
+    done;
+    !l
+  end
+
+let sample_general ~rng ~n ~k ~member ~prob =
+  if k < 1 then invalid_arg "Levels.sample: k must be >= 1";
+  let rec go attempts =
+    if attempts > 1000 then
+      failwith "Levels.sample: could not populate the top level";
+    let level =
+      Array.init n (fun u -> draw_level rng ~k ~prob ~member:(member u))
+    in
+    let t = { k; level } in
+    (* k = 1 needs no top-level check: A_0 is the universe. *)
+    if k = 1 || members t (k - 1) <> [] then t else go (attempts + 1)
+  in
+  go 0
+
+let sample ~rng ~n ~k =
+  let prob = float_of_int n ** (-1.0 /. float_of_int k) in
+  sample_general ~rng ~n ~k ~member:(fun _ -> true) ~prob
+
+let sample_subset ~rng ~n ~k ~subset ~prob =
+  let mem = Array.make n false in
+  List.iter (fun u -> mem.(u) <- true) subset;
+  sample_general ~rng ~n ~k ~member:(fun u -> mem.(u)) ~prob

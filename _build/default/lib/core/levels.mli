@@ -1,0 +1,44 @@
+(** The sampled Thorup–Zwick hierarchy [A_0 ⊇ A_1 ⊇ … ⊇ A_{k-1}]
+    ([A_k = ∅] by definition).
+
+    [level t u] is the largest [i] with [u ∈ A_i], or [-1] when [u] is
+    outside [A_0] (which happens only for hierarchies restricted to a
+    subset, as in the CDG construction where [A_0] is the density net).
+
+    Sampling is per-node and independent — exactly the local coin flips
+    of the paper — but driven by one splittable PRNG so that the
+    centralized and distributed constructions can share a hierarchy. *)
+
+type t
+
+val k : t -> int
+val n : t -> int
+
+val level : t -> int -> int
+
+val in_set : t -> int -> int -> bool
+(** [in_set t i u] is [u ∈ A_i]. [A_k] is empty, [A_0] is the sampling
+    universe. *)
+
+val members : t -> int -> int list
+(** [members t i] lists [A_i] in increasing ID order. *)
+
+val exactly : t -> int -> int list
+(** [exactly t i] lists [A_i \ A_{i+1}] — the sources of phase [i]. *)
+
+val counts : t -> int array
+(** [|A_0|; …; |A_{k-1}|]. *)
+
+val sample : rng:Ds_util.Rng.t -> n:int -> k:int -> t
+(** Promotion probability [n^{-1/k}] per level, the paper's Section 3.1.
+    Resamples (with fresh randomness) in the vanishingly-unlikely case
+    [A_{k-1} = ∅], as Thorup–Zwick do. *)
+
+val sample_subset :
+  rng:Ds_util.Rng.t -> n:int -> k:int -> subset:int list -> prob:float -> t
+(** Hierarchy over [subset] (= [A_0]) with promotion probability
+    [prob]; used by the CDG construction with [A_0] the density net and
+    [prob = (10/ε · ln n)^{-1/k}]. *)
+
+val of_level_array : k:int -> int array -> t
+(** Adopt an explicit assignment (tests). *)

@@ -1,0 +1,22 @@
+(** In-network distance queries by sketch exchange (paper Section 2.1).
+
+    After preprocessing, node [u] answers "how far is [v]?" by fetching
+    [v]'s sketch: a REQUEST floods the BFS tree (O(D) rounds, O(n)
+    messages — in deployments where [u] can contact [v] directly, e.g.
+    knows its IP, this discovery step disappears); [v] then streams its
+    label back along the request path, two words per round, pipelined.
+    Total: O(D + |L(v)|) rounds, which experiment E8 compares against
+    the Omega(S) cost of an on-demand computation. *)
+
+type result = {
+  estimate : int;  (** [Label.query labels.(u) labels.(v)] *)
+  rounds : int;  (** rounds of the in-network exchange *)
+  messages : int;
+  metrics : Ds_congest.Metrics.t;
+}
+
+val query :
+  ?pool:Ds_parallel.Pool.t -> Ds_graph.Graph.t ->
+  tree:Ds_congest.Setup.result -> labels:Label.t array -> u:int -> v:int ->
+  result
+(** One end-to-end query from [u] for the distance to [v]. *)

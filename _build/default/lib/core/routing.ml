@@ -1,0 +1,40 @@
+module Graph = Ds_graph.Graph
+
+type outcome = {
+  hops : int;
+  cost : int;
+  path : int list;
+}
+
+(* Revisiting a node means the estimate landscape has a local cycle;
+   weighting revisits out of the argmin escapes it while keeping the
+   walk greedy elsewhere. *)
+let revisit_penalty = 1_000_000
+
+let greedy g ~estimate ~src ~dst ?max_hops () =
+  let n = Graph.n g in
+  let max_hops = Option.value ~default:(4 * n) max_hops in
+  let visits = Hashtbl.create 16 in
+  let rec go u hops cost acc =
+    if u = dst then Some { hops; cost; path = List.rev (dst :: acc) }
+    else if hops >= max_hops then None
+    else begin
+      Hashtbl.replace visits u
+        (1 + Option.value ~default:0 (Hashtbl.find_opt visits u));
+      let best = ref None in
+      Graph.iter_neighbors g u (fun w wt ->
+          let seen = Option.value ~default:0 (Hashtbl.find_opt visits w) in
+          let score = wt + estimate w dst + (seen * revisit_penalty) in
+          match !best with
+          | Some (s, _, _) when s <= score -> ()
+          | _ -> best := Some (score, w, wt));
+      match !best with
+      | None -> None
+      | Some (_, w, wt) -> go w (hops + 1) (cost + wt) (u :: acc)
+    end
+  in
+  go src 0 0 []
+
+let with_labels g labels ~src ~dst =
+  let estimate u v = if u = v then 0 else Label.query labels.(u) labels.(v) in
+  greedy g ~estimate ~src ~dst ()

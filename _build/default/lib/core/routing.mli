@@ -1,0 +1,26 @@
+(** Greedy forwarding with a distance sketch as the oracle.
+
+    A token at [u] bound for [t] is forwarded to the neighbor [w]
+    minimising [weight(u,w) + estimate(w,t)], where the estimate comes
+    from sketches alone. Because estimates never underestimate and
+    have bounded stretch, greedy progress is usually monotone; the
+    residual cycles that approximate estimates can cause are broken by
+    a revisit penalty. This is the "token management / routing"
+    application from the paper's Section 2.1. *)
+
+type outcome = {
+  hops : int;
+  cost : int;  (** total weight of the traversed walk *)
+  path : int list;  (** nodes visited, source first *)
+}
+
+val greedy :
+  Ds_graph.Graph.t -> estimate:(int -> int -> int) -> src:int -> dst:int ->
+  ?max_hops:int -> unit -> outcome option
+(** [greedy g ~estimate ~src ~dst ()] walks the token; [None] if the
+    hop budget (default [4 * n]) runs out. [estimate u v] must be
+    symmetric and never underestimate. *)
+
+val with_labels :
+  Ds_graph.Graph.t -> Label.t array -> src:int -> dst:int -> outcome option
+(** {!greedy} with the Thorup–Zwick label query as the oracle. *)

@@ -1,0 +1,28 @@
+(** Thorup–Zwick spanners — a byproduct of the sketch construction.
+
+    For every node [w] the construction grows a shortest-path tree of
+    its cluster [C(w)]; the union of all those tree edges is a
+    [(2k-1)]-spanner of the input graph with [O(k n^{1+1/k})] edges
+    (Thorup–Zwick, JACM 2005). The distributed Algorithm 2 computes
+    the same trees implicitly: each accepted announcement's Bellman–
+    Ford relaxation parent is a cluster-tree edge, so the spanner
+    needs no communication beyond the sketch construction itself —
+    each node simply marks one incident edge per bunch entry. *)
+
+val of_levels : Ds_graph.Graph.t -> levels:Levels.t -> Ds_graph.Graph.t
+(** Centralized construction (restricted-Dijkstra cluster trees). *)
+
+val of_distributed :
+  ?pool:Ds_parallel.Pool.t -> Ds_graph.Graph.t -> levels:Levels.t ->
+  Ds_graph.Graph.t * Ds_congest.Metrics.t
+(** The spanner as the distributed construction produces it: the edges
+    marked by the relaxation parents of Algorithm 2's phases. Both
+    constructions yield a [(2k-1)]-spanner; the edge sets can differ
+    where shortest paths tie. *)
+
+val edge_bound : n:int -> k:int -> float
+(** The [k n^{1+1/k}] edge-count expression. *)
+
+val max_stretch : Ds_graph.Graph.t -> spanner:Ds_graph.Graph.t -> float
+(** Exact maximum over connected pairs of
+    [d_spanner(u,v) / d_g(u,v)] (evaluation only; O(n m log n)). *)

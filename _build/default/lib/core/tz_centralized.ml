@@ -1,0 +1,66 @@
+module Graph = Ds_graph.Graph
+module Dist = Ds_graph.Dist
+module Dijkstra = Ds_graph.Dijkstra
+
+let pivot_tables g ~levels =
+  let n = Graph.n g in
+  let k = Levels.k levels in
+  let table = Array.make_matrix (k + 1) n Dist.none in
+  for i = 0 to k - 1 do
+    match Levels.members levels i with
+    | [] -> () (* only possible below the (non-empty) top level *)
+    | sources ->
+      let dist, nearest =
+        Dijkstra.multi_source g ~sources:(Array.of_list sources)
+      in
+      for u = 0 to n - 1 do
+        table.(i).(u) <-
+          (if nearest.(u) < 0 then Dist.none else (dist.(u), nearest.(u)))
+      done
+  done;
+  table
+
+(* The bound for growing the cluster of a level-i node at candidate
+   member v is (d(v, A_{i+1}), p_{i+1}(v)). *)
+let bounds_of_table table i = table.(i + 1)
+
+let cluster_of g ~bound w = Dijkstra.restricted g ~src:w ~bound
+
+let build g ~levels =
+  let n = Graph.n g in
+  let k = Levels.k levels in
+  let table = pivot_tables g ~levels in
+  let labels =
+    Array.init n (fun u ->
+        let l = Label.create ~owner:u ~k in
+        for i = 0 to k - 1 do
+          let d, p = table.(i).(u) in
+          if Dist.is_finite d then Label.set_pivot l ~level:i ~dist:d ~node:p
+        done;
+        l)
+  in
+  for w = 0 to n - 1 do
+    let lw = Levels.level levels w in
+    if lw >= 0 then begin
+      let bound = bounds_of_table table lw in
+      let dist = cluster_of g ~bound w in
+      for v = 0 to n - 1 do
+        if Dist.is_finite dist.(v) then
+          Label.add_bunch labels.(v) ~node:w ~dist:dist.(v) ~level:lw
+      done
+    end
+  done;
+  labels
+
+let cluster g ~levels w =
+  let lw = Levels.level levels w in
+  if lw < 0 then []
+  else begin
+    let table = pivot_tables g ~levels in
+    let dist = cluster_of g ~bound:(bounds_of_table table lw) w in
+    let acc = ref [] in
+    for v = Graph.n g - 1 downto 0 do
+      if Dist.is_finite dist.(v) then acc := (v, dist.(v)) :: !acc
+    done;
+    !acc
+  end

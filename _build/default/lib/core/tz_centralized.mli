@@ -1,0 +1,18 @@
+(** Centralized Thorup–Zwick construction (paper Section 3.1).
+
+    The baseline the distributed algorithm is checked against: given
+    the same hierarchy, [Tz_distributed] and [Tz_echo] must produce
+    labels structurally equal to these. Runs restricted Dijkstra per
+    cluster, [O(k m n^{1/k} log n)] expected time. *)
+
+val pivot_tables : Ds_graph.Graph.t -> levels:Levels.t -> (int * int) array array
+(** [pivot_tables g ~levels] is a [(k+1) × n] table: row [i], entry
+    [u] is [(d(u, A_i), p_i(u))] with ties ID-broken; row [k] is all
+    [Dist.none]. *)
+
+val build : Ds_graph.Graph.t -> levels:Levels.t -> Label.t array
+
+val cluster : Ds_graph.Graph.t -> levels:Levels.t -> int -> (int * int) list
+(** [cluster g ~levels w] is the cluster [C(w)] (Section 3.2) as
+    [(node, distance)] pairs — the inverse of the bunches. Exposed for
+    the duality test [u ∈ C(w) ⟺ w ∈ B(u)]. *)

@@ -1,0 +1,1 @@
+lib/experiments/common.mli: Ds_core Ds_graph Ds_util

@@ -1,0 +1,1 @@
+lib/experiments/e11_spanner.ml: Common Ds_core Ds_graph Ds_util List Printf

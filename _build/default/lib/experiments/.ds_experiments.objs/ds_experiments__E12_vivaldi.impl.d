@@ -1,0 +1,1 @@
+lib/experiments/e12_vivaldi.ml: Array Common Ds_baselines Ds_core Ds_graph Ds_util List Printf

@@ -1,0 +1,1 @@
+lib/experiments/e13_brute_force.ml: Common Ds_congest Ds_core Ds_graph Ds_util Fun List Printf

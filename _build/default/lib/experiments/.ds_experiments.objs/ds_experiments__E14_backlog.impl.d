@@ -1,0 +1,1 @@
+lib/experiments/e14_backlog.ml: Array Common Ds_core Ds_graph Ds_util List Printf

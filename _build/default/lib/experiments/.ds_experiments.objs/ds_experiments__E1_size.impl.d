@@ -1,0 +1,1 @@
+lib/experiments/e1_size.ml: Array Common Ds_core Ds_graph Ds_util List Printf

@@ -1,0 +1,1 @@
+lib/experiments/e2_stretch.ml: Array Common Ds_core Ds_graph Ds_util List Printf

@@ -1,0 +1,1 @@
+lib/experiments/e3_complexity.ml: Common Ds_congest Ds_core Ds_graph Ds_util List Printf

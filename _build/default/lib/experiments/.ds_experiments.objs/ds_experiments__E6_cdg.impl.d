@@ -1,0 +1,1 @@
+lib/experiments/e6_cdg.ml: Array Common Ds_congest Ds_core Ds_graph Ds_util List Printf

@@ -1,0 +1,1 @@
+lib/experiments/e9_ablation.ml: Array Common Ds_core Ds_graph Ds_util List Printf

@@ -1,0 +1,1 @@
+lib/experiments/registry.mli: Ds_util

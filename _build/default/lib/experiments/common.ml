@@ -1,0 +1,60 @@
+module Table = Ds_util.Table
+module Rng = Ds_util.Rng
+module Gen = Ds_graph.Gen
+module Props = Ds_graph.Props
+module Apsp = Ds_graph.Apsp
+module Eval = Ds_core.Eval
+
+type workload = {
+  name : string;
+  graph : Ds_graph.Graph.t;
+  profile : Props.profile;
+  apsp : Apsp.t;
+}
+
+let make_workload ~seed ~family ~n =
+  let rng = Rng.create seed in
+  let graph = Gen.build ~rng family ~n in
+  {
+    name = Gen.family_name family;
+    graph;
+    profile = Props.profile graph;
+    apsp = Apsp.compute graph;
+  }
+
+let standard_families ~n =
+  [
+    ("erdos-renyi", Gen.Erdos_renyi { avg_degree = 6.0 });
+    ("geometric", Gen.Geometric { radius = 2.0 /. sqrt (float_of_int n) });
+    ("torus", Gen.Torus);
+    ("power-law", Gen.Power_law { edges_per_node = 2 });
+    ("star-ring", Gen.Star_ring { heavy_frac = 0.25 });
+  ]
+
+let log2i n = max 1 (int_of_float (ceil (log (float_of_int n) /. log 2.0)))
+
+let ln n = log (float_of_int n)
+
+let stretch_cells r =
+  [
+    Table.cell_float ~decimals:3 r.Eval.max_stretch;
+    Table.cell_float ~decimals:3 r.Eval.avg_stretch;
+    Table.cell_float ~decimals:3 r.Eval.p99;
+    Table.cell_int r.Eval.violations;
+  ]
+
+let far_sample ~rng apsp ~eps ~count =
+  let n = Apsp.n apsp in
+  let acc = ref [] in
+  let found = ref 0 in
+  let budget = ref (50 * count) in
+  while !found < count && !budget > 0 do
+    decr budget;
+    let u = Rng.int rng n in
+    let v = Rng.int rng n in
+    if u <> v && Eval.is_far apsp ~eps u v then begin
+      incr found;
+      acc := (u, v, Apsp.dist apsp u v) :: !acc
+    end
+  done;
+  Array.of_list !acc

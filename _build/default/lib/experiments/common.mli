@@ -1,0 +1,30 @@
+(** Shared plumbing for the experiment harness. *)
+
+module Table = Ds_util.Table
+
+type workload = {
+  name : string;
+  graph : Ds_graph.Graph.t;
+  profile : Ds_graph.Props.profile;
+  apsp : Ds_graph.Apsp.t;
+}
+
+val make_workload :
+  seed:int -> family:Ds_graph.Gen.family -> n:int -> workload
+
+val standard_families : n:int -> (string * Ds_graph.Gen.family) list
+(** The families every multi-family experiment sweeps. *)
+
+val log2i : int -> int
+(** [ceil (log2 n)], at least 1. *)
+
+val ln : int -> float
+
+val stretch_cells : Ds_core.Eval.report -> string list
+(** [max; avg; p99; violations] rendered for a table row. *)
+
+val far_sample :
+  rng:Ds_util.Rng.t -> Ds_graph.Apsp.t -> eps:float -> count:int ->
+  (int * int * int) array
+(** Up to [count] ordered ε-far pairs, sampled without materialising
+    all of them when the graph is large. *)

@@ -1,0 +1,58 @@
+(** E11 — extension: the Thorup–Zwick spanner the construction yields
+    for free.
+
+    Claim (Thorup–Zwick JACM'05, implicit in the paper's machinery):
+    the union of the cluster shortest-path trees is a (2k-1)-spanner
+    with O(k n^{1+1/k}) edges; the distributed construction obtains it
+    with zero additional communication by marking each accepted
+    announcement's relaxation parent. *)
+
+module Table = Ds_util.Table
+module Rng = Ds_util.Rng
+module Graph = Ds_graph.Graph
+module Levels = Ds_core.Levels
+module Spanner = Ds_core.Spanner
+
+type params = { seed : int; n : int; ks : int list }
+
+let default = { seed = 11; n = 300; ks = [ 1; 2; 3; 4; 6 ] }
+
+let run { seed; n; ks } =
+  let w =
+    Common.make_workload ~seed
+      ~family:(Ds_graph.Gen.Erdos_renyi { avg_degree = 8.0 })
+      ~n
+  in
+  let g = w.Common.graph in
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E11: TZ spanner from the distributed construction (erdos-renyi, \
+            n=%d, |E|=%d) — extension"
+           n (Graph.m g))
+      ~headers:
+        [
+          "k"; "bound 2k-1"; "edges (dist)"; "edges (central)"; "k n^{1+1/k}";
+          "max stretch"; "ok";
+        ]
+  in
+  List.iter
+    (fun k ->
+      let levels = Levels.sample ~rng:(Rng.create (seed + k)) ~n ~k in
+      let sp_d, _ = Spanner.of_distributed g ~levels in
+      let sp_c = Spanner.of_levels g ~levels in
+      let s = Spanner.max_stretch g ~spanner:sp_d in
+      let ok = s <= float_of_int ((2 * k) - 1) +. 1e-9 in
+      Table.add_row t
+        [
+          Table.cell_int k;
+          Table.cell_int ((2 * k) - 1);
+          Table.cell_int (Graph.m sp_d);
+          Table.cell_int (Graph.m sp_c);
+          Table.cell_float (Spanner.edge_bound ~n ~k);
+          Table.cell_float ~decimals:3 s;
+          (if ok then "yes" else "NO");
+        ])
+    ks;
+  [ t ]

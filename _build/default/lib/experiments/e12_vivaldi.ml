@@ -1,0 +1,77 @@
+(** E12 — the paper's motivating comparison (Section 1): network
+    coordinate systems "can easily be shown to exhibit poor behavior in
+    pathological instances", while the sketches carry worst-case
+    guarantees on every weighted graph.
+
+    We embed each topology with Vivaldi (the canonical coordinate
+    system) and query the same pairs with Thorup–Zwick sketches.
+    Coordinates have no soundness: they underestimate (violations
+    column) and their max stretch blows up on metrics that do not
+    embed in low dimension (hypercube, star-ring); the sketches stay
+    within 2k-1 everywhere by construction. *)
+
+module Table = Ds_util.Table
+module Rng = Ds_util.Rng
+module Apsp = Ds_graph.Apsp
+module Levels = Ds_core.Levels
+module Label = Ds_core.Label
+module Tz = Ds_core.Tz_centralized
+module Eval = Ds_core.Eval
+module Vivaldi = Ds_baselines.Vivaldi
+
+type params = { seed : int; n : int; k : int; dim : int }
+
+let default = { seed = 12; n = 256; k = 3; dim = 3 }
+
+let run { seed; n; k; dim } =
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E12: Vivaldi coordinates (dim=%d) vs TZ sketches (k=%d, bound \
+            %d) — Section 1 motivation"
+           dim k ((2 * k) - 1))
+      ~headers:
+        [
+          "family"; "viv max"; "viv avg"; "viv underest%"; "tz max"; "tz avg";
+          "tz underest%";
+        ]
+  in
+  let eval_family fname g =
+    let apsp = Apsp.compute g in
+    let gn = Ds_graph.Graph.n g in
+    let vivaldi =
+      Vivaldi.run ~rng:(Rng.create (seed + 1))
+        ~config:{ Vivaldi.default_config with dim }
+        g
+        ~distance:(fun u v -> Apsp.dist apsp u v)
+    in
+    let levels = Levels.sample ~rng:(Rng.create (seed + 2)) ~n:gn ~k in
+    let labels = Tz.build g ~levels in
+    let viv = Eval.all_pairs ~query:(Vivaldi.estimate vivaldi) apsp in
+    let tz =
+      Eval.all_pairs ~query:(fun u v -> Label.query labels.(u) labels.(v)) apsp
+    in
+    let pct r =
+      100.0 *. float_of_int r.Eval.violations /. float_of_int (max 1 r.Eval.pairs)
+    in
+    Table.add_row t
+      [
+        fname;
+        Table.cell_float ~decimals:2 viv.Eval.max_stretch;
+        Table.cell_float ~decimals:2 viv.Eval.avg_stretch;
+        Table.cell_float ~decimals:1 (pct viv);
+        Table.cell_float ~decimals:2 tz.Eval.max_stretch;
+        Table.cell_float ~decimals:2 tz.Eval.avg_stretch;
+        Table.cell_float ~decimals:1 (pct tz);
+      ]
+  in
+  List.iter
+    (fun (fname, family) ->
+      let rng = Rng.create seed in
+      eval_family fname (Ds_graph.Gen.build ~rng family ~n))
+    (Common.standard_families ~n);
+  eval_family "hypercube"
+    (Ds_graph.Gen.hypercube ~rng:(Rng.create seed)
+       ~weights:Ds_graph.Gen.unit_weights ~dims:8 ());
+  [ t ]

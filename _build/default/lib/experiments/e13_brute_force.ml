@@ -1,0 +1,71 @@
+(** E13 — the introduction's strawman: full distributed APSP.
+
+    "A straightforward brute force solution would be to compute the
+    shortest paths between all pairs of nodes offline and to store the
+    distances locally in the nodes … the local space requirement is
+    [linear] in the number of nodes" (paper Section 1). We run exactly
+    that — every node a Bellman–Ford source (k-Source Shortest Paths
+    with k = n) — and compare its cost and per-node storage against the
+    k = 3 sketches. The widening gap in all three columns is the
+    paper's motivation. *)
+
+module Table = Ds_util.Table
+module Rng = Ds_util.Rng
+module Dist = Ds_graph.Dist
+module Metrics = Ds_congest.Metrics
+module Stats = Ds_util.Stats
+module Multi_bf = Ds_congest.Multi_bf
+module Levels = Ds_core.Levels
+module Label = Ds_core.Label
+module Tz_distributed = Ds_core.Tz_distributed
+module Eval = Ds_core.Eval
+
+type params = { seed : int; ns : int list; k : int }
+
+let default = { seed = 13; ns = [ 32; 64; 128; 256 ]; k = 3 }
+
+let run { seed; ns; k } =
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E13: brute-force distributed APSP vs k=%d sketches (erdos-renyi) \
+            — Section 1 motivation"
+           k)
+      ~headers:
+        [
+          "n"; "apsp rounds"; "tz rounds"; "apsp msgs"; "tz msgs";
+          "apsp words/node"; "tz words/node"; "storage ratio";
+        ]
+  in
+  List.iter
+    (fun n ->
+      let w =
+        Common.make_workload ~seed
+          ~family:(Ds_graph.Gen.Erdos_renyi { avg_degree = 6.0 })
+          ~n
+      in
+      let g = w.Common.graph in
+      let all = List.init n Fun.id in
+      let _, apsp_metrics =
+        Multi_bf.run g ~sources:all ~bound:(fun _ -> Dist.none)
+      in
+      let levels = Levels.sample ~rng:(Rng.create (seed + n)) ~n ~k in
+      let tz = Tz_distributed.build g ~levels in
+      let tz_sizes =
+        Eval.size_summary Label.size_words tz.Tz_distributed.labels
+      in
+      let apsp_words = 2 * n (* ID + distance per node *) in
+      Table.add_row t
+        [
+          Table.cell_int n;
+          Table.cell_int (Metrics.rounds apsp_metrics);
+          Table.cell_int (Metrics.rounds tz.Tz_distributed.metrics);
+          Table.cell_int (Metrics.messages apsp_metrics);
+          Table.cell_int (Metrics.messages tz.Tz_distributed.metrics);
+          Table.cell_int apsp_words;
+          Table.cell_float tz_sizes.Stats.mean;
+          Table.cell_ratio (float_of_int apsp_words /. tz_sizes.Stats.mean);
+        ])
+    ns;
+  [ t ]

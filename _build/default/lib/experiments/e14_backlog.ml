@@ -1,0 +1,61 @@
+(** E14 — Lemma 3.7's scheduling mechanism.
+
+    The proof bounds each phase's slowdown by the number of
+    simultaneously-pending sources in a node's send queue, which is at
+    most its bunch slice: O(n^{1/k} log n) whp. We report the maximum
+    queue backlog the scheduler ever saw against both that bound and
+    the largest realised bunch — the backlog never exceeding the bunch
+    is the exact invariant the lemma's round bound rests on. *)
+
+module Table = Ds_util.Table
+module Rng = Ds_util.Rng
+module Levels = Ds_core.Levels
+module Label = Ds_core.Label
+module Tz_distributed = Ds_core.Tz_distributed
+
+type params = { seed : int; ns : int list; k : int }
+
+let default = { seed = 14; ns = [ 64; 128; 256; 512 ]; k = 3 }
+
+let run { seed; ns; k } =
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E14: send-queue backlog vs the Lemma 3.7 bound (erdos-renyi, \
+            k=%d)"
+           k)
+      ~headers:
+        [
+          "n"; "max backlog"; "max bunch"; "n^1/k ln n"; "backlog<=bunch";
+          "backlog/bound";
+        ]
+  in
+  List.iter
+    (fun n ->
+      let w =
+        Common.make_workload ~seed
+          ~family:(Ds_graph.Gen.Erdos_renyi { avg_degree = 6.0 })
+          ~n
+      in
+      let levels = Levels.sample ~rng:(Rng.create (seed + n)) ~n ~k in
+      let r = Tz_distributed.build w.Common.graph ~levels in
+      let max_bunch =
+        Array.fold_left
+          (fun acc l -> max acc (Label.bunch_size l))
+          0 r.Tz_distributed.labels
+      in
+      let bound =
+        (float_of_int n ** (1.0 /. float_of_int k)) *. Common.ln n
+      in
+      Table.add_row t
+        [
+          Table.cell_int n;
+          Table.cell_int r.Tz_distributed.max_pending;
+          Table.cell_int max_bunch;
+          Table.cell_float bound;
+          (if r.Tz_distributed.max_pending <= max_bunch then "yes" else "NO");
+          Table.cell_ratio (float_of_int r.Tz_distributed.max_pending /. bound);
+        ])
+    ns;
+  [ t ]

@@ -1,0 +1,58 @@
+(** E1 — Lemma 3.1 / Theorem 1.1 (size): sketch size vs k.
+
+    Paper claim: expected size O(k n^{1/k}) words, whp O(k n^{1/k} log n);
+    minimised (as a function of the stretch target) around k = log n. *)
+
+module Table = Ds_util.Table
+module Stats = Ds_util.Stats
+module Rng = Ds_util.Rng
+module Gen = Ds_graph.Gen
+module Levels = Ds_core.Levels
+module Tz = Ds_core.Tz_centralized
+module Label = Ds_core.Label
+
+type params = { n : int; seed : int; ks : int list }
+
+let default = { n = 400; seed = 1; ks = [ 1; 2; 3; 4; 5; 6; 8 ] }
+
+let run { n; seed; ks } =
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E1: Thorup-Zwick sketch size vs k (erdos-renyi, n=%d) — Lemma 3.1"
+           n)
+      ~headers:
+        [
+          "k"; "stretch bound"; "mean words"; "max words"; "expected 2k(1+n^1/k)";
+          "whp bound"; "mean/expected";
+        ]
+  in
+  let w =
+    Common.make_workload ~seed ~family:(Gen.Erdos_renyi { avg_degree = 6.0 }) ~n
+  in
+  List.iter
+    (fun k ->
+      let levels = Levels.sample ~rng:(Rng.create (seed + k)) ~n ~k in
+      let labels = Tz.build w.Common.graph ~levels in
+      let sizes =
+        Array.map (fun l -> float_of_int (Label.size_words l)) labels
+      in
+      let s = Stats.summarize sizes in
+      let fk = float_of_int k in
+      let expected =
+        2.0 *. fk *. (1.0 +. (float_of_int n ** (1.0 /. fk)))
+      in
+      let whp = 2.0 *. fk *. (float_of_int n ** (1.0 /. fk)) *. Common.ln n in
+      Table.add_row t
+        [
+          Table.cell_int k;
+          Table.cell_int ((2 * k) - 1);
+          Table.cell_float s.Stats.mean;
+          Table.cell_float s.Stats.max;
+          Table.cell_float expected;
+          Table.cell_float whp;
+          Table.cell_ratio (s.Stats.mean /. expected);
+        ])
+    ks;
+  [ t ]

@@ -1,0 +1,63 @@
+(** E2 — Lemma 3.2: query stretch vs k, all pairs.
+
+    Paper claim: d(u,v) <= estimate <= (2k-1) d(u,v). The measured
+    maximum must respect the bound; typical stretch is far below it. *)
+
+module Table = Ds_util.Table
+module Rng = Ds_util.Rng
+module Levels = Ds_core.Levels
+module Tz = Ds_core.Tz_centralized
+module Label = Ds_core.Label
+module Eval = Ds_core.Eval
+
+type params = { n : int; seed : int; ks : int list; families : bool }
+
+let default = { n = 300; seed = 2; ks = [ 1; 2; 3; 4; 6 ]; families = true }
+
+let run { n; seed; ks; families } =
+  let fams =
+    if families then Common.standard_families ~n
+    else [ List.hd (Common.standard_families ~n) ]
+  in
+  List.map
+    (fun (fname, family) ->
+      let w = Common.make_workload ~seed ~family ~n in
+      let t =
+        Table.create
+          ~title:
+            (Printf.sprintf
+               "E2: stretch vs k on %s (n=%d, all pairs) — Lemma 3.2" fname
+               (Ds_graph.Graph.n w.Common.graph))
+          ~headers:
+            [ "k"; "bound 2k-1"; "max"; "avg"; "p99"; "violations"; "ok" ]
+      in
+      List.iter
+        (fun k ->
+          let levels =
+            Levels.sample
+              ~rng:(Rng.create (seed + (31 * k)))
+              ~n:(Ds_graph.Graph.n w.Common.graph)
+              ~k
+          in
+          let labels = Tz.build w.Common.graph ~levels in
+          let report =
+            Eval.all_pairs
+              ~query:(fun u v -> Label.query labels.(u) labels.(v))
+              w.Common.apsp
+          in
+          let ok =
+            report.Eval.violations = 0
+            && report.Eval.max_stretch <= float_of_int ((2 * k) - 1) +. 1e-9
+          in
+          Table.add_row t
+            ([ Table.cell_int k; Table.cell_int ((2 * k) - 1) ]
+            @ [
+                Table.cell_float ~decimals:3 report.Eval.max_stretch;
+                Table.cell_float ~decimals:3 report.Eval.avg_stretch;
+                Table.cell_float ~decimals:3 report.Eval.p99;
+                Table.cell_int report.Eval.violations;
+                (if ok then "yes" else "NO");
+              ]))
+        ks;
+      t)
+    fams

@@ -1,0 +1,63 @@
+(** E4 — Section 3.3: cost of self-contained termination detection.
+
+    Paper claim: echoes at most double messages and rounds; leader
+    election + BFS tree adds O(D) rounds and O(|E| log n) messages;
+    COMPLETE/START add O(n) messages and O(D) rounds per phase. We
+    report the measured echo-mode/ideal-mode ratios and verify that
+    both modes produce identical labels. *)
+
+module Table = Ds_util.Table
+module Rng = Ds_util.Rng
+module Metrics = Ds_congest.Metrics
+module Levels = Ds_core.Levels
+module Label = Ds_core.Label
+module Tz_distributed = Ds_core.Tz_distributed
+module Tz_echo = Ds_core.Tz_echo
+
+type params = { seed : int; n : int; k : int }
+
+let default = { seed = 4; n = 256; k = 3 }
+
+let run { seed; n; k } =
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E4: termination-detection overhead, echo vs known-S (k=%d, n=%d) \
+            — Section 3.3"
+           k n)
+      ~headers:
+        [
+          "family"; "rounds ideal"; "rounds echo"; "r-ratio"; "msgs ideal";
+          "msgs echo"; "m-ratio"; "setup msgs"; "labels equal";
+        ]
+  in
+  List.iter
+    (fun (fname, family) ->
+      let w = Common.make_workload ~seed ~family ~n in
+      let gn = Ds_graph.Graph.n w.Common.graph in
+      let levels = Levels.sample ~rng:(Rng.create (seed + 7)) ~n:gn ~k in
+      let ideal = Tz_distributed.build w.Common.graph ~levels in
+      let echo = Tz_echo.build w.Common.graph ~levels in
+      let ri = Metrics.rounds ideal.Tz_distributed.metrics in
+      let re = Metrics.rounds echo.Tz_echo.metrics in
+      let mi = Metrics.messages ideal.Tz_distributed.metrics in
+      let me = Metrics.messages echo.Tz_echo.metrics in
+      let equal =
+        Array.for_all2 Label.equal ideal.Tz_distributed.labels
+          echo.Tz_echo.labels
+      in
+      Table.add_row t
+        [
+          fname;
+          Table.cell_int ri;
+          Table.cell_int re;
+          Table.cell_ratio (float_of_int re /. float_of_int ri);
+          Table.cell_int mi;
+          Table.cell_int me;
+          Table.cell_ratio (float_of_int me /. float_of_int mi);
+          Table.cell_int (Metrics.messages echo.Tz_echo.setup_metrics);
+          (if equal then "yes" else "NO");
+        ])
+    (Common.standard_families ~n);
+  [ t ]

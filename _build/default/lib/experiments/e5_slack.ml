@@ -1,0 +1,77 @@
+(** E5 — Lemma 4.2 and Theorem 4.3: density nets and stretch-3 ε-slack
+    sketches.
+
+    Paper claims: |N| <= (10/ε) ln n whp and every node is covered
+    within R(u, ε); sketches of O((1/ε) log n) words with stretch <= 3
+    on ε-far pairs, built in O(S (1/ε) log n) rounds. *)
+
+module Table = Ds_util.Table
+module Rng = Ds_util.Rng
+module Metrics = Ds_congest.Metrics
+module Density_net = Ds_core.Density_net
+module Slack = Ds_core.Slack
+module Eval = Ds_core.Eval
+
+type params = { seed : int; n : int; epss : float list }
+
+let default = { seed = 5; n = 400; epss = [ 0.5; 0.25; 0.1; 0.05 ] }
+
+let run { seed; n; epss } =
+  let w =
+    Common.make_workload ~seed
+      ~family:(Ds_graph.Gen.Erdos_renyi { avg_degree = 6.0 })
+      ~n
+  in
+  let s = w.Common.profile.Ds_graph.Props.s in
+  let t1 =
+    Table.create
+      ~title:
+        (Printf.sprintf "E5a: density nets (erdos-renyi, n=%d) — Lemma 4.2" n)
+      ~headers:[ "eps"; "|N|"; "bound 10/eps ln n"; "covers all"; "sample p" ]
+  in
+  let t2 =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E5b: stretch-3 slack sketches (n=%d, S=%d) — Theorem 4.3" n s)
+      ~headers:
+        [
+          "eps"; "words"; "bound 2|N|"; "rounds"; "bound S|N|";
+          "far max"; "far avg"; "far p99"; "viol";
+        ]
+  in
+  List.iter
+    (fun eps ->
+      let net = Density_net.sample ~rng:(Rng.create (seed + 13)) ~n ~eps in
+      let nn = List.length net in
+      Table.add_row t1
+        [
+          Table.cell_float eps;
+          Table.cell_int nn;
+          Table.cell_float (Density_net.size_bound ~n ~eps);
+          (if Density_net.is_valid_net w.Common.apsp ~eps net then "yes"
+           else "NO");
+          Table.cell_float ~decimals:4 (Density_net.sample_probability ~n ~eps);
+        ];
+      let r = Slack.build_distributed ~rng:(Rng.create (seed + 13)) w.Common.graph ~eps in
+      let nn = List.length r.Slack.net in
+      let far =
+        Common.far_sample ~rng:(Rng.create (seed + 17)) w.Common.apsp ~eps
+          ~count:3000
+      in
+      let report =
+        Eval.on_pairs
+          ~query:(fun u v -> Slack.query r.Slack.sketches.(u) r.Slack.sketches.(v))
+          far
+      in
+      Table.add_row t2
+        ([
+           Table.cell_float eps;
+           Table.cell_int (Slack.size_words r.Slack.sketches.(0));
+           Table.cell_int (2 * nn);
+           Table.cell_int (Metrics.rounds r.Slack.metrics);
+           Table.cell_int (s * nn);
+         ]
+        @ Common.stretch_cells report))
+    epss;
+  [ t1; t2 ]

@@ -1,0 +1,75 @@
+(** E6 — Theorem 1.2 / 4.6: (ε,k)-CDG sketches.
+
+    Paper claims: size O(k (ε^{-1} log n)^{1/k} log n) words, stretch
+    8k-1 with ε-slack, O(k S (ε^{-1} log n)^{1/k} log n) rounds. The
+    label-transfer (cell broadcast) share of the cost is reported
+    separately: the paper leaves that step implicit. *)
+
+module Table = Ds_util.Table
+module Rng = Ds_util.Rng
+module Metrics = Ds_congest.Metrics
+module Stats = Ds_util.Stats
+module Cdg = Ds_core.Cdg
+module Eval = Ds_core.Eval
+
+type params = { seed : int; n : int; grid : (float * int) list }
+
+let default =
+  {
+    seed = 6;
+    n = 400;
+    grid = [ (0.25, 1); (0.25, 2); (0.25, 3); (0.1, 1); (0.1, 2); (0.1, 3) ];
+  }
+
+let run { seed; n; grid } =
+  let w =
+    Common.make_workload ~seed
+      ~family:(Ds_graph.Gen.Erdos_renyi { avg_degree = 6.0 })
+      ~n
+  in
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf "E6: (eps,k)-CDG sketches (erdos-renyi, n=%d, S=%d) — \
+                         Theorem 4.6"
+           n w.Common.profile.Ds_graph.Props.s)
+      ~headers:
+        [
+          "eps"; "k"; "bound 8k-1"; "|N|"; "mean words"; "rounds";
+          "transfer msgs%"; "far max"; "far avg"; "far p99"; "viol";
+        ]
+  in
+  List.iter
+    (fun (eps, k) ->
+      let r =
+        Cdg.build_distributed ~rng:(Rng.create (seed + k)) w.Common.graph ~eps
+          ~k
+      in
+      let far =
+        Common.far_sample ~rng:(Rng.create (seed + 19)) w.Common.apsp ~eps
+          ~count:3000
+      in
+      let report =
+        Eval.on_pairs
+          ~query:(fun u v -> Cdg.query r.Cdg.sketches.(u) r.Cdg.sketches.(v))
+          far
+      in
+      let sizes = Eval.size_summary Cdg.size_words r.Cdg.sketches in
+      let share =
+        100.0
+        *. float_of_int (Metrics.messages r.Cdg.transfer_metrics)
+        /. float_of_int (Metrics.messages r.Cdg.metrics)
+      in
+      Table.add_row t
+        ([
+           Table.cell_float eps;
+           Table.cell_int k;
+           Table.cell_int ((8 * k) - 1);
+           Table.cell_int (List.length r.Cdg.net);
+           Table.cell_float sizes.Stats.mean;
+           Table.cell_int (Metrics.rounds r.Cdg.metrics);
+           Table.cell_float ~decimals:1 share;
+         ]
+        @ Common.stretch_cells report))
+    grid;
+  [ t ]

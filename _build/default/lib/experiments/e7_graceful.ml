@@ -1,0 +1,61 @@
+(** E7 — Theorem 1.3 / 4.8 / Corollary 4.9: gracefully degrading
+    sketches.
+
+    Paper claims: one sketch of O(log^4 n) words that simultaneously
+    has stretch O(log (1/ε)) with ε-slack for every ε — hence
+    worst-case stretch O(log n) and average stretch O(1). The flat
+    avg-stretch column as n grows is the headline reproduction. *)
+
+module Table = Ds_util.Table
+module Rng = Ds_util.Rng
+module Metrics = Ds_congest.Metrics
+module Stats = Ds_util.Stats
+module Graceful = Ds_core.Graceful
+module Eval = Ds_core.Eval
+
+type params = { seed : int; ns : int list }
+
+let default = { seed = 7; ns = [ 64; 128; 256; 512 ] }
+
+let run { seed; ns } =
+  let t =
+    Table.create
+      ~title:
+        "E7: gracefully degrading sketches vs n (erdos-renyi) — Theorem 1.3"
+      ~headers:
+        [
+          "n"; "log2 n"; "parts"; "mean words"; "log^4 n"; "max stretch";
+          "avg stretch"; "p99"; "viol"; "rounds";
+        ]
+  in
+  List.iter
+    (fun n ->
+      let w =
+        Common.make_workload ~seed
+          ~family:(Ds_graph.Gen.Erdos_renyi { avg_degree = 6.0 })
+          ~n
+      in
+      let r = Graceful.build_distributed ~rng:(Rng.create (seed + n)) w.Common.graph in
+      let report =
+        Eval.all_pairs
+          ~query:(fun u v ->
+            Graceful.query r.Graceful.sketches.(u) r.Graceful.sketches.(v))
+          w.Common.apsp
+      in
+      let sizes = Eval.size_summary Graceful.size_words r.Graceful.sketches in
+      let lg = float_of_int (Common.log2i n) in
+      Table.add_row t
+        [
+          Table.cell_int n;
+          Table.cell_int (Common.log2i n);
+          Table.cell_int (Array.length r.Graceful.sketches.(0).Graceful.parts);
+          Table.cell_float sizes.Stats.mean;
+          Table.cell_float (lg ** 4.0);
+          Table.cell_float ~decimals:3 report.Eval.max_stretch;
+          Table.cell_float ~decimals:3 report.Eval.avg_stretch;
+          Table.cell_float ~decimals:3 report.Eval.p99;
+          Table.cell_int report.Eval.violations;
+          Table.cell_int (Metrics.rounds r.Graceful.metrics);
+        ])
+    ns;
+  [ t ]

@@ -1,0 +1,90 @@
+(** E8 — Section 2.1 motivation: answering a distance query from
+    sketches vs computing it on demand.
+
+    After preprocessing, exchanging two sketches costs O(D · |L|)
+    rounds naively (O(D + |L|) pipelined); an on-demand computation
+    (distributed Bellman-Ford) costs Omega(S) rounds per query. On the
+    star-ring family S >> D, so sketches win per query and their
+    construction amortises across a few queries. *)
+
+module Table = Ds_util.Table
+module Rng = Ds_util.Rng
+module Metrics = Ds_congest.Metrics
+module Stats = Ds_util.Stats
+module Super_bf = Ds_congest.Super_bf
+module Setup = Ds_congest.Setup
+module Levels = Ds_core.Levels
+module Label = Ds_core.Label
+module Tz_distributed = Ds_core.Tz_distributed
+module Query_protocol = Ds_core.Query_protocol
+module Eval = Ds_core.Eval
+
+type params = { seed : int; ns : int list; k : int }
+
+let default = { seed = 8; ns = [ 65; 129; 257; 513 ]; k = 3 }
+
+let run { seed; ns; k } =
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E8: per-query cost, sketch exchange vs on-demand Bellman-Ford \
+            (star-ring, k=%d) — Section 2.1"
+           k)
+      ~headers:
+        [
+          "n"; "D"; "S"; "BF rounds/query"; "mean |L|"; "D*|L| naive";
+          "D+|L| pipelined"; "measured exchange"; "speedup"; "build rounds";
+          "amortise after";
+        ]
+  in
+  List.iter
+    (fun n ->
+      let w =
+        Common.make_workload ~seed
+          ~family:(Ds_graph.Gen.Star_ring { heavy_frac = 0.25 })
+          ~n
+      in
+      let g = w.Common.graph in
+      let gn = Ds_graph.Graph.n g in
+      let d = w.Common.profile.Ds_graph.Props.d in
+      let levels = Levels.sample ~rng:(Rng.create (seed + n)) ~n:gn ~k in
+      let built = Tz_distributed.build g ~levels in
+      let sizes =
+        Eval.size_summary Label.size_words built.Tz_distributed.labels
+      in
+      let mean_l = sizes.Stats.mean in
+      (* One on-demand query: a single-source BF from one endpoint. *)
+      let _, bf_metrics = Super_bf.single_source g ~src:(gn / 2) in
+      let bf_rounds = Metrics.rounds bf_metrics in
+      let naive = float_of_int d *. mean_l in
+      let pipelined = float_of_int d +. mean_l in
+      (* Actually run the in-network sketch exchange for one pair. *)
+      let tree, _ = Setup.run g in
+      let exchange =
+        Query_protocol.query g ~tree ~labels:built.Tz_distributed.labels
+          ~u:(gn / 4) ~v:(gn / 2)
+      in
+      let build_rounds = Metrics.rounds built.Tz_distributed.metrics in
+      let speedup =
+        float_of_int bf_rounds /. float_of_int exchange.Query_protocol.rounds
+      in
+      let amortise =
+        ceil (float_of_int build_rounds /. float_of_int (max 1 bf_rounds))
+      in
+      Table.add_row t
+        [
+          Table.cell_int gn;
+          Table.cell_int d;
+          Table.cell_int w.Common.profile.Ds_graph.Props.s;
+          Table.cell_int bf_rounds;
+          Table.cell_float mean_l;
+          Table.cell_float naive;
+          Table.cell_float pipelined;
+          Table.cell_int exchange.Query_protocol.rounds;
+          Table.cell_ratio speedup;
+          Table.cell_int build_rounds;
+          Table.cell_float ~decimals:0 amortise;
+        ])
+    ns;
+  [ t ]

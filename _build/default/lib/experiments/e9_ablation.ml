@@ -1,0 +1,96 @@
+(** E9 — design-choice ablations.
+
+    (a) Lemma 3.2 query (stop at the first hit level) vs the
+        bidirectional-min refinement (scan all levels, both directions).
+    (b) CDG query through the nearest net node (the paper's sketch)
+        vs querying the endpoints' own net-hierarchy labels directly. *)
+
+module Table = Ds_util.Table
+module Rng = Ds_util.Rng
+module Levels = Ds_core.Levels
+module Label = Ds_core.Label
+module Tz = Ds_core.Tz_centralized
+module Cdg = Ds_core.Cdg
+module Eval = Ds_core.Eval
+
+type params = { seed : int; n : int; ks : int list; eps : float }
+
+let default = { seed = 9; n = 300; ks = [ 2; 3; 4; 6 ]; eps = 0.2 }
+
+let run { seed; n; ks; eps } =
+  let w =
+    Common.make_workload ~seed
+      ~family:(Ds_graph.Gen.Erdos_renyi { avg_degree = 6.0 })
+      ~n
+  in
+  let t1 =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E9a: TZ query variants (erdos-renyi, n=%d, all pairs)" n)
+      ~headers:
+        [ "k"; "first-hit max"; "first-hit avg"; "bidir max"; "bidir avg" ]
+  in
+  List.iter
+    (fun k ->
+      let levels = Levels.sample ~rng:(Rng.create (seed + k)) ~n ~k in
+      let labels = Tz.build w.Common.graph ~levels in
+      let r1 =
+        Eval.all_pairs
+          ~query:(fun u v -> Label.query labels.(u) labels.(v))
+          w.Common.apsp
+      in
+      let r2 =
+        Eval.all_pairs
+          ~query:(fun u v -> Label.query_bidirectional labels.(u) labels.(v))
+          w.Common.apsp
+      in
+      Table.add_row t1
+        [
+          Table.cell_int k;
+          Table.cell_float ~decimals:3 r1.Eval.max_stretch;
+          Table.cell_float ~decimals:3 r1.Eval.avg_stretch;
+          Table.cell_float ~decimals:3 r2.Eval.max_stretch;
+          Table.cell_float ~decimals:3 r2.Eval.avg_stretch;
+        ])
+    ks;
+  let t2 =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E9b: CDG query via net detour (paper) vs direct labels (eps=%.2f, \
+            far pairs)"
+           eps)
+      ~headers:[ "k"; "detour max"; "detour avg"; "direct max"; "direct avg" ]
+  in
+  List.iter
+    (fun k ->
+      let r =
+        Cdg.build_distributed ~rng:(Rng.create (seed + (7 * k))) w.Common.graph
+          ~eps ~k
+      in
+      let far =
+        Common.far_sample ~rng:(Rng.create (seed + 23)) w.Common.apsp ~eps
+          ~count:3000
+      in
+      let detour =
+        Eval.on_pairs
+          ~query:(fun u v -> Cdg.query r.Cdg.sketches.(u) r.Cdg.sketches.(v))
+          far
+      in
+      let direct =
+        Eval.on_pairs
+          ~query:(fun u v ->
+            Cdg.query_direct r.Cdg.sketches.(u) r.Cdg.sketches.(v))
+          far
+      in
+      Table.add_row t2
+        [
+          Table.cell_int k;
+          Table.cell_float ~decimals:3 detour.Eval.max_stretch;
+          Table.cell_float ~decimals:3 detour.Eval.avg_stretch;
+          Table.cell_float ~decimals:3 direct.Eval.max_stretch;
+          Table.cell_float ~decimals:3 direct.Eval.avg_stretch;
+        ])
+    (List.filter (fun k -> k <= 3) ks);
+  [ t1; t2 ]

@@ -1,0 +1,18 @@
+(** Experiment registry: id -> description + default run. *)
+
+type entry = {
+  id : string;
+  title : string;
+  claim : string;  (** which paper statement it reproduces *)
+  run : unit -> Ds_util.Table.t list;
+}
+
+val all : entry list
+
+val find : string -> entry option
+
+val run_one : ?csv_dir:string -> entry -> unit
+(** Run and print every table of the experiment; with [csv_dir] also
+    save each table as a CSV file there. *)
+
+val run_all : ?csv_dir:string -> unit -> unit

@@ -1,0 +1,1 @@
+lib/graph/gen.ml: Array Buffer Ds_util Graph Hashtbl List Printf

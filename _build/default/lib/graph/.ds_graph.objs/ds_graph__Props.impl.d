@@ -1,0 +1,1 @@
+lib/graph/props.ml: Array Bfs Dijkstra Dist Format Graph

@@ -1,0 +1,27 @@
+module Rng = Ds_util.Rng
+
+type t = { n : int; rows : int array array }
+
+let compute g =
+  let n = Graph.n g in
+  { n; rows = Array.init n (fun src -> Dijkstra.sssp g ~src) }
+
+let dist t u v = t.rows.(u).(v)
+
+let n t = t.n
+
+let iter_pairs t f =
+  for u = 0 to t.n - 1 do
+    for v = u + 1 to t.n - 1 do
+      f u v t.rows.(u).(v)
+    done
+  done
+
+let sample_pairs ~rng t ~count =
+  Array.init count (fun _ ->
+      let u = Rng.int rng t.n in
+      let v =
+        let v = Rng.int rng (t.n - 1) in
+        if v >= u then v + 1 else v
+      in
+      (u, v, t.rows.(u).(v)))

@@ -1,0 +1,17 @@
+(** All-pairs exact distances (ground truth for stretch evaluation). *)
+
+type t
+
+val compute : Graph.t -> t
+(** Dijkstra from every source; O(n m log n) time, O(n^2) space. *)
+
+val dist : t -> int -> int -> int
+
+val n : t -> int
+
+val iter_pairs : t -> (int -> int -> int -> unit) -> unit
+(** [iter_pairs t f] calls [f u v d] for every unordered pair [u < v]. *)
+
+val sample_pairs :
+  rng:Ds_util.Rng.t -> t -> count:int -> (int * int * int) array
+(** Random distinct-pair sample [(u, v, d)] for large graphs. *)

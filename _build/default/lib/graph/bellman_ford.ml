@@ -1,0 +1,19 @@
+let sssp g ~src =
+  let n = Graph.n g in
+  let dist = Array.make n Dist.infinity in
+  dist.(src) <- 0;
+  let changed = ref true in
+  let sweeps = ref 0 in
+  while !changed do
+    changed := false;
+    incr sweeps;
+    for u = 0 to n - 1 do
+      if Dist.is_finite dist.(u) then
+        Graph.iter_neighbors g u (fun v w ->
+            if dist.(u) + w < dist.(v) then begin
+              dist.(v) <- dist.(u) + w;
+              changed := true
+            end)
+    done
+  done;
+  (dist, !sweeps - 1)

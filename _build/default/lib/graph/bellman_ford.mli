@@ -1,0 +1,10 @@
+(** Centralized Bellman–Ford reference.
+
+    One "sweep" relaxes every edge once, mirroring one synchronous round
+    of the distributed Algorithm 1; the sweep count until fixpoint is a
+    centralized proxy for the [Omega(S)] round cost of on-demand
+    distance computation (experiment E8). *)
+
+val sssp : Graph.t -> src:int -> int array * int
+(** [(distances, sweeps)] where [sweeps] is the number of full edge
+    relaxation sweeps until no distance changed. *)

@@ -1,0 +1,10 @@
+(** Breadth-first search on the hop metric (weights ignored). *)
+
+val hops : Graph.t -> src:int -> int array
+(** Hop distances from [src]; [max_int] if unreachable. *)
+
+val tree : Graph.t -> src:int -> int array
+(** BFS-tree parents; [-1] for [src] and unreachable nodes. *)
+
+val eccentricity : Graph.t -> src:int -> int
+(** Maximum finite hop distance from [src]. *)

@@ -1,0 +1,117 @@
+module Pqueue = Ds_util.Pqueue
+
+let sssp_with_parents g ~src =
+  let n = Graph.n g in
+  let dist = Array.make n Dist.infinity in
+  let parent = Array.make n (-1) in
+  let pq = Pqueue.create () in
+  dist.(src) <- 0;
+  Pqueue.add pq 0 src;
+  let rec drain () =
+    match Pqueue.pop_min pq with
+    | None -> ()
+    | Some (d, u) ->
+      if d = dist.(u) then
+        Graph.iter_neighbors g u (fun v w ->
+            let nd = d + w in
+            if nd < dist.(v) then begin
+              dist.(v) <- nd;
+              parent.(v) <- u;
+              Pqueue.add pq nd v
+            end);
+      drain ()
+  in
+  drain ();
+  (dist, parent)
+
+let sssp g ~src = fst (sssp_with_parents g ~src)
+
+let sssp_hops g ~src =
+  let n = Graph.n g in
+  let dist = Array.make n Dist.infinity in
+  let hops = Array.make n max_int in
+  let pq = Pqueue.create () in
+  dist.(src) <- 0;
+  hops.(src) <- 0;
+  Pqueue.add pq 0 src;
+  let rec drain () =
+    match Pqueue.pop_min pq with
+    | None -> ()
+    | Some (d, u) ->
+      if d = dist.(u) then
+        Graph.iter_neighbors g u (fun v w ->
+            let nd = d + w and nh = hops.(u) + 1 in
+            if nd < dist.(v) || (nd = dist.(v) && nh < hops.(v)) then begin
+              dist.(v) <- nd;
+              hops.(v) <- nh;
+              Pqueue.add pq nd v
+            end);
+      drain ()
+  in
+  drain ();
+  (dist, hops)
+
+let multi_source g ~sources =
+  let n = Graph.n g in
+  let dist = Array.make n Dist.infinity in
+  let nearest = Array.make n (-1) in
+  let pq = Pqueue.create () in
+  let better v d s =
+    Dist.lex_lt (d, s)
+      (dist.(v), if nearest.(v) < 0 then max_int else nearest.(v))
+  in
+  Array.iter
+    (fun s ->
+      if better s 0 s then begin
+        dist.(s) <- 0;
+        nearest.(s) <- s;
+        Pqueue.add pq 0 s
+      end)
+    sources;
+  let rec drain () =
+    match Pqueue.pop_min pq with
+    | None -> ()
+    | Some (d, u) ->
+      if d = dist.(u) then begin
+        let s = nearest.(u) in
+        Graph.iter_neighbors g u (fun v w ->
+            let nd = d + w in
+            if better v nd s then begin
+              dist.(v) <- nd;
+              nearest.(v) <- s;
+              Pqueue.add pq nd v
+            end)
+      end;
+      drain ()
+  in
+  drain ();
+  (dist, nearest)
+
+let restricted_with_parents g ~src ~bound =
+  let n = Graph.n g in
+  let dist = Array.make n Dist.infinity in
+  let parent = Array.make n (-1) in
+  let inside v d = Dist.lex_lt (d, src) bound.(v) in
+  let pq = Pqueue.create () in
+  if inside src 0 then begin
+    dist.(src) <- 0;
+    Pqueue.add pq 0 src
+  end;
+  let rec drain () =
+    match Pqueue.pop_min pq with
+    | None -> ()
+    | Some (d, u) ->
+      if d = dist.(u) then
+        Graph.iter_neighbors g u (fun v w ->
+            let nd = d + w in
+            if nd < dist.(v) && inside v nd then begin
+              dist.(v) <- nd;
+              parent.(v) <- u;
+              Pqueue.add pq nd v
+            end);
+      drain ()
+  in
+  drain ();
+  (dist, parent)
+
+let restricted g ~src ~bound = fst (restricted_with_parents g ~src ~bound)

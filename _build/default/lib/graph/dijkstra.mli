@@ -1,0 +1,30 @@
+(** Centralized shortest paths. These are evaluation oracles and
+    centralized baselines; the distributed algorithms never call them. *)
+
+val sssp : Graph.t -> src:int -> int array
+(** Distances from [src]; [Dist.infinity] for unreachable nodes. *)
+
+val sssp_with_parents : Graph.t -> src:int -> int array * int array
+(** Distances and shortest-path-tree parents ([-1] for the source and
+    unreachable nodes). *)
+
+val sssp_hops : Graph.t -> src:int -> int array * int array
+(** [(dist, hops)] where [hops.(v)] is the minimum hop count over all
+    shortest (by weight) paths from [src] to [v] — the quantity whose
+    maximum defines the shortest-path diameter [S]. *)
+
+val multi_source : Graph.t -> sources:int array -> int array * int array
+(** [(dist, nearest)]: distance to the closest source and the identity
+    of that source, ties broken by [(distance, source id)] lexicographic
+    order (matching the distributed super-source Bellman–Ford). *)
+
+val restricted : Graph.t -> src:int -> bound:(int * int) array -> int array
+(** Thorup–Zwick cluster growth: distances from [src] limited to nodes
+    [v] with [(d, src) <lex bound.(v)]. Returns [Dist.infinity] outside
+    the cluster. [bound.(v)] is [(d(v, A_{i+1}), p_{i+1}(v))]. *)
+
+val restricted_with_parents :
+  Graph.t -> src:int -> bound:(int * int) array -> int array * int array
+(** Like {!restricted} but also returns the cluster's shortest-path-tree
+    parents ([-1] at [src] and outside the cluster) — the trees whose
+    union forms the Thorup–Zwick spanner. *)

@@ -1,0 +1,333 @@
+module Rng = Ds_util.Rng
+
+type weight_spec = { wmin : int; wmax : int }
+
+let unit_weights = { wmin = 1; wmax = 1 }
+let default_weights = { wmin = 1; wmax = 100 }
+
+let draw_weight rng { wmin; wmax } =
+  if wmin > wmax || wmin <= 0 then invalid_arg "Gen: bad weight spec";
+  Rng.int_in rng wmin wmax
+
+(* A random spanning skeleton: node i >= 1 attaches to a uniformly
+   random node < i. Guarantees connectivity for every family below. *)
+let spanning_edges rng n add_edge =
+  for v = 1 to n - 1 do
+    add_edge v (Rng.int rng v)
+  done
+
+module Edge_set = struct
+  type t = { tbl : (int * int, int) Hashtbl.t }
+
+  let create () = { tbl = Hashtbl.create 64 }
+  let key u v = (min u v, max u v)
+  let mem t u v = Hashtbl.mem t.tbl (key u v)
+
+  let add t u v w =
+    if u <> v && not (mem t u v) then Hashtbl.replace t.tbl (key u v) w
+
+  let to_list t = Hashtbl.fold (fun (u, v) w acc -> (u, v, w) :: acc) t.tbl []
+  let size t = Hashtbl.length t.tbl
+end
+
+let erdos_renyi ~rng ?(weights = default_weights) ~n ~avg_degree () =
+  if n < 2 then invalid_arg "erdos_renyi: n < 2";
+  let es = Edge_set.create () in
+  spanning_edges rng n (fun u v -> Edge_set.add es u v (draw_weight rng weights));
+  (* Sample the remaining ER edges by expected count to stay O(m). *)
+  let p = avg_degree /. float_of_int (n - 1) in
+  let expected = p *. float_of_int n *. float_of_int (n - 1) /. 2.0 in
+  let tries = int_of_float (ceil expected) in
+  for _ = 1 to tries do
+    let u = Rng.int rng n and v = Rng.int rng n in
+    Edge_set.add es u v (draw_weight rng weights)
+  done;
+  Graph.of_edges ~n (Edge_set.to_list es)
+
+let random_geometric ~rng ~n ~radius () =
+  if n < 2 then invalid_arg "random_geometric: n < 2";
+  let xs = Array.init n (fun _ -> Rng.float rng 1.0) in
+  let ys = Array.init n (fun _ -> Rng.float rng 1.0) in
+  let dist2 i j =
+    let dx = xs.(i) -. xs.(j) and dy = ys.(i) -. ys.(j) in
+    (dx *. dx) +. (dy *. dy)
+  in
+  let scale = 1000.0 in
+  let w_of i j = 1 + int_of_float (scale *. sqrt (dist2 i j)) in
+  let es = Edge_set.create () in
+  let r2 = radius *. radius in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if dist2 i j <= r2 then Edge_set.add es i j (w_of i j)
+    done
+  done;
+  (* Stitch components: attach each node i >= 1 to its nearest
+     predecessor if it has no edge yet to any predecessor. *)
+  let reachable = Array.make n false in
+  reachable.(0) <- true;
+  for i = 1 to n - 1 do
+    let nearest = ref (-1) in
+    for j = 0 to i - 1 do
+      if dist2 i j <= r2 then reachable.(i) <- true;
+      if !nearest < 0 || dist2 i j < dist2 i !nearest then nearest := j
+    done;
+    if not reachable.(i) then begin
+      Edge_set.add es i !nearest (w_of i !nearest);
+      reachable.(i) <- true
+    end
+  done;
+  Graph.of_edges ~n (Edge_set.to_list es)
+
+let grid_like ~rng ~weights ~rows ~cols ~wrap =
+  if rows < 1 || cols < 1 || rows * cols < 2 then invalid_arg "grid: too small";
+  let id r c = (r * cols) + c in
+  let es = Edge_set.create () in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then
+        Edge_set.add es (id r c) (id r (c + 1)) (draw_weight rng weights)
+      else if wrap && cols > 2 then
+        Edge_set.add es (id r c) (id r 0) (draw_weight rng weights);
+      if r + 1 < rows then
+        Edge_set.add es (id r c) (id (r + 1) c) (draw_weight rng weights)
+      else if wrap && rows > 2 then
+        Edge_set.add es (id r c) (id 0 c) (draw_weight rng weights)
+    done
+  done;
+  Graph.of_edges ~n:(rows * cols) (Edge_set.to_list es)
+
+let grid ~rng ?(weights = default_weights) ~rows ~cols () =
+  grid_like ~rng ~weights ~rows ~cols ~wrap:false
+
+let torus ~rng ?(weights = default_weights) ~rows ~cols () =
+  grid_like ~rng ~weights ~rows ~cols ~wrap:true
+
+let ring ~rng ?(weights = default_weights) ~n () =
+  if n < 3 then invalid_arg "ring: n < 3";
+  let es = Edge_set.create () in
+  for i = 0 to n - 1 do
+    Edge_set.add es i ((i + 1) mod n) (draw_weight rng weights)
+  done;
+  Graph.of_edges ~n (Edge_set.to_list es)
+
+let ring_chords ~rng ?(weights = default_weights) ~n ~chords () =
+  if n < 4 then invalid_arg "ring_chords: n < 4";
+  let es = Edge_set.create () in
+  for i = 0 to n - 1 do
+    Edge_set.add es i ((i + 1) mod n) (draw_weight rng weights)
+  done;
+  let budget = ref (4 * chords) in
+  while Edge_set.size es < n + chords && !budget > 0 do
+    decr budget;
+    let u = Rng.int rng n and v = Rng.int rng n in
+    if u <> v && (u + 1) mod n <> v && (v + 1) mod n <> u then
+      Edge_set.add es u v (draw_weight rng weights)
+  done;
+  Graph.of_edges ~n (Edge_set.to_list es)
+
+let random_tree ~rng ?(weights = default_weights) ~n () =
+  if n < 2 then invalid_arg "random_tree: n < 2";
+  let es = Edge_set.create () in
+  spanning_edges rng n (fun u v -> Edge_set.add es u v (draw_weight rng weights));
+  Graph.of_edges ~n (Edge_set.to_list es)
+
+let preferential_attachment ~rng ?(weights = default_weights) ~n
+    ~edges_per_node () =
+  if n < 2 then invalid_arg "preferential_attachment: n < 2";
+  if edges_per_node < 1 then invalid_arg "preferential_attachment: k < 1";
+  let es = Edge_set.create () in
+  (* Repeated-endpoint list: picking a uniform entry is proportional to
+     degree. *)
+  let endpoints = ref [ 0 ] in
+  let count = ref 1 in
+  let pick () =
+    let i = Rng.int rng !count in
+    List.nth !endpoints i
+  in
+  for v = 1 to n - 1 do
+    let targets = min edges_per_node v in
+    let added = ref 0 and tries = ref 0 in
+    while !added < targets && !tries < 20 * targets do
+      incr tries;
+      let u = if v = 1 then 0 else pick () in
+      if u <> v && not (Edge_set.mem es u v) then begin
+        Edge_set.add es u v (draw_weight rng weights);
+        endpoints := u :: !endpoints;
+        incr count;
+        incr added
+      end
+    done;
+    if !added = 0 then begin
+      (* Degenerate fallback keeps the graph connected. *)
+      Edge_set.add es v (Rng.int rng v) (draw_weight rng weights)
+    end;
+    endpoints := v :: !endpoints;
+    incr count
+  done;
+  Graph.of_edges ~n (Edge_set.to_list es)
+
+let hypercube ~rng ?(weights = default_weights) ~dims () =
+  if dims < 1 || dims > 20 then invalid_arg "hypercube: dims out of range";
+  let n = 1 lsl dims in
+  let es = Edge_set.create () in
+  for u = 0 to n - 1 do
+    for b = 0 to dims - 1 do
+      let v = u lxor (1 lsl b) in
+      if u < v then Edge_set.add es u v (draw_weight rng weights)
+    done
+  done;
+  Graph.of_edges ~n (Edge_set.to_list es)
+
+let star_ring ~n ~heavy =
+  if n < 5 then invalid_arg "star_ring: n < 5";
+  if heavy < 1 then invalid_arg "star_ring: heavy < 1";
+  (* Node 0 is the hub; nodes 1..n-1 form the unit-weight ring. *)
+  let ring_n = n - 1 in
+  let es = ref [] in
+  for i = 1 to ring_n do
+    let next = if i = ring_n then 1 else i + 1 in
+    es := (i, next, 1) :: !es;
+    es := (0, i, heavy) :: !es
+  done;
+  Graph.of_edges ~n !es
+
+let random_regular ~rng ?(weights = default_weights) ~n ~degree () =
+  if n < degree + 1 then invalid_arg "random_regular: n too small";
+  if degree < 2 then invalid_arg "random_regular: degree < 2";
+  (* Stub-matching with rejection of collisions, then a spanning
+     skeleton to repair any disconnection; degrees stay within +-1. *)
+  let es = Edge_set.create () in
+  let stubs = ref [] in
+  for u = 0 to n - 1 do
+    for _ = 1 to degree do
+      stubs := u :: !stubs
+    done
+  done;
+  let stubs = Array.of_list !stubs in
+  Rng.shuffle rng stubs;
+  let len = Array.length stubs in
+  let i = ref 0 in
+  while !i + 1 < len do
+    let u = stubs.(!i) and v = stubs.(!i + 1) in
+    Edge_set.add es u v (draw_weight rng weights);
+    i := !i + 2
+  done;
+  (* Repair connectivity with a lightweight skeleton over any isolated
+     parts: attach node v to a random earlier node when its component
+     is not yet linked. This perturbs degrees by at most 1. *)
+  let adj = Array.make n [] in
+  List.iter
+    (fun (u, v, _) ->
+      adj.(u) <- v :: adj.(u);
+      adj.(v) <- u :: adj.(v))
+    (Edge_set.to_list es);
+  let comp = Array.make n (-1) in
+  let rec mark u c =
+    if comp.(u) < 0 then begin
+      comp.(u) <- c;
+      List.iter (fun v -> mark v c) adj.(u)
+    end
+  in
+  for u = 0 to n - 1 do
+    if comp.(u) < 0 then begin
+      mark u u;
+      if u > 0 then Edge_set.add es u (Rng.int rng u) (draw_weight rng weights)
+    end
+  done;
+  Graph.of_edges ~n (Edge_set.to_list es)
+
+let complete ~rng ?(weights = default_weights) ~n () =
+  if n < 2 then invalid_arg "complete: n < 2";
+  let es = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      es := (u, v, draw_weight rng weights) :: !es
+    done
+  done;
+  Graph.of_edges ~n !es
+
+let barbell ~rng ?(weights = default_weights) ~clique ~bridge () =
+  if clique < 2 then invalid_arg "barbell: clique < 2";
+  if bridge < 1 then invalid_arg "barbell: bridge < 1";
+  let n = (2 * clique) + bridge in
+  let es = ref [] in
+  let add u v = es := (u, v, draw_weight rng weights) :: !es in
+  (* Left clique on [0, clique), right clique on the last [clique]
+     nodes, bridge path in between. *)
+  for u = 0 to clique - 1 do
+    for v = u + 1 to clique - 1 do
+      add u v;
+      add (u + clique + bridge) (v + clique + bridge)
+    done
+  done;
+  for i = clique - 1 to clique + bridge - 1 do
+    add i (i + 1)
+  done;
+  Graph.of_edges ~n !es
+
+let caterpillar ~rng ?(weights = default_weights) ~spine ~legs () =
+  if spine < 2 then invalid_arg "caterpillar: spine < 2";
+  if legs < 0 then invalid_arg "caterpillar: legs < 0";
+  let n = spine * (1 + legs) in
+  let es = ref [] in
+  let add u v = es := (u, v, draw_weight rng weights) :: !es in
+  for i = 0 to spine - 2 do
+    add i (i + 1)
+  done;
+  for i = 0 to spine - 1 do
+    for l = 0 to legs - 1 do
+      add i (spine + (i * legs) + l)
+    done
+  done;
+  Graph.of_edges ~n !es
+
+let to_dot g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "graph G {\n  node [shape=circle];\n";
+  List.iter
+    (fun (u, v, w) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %d -- %d [label=\"%d\"];\n" u v w))
+    (Graph.edges g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+type family =
+  | Erdos_renyi of { avg_degree : float }
+  | Geometric of { radius : float }
+  | Grid
+  | Torus
+  | Ring_chords of { chords_frac : float }
+  | Tree
+  | Power_law of { edges_per_node : int }
+  | Star_ring of { heavy_frac : float }
+
+let family_name = function
+  | Erdos_renyi _ -> "erdos-renyi"
+  | Geometric _ -> "geometric"
+  | Grid -> "grid"
+  | Torus -> "torus"
+  | Ring_chords _ -> "ring-chords"
+  | Tree -> "tree"
+  | Power_law _ -> "power-law"
+  | Star_ring _ -> "star-ring"
+
+let build ~rng ?(weights = default_weights) family ~n =
+  match family with
+  | Erdos_renyi { avg_degree } -> erdos_renyi ~rng ~weights ~n ~avg_degree ()
+  | Geometric { radius } -> random_geometric ~rng ~n ~radius ()
+  | Grid ->
+    let side = max 2 (int_of_float (sqrt (float_of_int n))) in
+    grid ~rng ~weights ~rows:side ~cols:side ()
+  | Torus ->
+    let side = max 3 (int_of_float (sqrt (float_of_int n))) in
+    torus ~rng ~weights ~rows:side ~cols:side ()
+  | Ring_chords { chords_frac } ->
+    let chords = max 1 (int_of_float (chords_frac *. float_of_int n)) in
+    ring_chords ~rng ~weights ~n ~chords ()
+  | Tree -> random_tree ~rng ~weights ~n ()
+  | Power_law { edges_per_node } ->
+    preferential_attachment ~rng ~weights ~n ~edges_per_node ()
+  | Star_ring { heavy_frac } ->
+    let heavy = max 1 (int_of_float (heavy_frac *. float_of_int n)) in
+    star_ring ~n ~heavy

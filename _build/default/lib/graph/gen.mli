@@ -1,0 +1,97 @@
+(** Synthetic network generators.
+
+    All generators return connected graphs (a random spanning skeleton
+    is always included) with integer weights drawn uniformly from
+    [\[wmin, wmax\]] unless the topology dictates otherwise. They stand
+    in for the P2P / overlay networks that motivate the paper. *)
+
+type weight_spec = { wmin : int; wmax : int }
+
+val unit_weights : weight_spec
+val default_weights : weight_spec
+(** Weights in [\[1, 100\]]. *)
+
+val erdos_renyi :
+  rng:Ds_util.Rng.t -> ?weights:weight_spec -> n:int -> avg_degree:float ->
+  unit -> Graph.t
+(** G(n, p) with [p = avg_degree / (n-1)], plus a random spanning tree
+    to guarantee connectivity. *)
+
+val random_geometric :
+  rng:Ds_util.Rng.t -> n:int -> radius:float -> unit -> Graph.t
+(** Points in the unit square; nodes within [radius] are adjacent with
+    weight proportional to Euclidean distance (scaled to integers).
+    Disconnected parts are stitched by nearest-point edges. *)
+
+val grid :
+  rng:Ds_util.Rng.t -> ?weights:weight_spec -> rows:int -> cols:int ->
+  unit -> Graph.t
+
+val torus :
+  rng:Ds_util.Rng.t -> ?weights:weight_spec -> rows:int -> cols:int ->
+  unit -> Graph.t
+
+val ring : rng:Ds_util.Rng.t -> ?weights:weight_spec -> n:int -> unit -> Graph.t
+
+val ring_chords :
+  rng:Ds_util.Rng.t -> ?weights:weight_spec -> n:int -> chords:int ->
+  unit -> Graph.t
+(** Ring plus random long-range chords (small-world overlay shape). *)
+
+val random_tree :
+  rng:Ds_util.Rng.t -> ?weights:weight_spec -> n:int -> unit -> Graph.t
+(** Uniform random recursive tree. *)
+
+val preferential_attachment :
+  rng:Ds_util.Rng.t -> ?weights:weight_spec -> n:int -> edges_per_node:int ->
+  unit -> Graph.t
+(** Barabási–Albert style power-law graph (P2P degree shape). *)
+
+val hypercube :
+  rng:Ds_util.Rng.t -> ?weights:weight_spec -> dims:int -> unit -> Graph.t
+
+val star_ring : n:int -> heavy:int -> Graph.t
+(** A hub connected to every ring node with weight [heavy]; unit-weight
+    ring edges. With [heavy ~ n/4] the hop diameter stays 2 while the
+    shortest-path diameter grows like [min (n/2) (2*heavy)] — the
+    [S >> D] regime of the paper's Section 2.1 discussion. *)
+
+val random_regular :
+  rng:Ds_util.Rng.t -> ?weights:weight_spec -> n:int -> degree:int ->
+  unit -> Graph.t
+(** Random (near-)regular graph by pairing-with-repair — an expander
+    whp, the low-diameter overlay shape. Every node ends with degree
+    in [\[degree-1, degree+1\]]; connectivity enforced. *)
+
+val complete : rng:Ds_util.Rng.t -> ?weights:weight_spec -> n:int -> unit -> Graph.t
+
+val barbell :
+  rng:Ds_util.Rng.t -> ?weights:weight_spec -> clique:int -> bridge:int ->
+  unit -> Graph.t
+(** Two [clique]-cliques joined by a [bridge]-edge path: dense regions
+    with a long thin cut (bad case for flooding). *)
+
+val caterpillar :
+  rng:Ds_util.Rng.t -> ?weights:weight_spec -> spine:int -> legs:int ->
+  unit -> Graph.t
+(** A path of [spine] nodes, each with [legs] pendant leaves. *)
+
+val to_dot : Graph.t -> string
+(** Graphviz rendering (debugging / documentation aid). *)
+
+type family =
+  | Erdos_renyi of { avg_degree : float }
+  | Geometric of { radius : float }
+  | Grid
+  | Torus
+  | Ring_chords of { chords_frac : float }
+  | Tree
+  | Power_law of { edges_per_node : int }
+  | Star_ring of { heavy_frac : float }
+
+val family_name : family -> string
+
+val build :
+  rng:Ds_util.Rng.t -> ?weights:weight_spec -> family -> n:int -> Graph.t
+(** Uniform entry point used by the experiment harness; [n] is the
+    (approximate, for grids) node count. *)

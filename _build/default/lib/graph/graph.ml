@@ -1,0 +1,111 @@
+type t = {
+  n : int;
+  m : int;
+  idx : int array; (* length n+1; adjacency of u is [idx.(u), idx.(u+1)) *)
+  adj : int array; (* neighbor ids, sorted per node *)
+  wgt : int array; (* parallel to adj *)
+}
+
+let of_edges ~n edge_list =
+  if n <= 0 then invalid_arg "Graph.of_edges: n must be positive";
+  let seen = Hashtbl.create (2 * List.length edge_list) in
+  let check (u, v, w) =
+    if u = v then invalid_arg "Graph.of_edges: self-loop";
+    if u < 0 || u >= n || v < 0 || v >= n then
+      invalid_arg "Graph.of_edges: endpoint out of range";
+    if w <= 0 then invalid_arg "Graph.of_edges: weight must be positive";
+    let key = (min u v, max u v) in
+    if Hashtbl.mem seen key then invalid_arg "Graph.of_edges: duplicate edge";
+    Hashtbl.replace seen key ()
+  in
+  List.iter check edge_list;
+  let deg = Array.make n 0 in
+  List.iter
+    (fun (u, v, _) ->
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1)
+    edge_list;
+  let idx = Array.make (n + 1) 0 in
+  for u = 0 to n - 1 do
+    idx.(u + 1) <- idx.(u) + deg.(u)
+  done;
+  let total = idx.(n) in
+  let adj = Array.make total 0 and wgt = Array.make total 0 in
+  let cursor = Array.copy idx in
+  let place u v w =
+    adj.(cursor.(u)) <- v;
+    wgt.(cursor.(u)) <- w;
+    cursor.(u) <- cursor.(u) + 1
+  in
+  List.iter
+    (fun (u, v, w) ->
+      place u v w;
+      place v u w)
+    edge_list;
+  (* Sort each adjacency list by neighbor id for binary search. *)
+  for u = 0 to n - 1 do
+    let lo = idx.(u) and hi = idx.(u + 1) in
+    let pairs = Array.init (hi - lo) (fun i -> (adj.(lo + i), wgt.(lo + i))) in
+    Array.sort compare pairs;
+    Array.iteri
+      (fun i (v, w) ->
+        adj.(lo + i) <- v;
+        wgt.(lo + i) <- w)
+      pairs
+  done;
+  { n; m = List.length edge_list; idx; adj; wgt }
+
+let n t = t.n
+let m t = t.m
+let degree t u = t.idx.(u + 1) - t.idx.(u)
+
+let max_degree t =
+  let best = ref 0 in
+  for u = 0 to t.n - 1 do
+    if degree t u > !best then best := degree t u
+  done;
+  !best
+
+let iter_neighbors t u f =
+  for i = t.idx.(u) to t.idx.(u + 1) - 1 do
+    f t.adj.(i) t.wgt.(i)
+  done
+
+let fold_neighbors t u f init =
+  let acc = ref init in
+  iter_neighbors t u (fun v w -> acc := f !acc v w);
+  !acc
+
+let neighbors t u =
+  Array.init (degree t u) (fun i ->
+      (t.adj.(t.idx.(u) + i), t.wgt.(t.idx.(u) + i)))
+
+let neighbor_at t u i = (t.adj.(t.idx.(u) + i), t.wgt.(t.idx.(u) + i))
+
+let neighbor_index t u v =
+  (* Binary search in the sorted adjacency slice. *)
+  let lo = ref t.idx.(u) and hi = ref (t.idx.(u + 1) - 1) in
+  let found = ref (-1) in
+  while !found < 0 && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.adj.(mid) = v then found := mid
+    else if t.adj.(mid) < v then lo := mid + 1
+    else hi := mid - 1
+  done;
+  if !found < 0 then raise Not_found else !found - t.idx.(u)
+
+let weight t u v =
+  let i = neighbor_index t u v in
+  t.wgt.(t.idx.(u) + i)
+
+let has_edge t u v =
+  match neighbor_index t u v with _ -> true | exception Not_found -> false
+
+let edges t =
+  let acc = ref [] in
+  for u = t.n - 1 downto 0 do
+    iter_neighbors t u (fun v w -> if u < v then acc := (u, v, w) :: !acc)
+  done;
+  !acc
+
+let total_weight t = List.fold_left (fun s (_, _, w) -> s + w) 0 (edges t)

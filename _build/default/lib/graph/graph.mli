@@ -1,0 +1,50 @@
+(** Weighted undirected graphs in compressed sparse row form.
+
+    Nodes are [0 .. n-1] (the paper's Algorithm 2 assumes exactly this
+    ID space). Weights are positive integers. The structure is
+    immutable after construction. *)
+
+type t
+
+val of_edges : n:int -> (int * int * int) list -> t
+(** [of_edges ~n edges] builds the graph from undirected [(u, v, w)]
+    triples. Raises [Invalid_argument] on self-loops, out-of-range
+    endpoints, non-positive weights, or duplicate edges. *)
+
+val n : t -> int
+(** Number of nodes. *)
+
+val m : t -> int
+(** Number of undirected edges. *)
+
+val degree : t -> int -> int
+
+val max_degree : t -> int
+
+val iter_neighbors : t -> int -> (int -> int -> unit) -> unit
+(** [iter_neighbors g u f] calls [f v w] for each edge [(u, v)] of
+    weight [w]. *)
+
+val fold_neighbors : t -> int -> ('a -> int -> int -> 'a) -> 'a -> 'a
+
+val neighbors : t -> int -> (int * int) array
+(** Fresh array of [(neighbor, weight)] pairs. *)
+
+val neighbor_at : t -> int -> int -> int * int
+(** [neighbor_at g u i] is the [i]-th incident [(neighbor, weight)] of
+    [u], [0 <= i < degree g u]. O(1). *)
+
+val neighbor_index : t -> int -> int -> int
+(** [neighbor_index g u v] is the index of [v] in [u]'s adjacency list.
+    Raises [Not_found] if [(u,v)] is not an edge. *)
+
+val weight : t -> int -> int -> int
+(** [weight g u v] is the weight of edge [(u, v)].
+    Raises [Not_found] if absent. *)
+
+val has_edge : t -> int -> int -> bool
+
+val edges : t -> (int * int * int) list
+(** Each undirected edge once, with [u < v]. *)
+
+val total_weight : t -> int

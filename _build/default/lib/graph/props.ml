@@ -1,0 +1,44 @@
+let is_connected g =
+  let dist = Bfs.hops g ~src:0 in
+  Array.for_all (fun d -> d < max_int) dist
+
+let hop_diameter g =
+  let n = Graph.n g in
+  let best = ref 0 in
+  for src = 0 to n - 1 do
+    let e = Bfs.eccentricity g ~src in
+    if e > !best then best := e
+  done;
+  !best
+
+let shortest_path_diameter g =
+  let n = Graph.n g in
+  let best = ref 0 in
+  for src = 0 to n - 1 do
+    let _, hops = Dijkstra.sssp_hops g ~src in
+    Array.iter (fun h -> if h < max_int && h > !best then best := h) hops
+  done;
+  !best
+
+let weighted_diameter g =
+  let n = Graph.n g in
+  let best = ref 0 in
+  for src = 0 to n - 1 do
+    let dist = Dijkstra.sssp g ~src in
+    Array.iter (fun d -> if Dist.is_finite d && d > !best then best := d) dist
+  done;
+  !best
+
+type profile = { n : int; m : int; d : int; s : int; wdiam : int }
+
+let profile g =
+  {
+    n = Graph.n g;
+    m = Graph.m g;
+    d = hop_diameter g;
+    s = shortest_path_diameter g;
+    wdiam = weighted_diameter g;
+  }
+
+let pp_profile ppf p =
+  Format.fprintf ppf "n=%d m=%d D=%d S=%d wdiam=%d" p.n p.m p.d p.s p.wdiam

@@ -1,0 +1,19 @@
+(** Global graph properties used to parameterise the paper's bounds. *)
+
+val is_connected : Graph.t -> bool
+
+val hop_diameter : Graph.t -> int
+(** Exact hop diameter [D] (all-sources BFS; O(n m)). *)
+
+val shortest_path_diameter : Graph.t -> int
+(** Exact shortest-path diameter [S]: the maximum over all pairs of the
+    minimum hop count among shortest weighted paths (all-sources
+    hop-aware Dijkstra; O(n m log n)). *)
+
+val weighted_diameter : Graph.t -> int
+(** Maximum finite weighted distance. *)
+
+type profile = { n : int; m : int; d : int; s : int; wdiam : int }
+
+val profile : Graph.t -> profile
+val pp_profile : Format.formatter -> profile -> unit

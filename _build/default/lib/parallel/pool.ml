@@ -1,0 +1,50 @@
+type t = { domains : int }
+
+let create ?domains () =
+  let d =
+    match domains with
+    | Some d when d >= 1 -> d
+    | Some _ -> invalid_arg "Pool.create: domains must be >= 1"
+    | None -> Domain.recommended_domain_count ()
+  in
+  { domains = d }
+
+let domains t = t.domains
+
+let sequential = { domains = 1 }
+
+let parallel_for t ~lo ~hi f =
+  if hi <= lo then ()
+  else begin
+    let n = hi - lo in
+    let chunks = min t.domains n in
+    if chunks <= 1 then
+      for i = lo to hi - 1 do
+        f i
+      done
+    else begin
+      let chunk_size = (n + chunks - 1) / chunks in
+      let run c =
+        let start = lo + (c * chunk_size) in
+        let stop = min hi (start + chunk_size) in
+        for i = start to stop - 1 do
+          f i
+        done
+      in
+      (* Run the first chunk on the current domain, the rest spawned. *)
+      let handles =
+        Array.init (chunks - 1) (fun c -> Domain.spawn (fun () -> run (c + 1)))
+      in
+      run 0;
+      Array.iter Domain.join handles
+    end
+  end
+
+let map_array t f a =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n (f a.(0)) in
+    parallel_for t ~lo:1 ~hi:n (fun i -> out.(i) <- f a.(i));
+    out
+  end

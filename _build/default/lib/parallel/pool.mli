@@ -1,0 +1,24 @@
+(** Minimal data-parallel helpers over OCaml 5 domains.
+
+    The CONGEST engine steps all node automata once per round; the
+    per-node work is independent, so rounds parallelise trivially. On a
+    single-core host everything degrades to sequential execution with
+    no domain spawns. *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** [create ()] sizes the pool to the number of recommended domains.
+    [domains] overrides it (1 means fully sequential). *)
+
+val domains : t -> int
+
+val parallel_for : t -> lo:int -> hi:int -> (int -> unit) -> unit
+(** [parallel_for t ~lo ~hi f] runs [f i] for [lo <= i < hi], split
+    into one contiguous chunk per domain. [f] must be safe to run
+    concurrently for distinct [i]. *)
+
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+
+val sequential : t
+(** A pool that never spawns; useful in tests. *)

@@ -1,0 +1,74 @@
+type 'a t = {
+  mutable keys : int array;
+  mutable vals : 'a array;
+  mutable len : int;
+}
+
+let create ?(capacity = 16) () =
+  { keys = Array.make (max 1 capacity) 0; vals = [||]; len = 0 }
+
+let is_empty t = t.len = 0
+let size t = t.len
+
+let grow t v =
+  let cap = Array.length t.keys in
+  if t.len = cap then begin
+    let keys = Array.make (2 * cap) 0 in
+    Array.blit t.keys 0 keys 0 t.len;
+    t.keys <- keys;
+    let vals = Array.make (2 * cap) v in
+    Array.blit t.vals 0 vals 0 t.len;
+    t.vals <- vals
+  end;
+  if Array.length t.vals = 0 then t.vals <- Array.make (Array.length t.keys) v
+
+let swap t i j =
+  let k = t.keys.(i) in
+  t.keys.(i) <- t.keys.(j);
+  t.keys.(j) <- k;
+  let v = t.vals.(i) in
+  t.vals.(i) <- t.vals.(j);
+  t.vals.(j) <- v
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let p = (i - 1) / 2 in
+    if t.keys.(p) > t.keys.(i) then begin
+      swap t p i;
+      sift_up t p
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.len && t.keys.(l) < t.keys.(!smallest) then smallest := l;
+  if r < t.len && t.keys.(r) < t.keys.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let add t key v =
+  grow t v;
+  t.keys.(t.len) <- key;
+  t.vals.(t.len) <- v;
+  t.len <- t.len + 1;
+  sift_up t (t.len - 1)
+
+let min_elt t = if t.len = 0 then None else Some (t.keys.(0), t.vals.(0))
+
+let pop_min t =
+  if t.len = 0 then None
+  else begin
+    let k = t.keys.(0) and v = t.vals.(0) in
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      t.keys.(0) <- t.keys.(t.len);
+      t.vals.(0) <- t.vals.(t.len);
+      sift_down t 0
+    end;
+    Some (k, v)
+  end
+
+let clear t = t.len <- 0

@@ -1,0 +1,19 @@
+(** Binary min-heap keyed by integer priorities.
+
+    Used by Dijkstra with lazy deletion: stale entries are skipped by
+    the caller when popped. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+val add : 'a t -> int -> 'a -> unit
+
+val min_elt : 'a t -> (int * 'a) option
+(** Smallest key and its payload, without removing it. *)
+
+val pop_min : 'a t -> (int * 'a) option
+(** Remove and return the smallest key and its payload. *)
+
+val clear : 'a t -> unit

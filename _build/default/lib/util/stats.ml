@@ -1,0 +1,87 @@
+let check_nonempty a =
+  if Array.length a = 0 then invalid_arg "Stats: empty array"
+
+let mean a =
+  check_nonempty a;
+  Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a)
+
+let variance a =
+  check_nonempty a;
+  let m = mean a in
+  let acc = Array.fold_left (fun s x -> s +. ((x -. m) *. (x -. m))) 0.0 a in
+  acc /. float_of_int (Array.length a)
+
+let stddev a = sqrt (variance a)
+
+let min_of a =
+  check_nonempty a;
+  Array.fold_left min a.(0) a
+
+let max_of a =
+  check_nonempty a;
+  Array.fold_left max a.(0) a
+
+let percentile a p =
+  check_nonempty a;
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile";
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (floor rank) and hi = int_of_float (ceil rank) in
+  if lo = hi then sorted.(lo)
+  else begin
+    let frac = rank -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+let median a = percentile a 50.0
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  max : float;
+}
+
+let summarize a =
+  check_nonempty a;
+  {
+    n = Array.length a;
+    mean = mean a;
+    stddev = stddev a;
+    min = min_of a;
+    p50 = percentile a 50.0;
+    p90 = percentile a 90.0;
+    p99 = percentile a 99.0;
+    max = max_of a;
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "n=%d mean=%.3f sd=%.3f min=%.3f p50=%.3f p90=%.3f p99=%.3f max=%.3f" s.n
+    s.mean s.stddev s.min s.p50 s.p90 s.p99 s.max
+
+let histogram ~buckets a =
+  check_nonempty a;
+  if buckets <= 0 then invalid_arg "Stats.histogram";
+  let lo = min_of a and hi = max_of a in
+  let width =
+    if hi > lo then (hi -. lo) /. float_of_int buckets else 1.0
+  in
+  let counts = Array.make buckets 0 in
+  Array.iter
+    (fun x ->
+      let b = int_of_float ((x -. lo) /. width) in
+      let b = if b >= buckets then buckets - 1 else b in
+      counts.(b) <- counts.(b) + 1)
+    a;
+  Array.mapi
+    (fun i c ->
+      let l = lo +. (float_of_int i *. width) in
+      (l, l +. width, c))
+    counts

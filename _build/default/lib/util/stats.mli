@@ -1,0 +1,30 @@
+(** Small statistics helpers for the experiment harness. *)
+
+val mean : float array -> float
+val variance : float array -> float
+val stddev : float array -> float
+val min_of : float array -> float
+val max_of : float array -> float
+
+val percentile : float array -> float -> float
+(** [percentile a p] with [p] in [\[0,100\]]; linear interpolation.
+    Does not mutate [a]. *)
+
+val median : float array -> float
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  max : float;
+}
+
+val summarize : float array -> summary
+val pp_summary : Format.formatter -> summary -> unit
+
+val histogram : buckets:int -> float array -> (float * float * int) array
+(** [(lo, hi, count)] per bucket over the data range. *)

@@ -1,0 +1,23 @@
+(** Column-aligned ASCII tables for the experiment harness. *)
+
+type t
+
+val create : title:string -> headers:string list -> t
+val add_row : t -> string list -> unit
+val add_rows : t -> string list list -> unit
+val render : t -> string
+val print : t -> unit
+
+val title : t -> string
+
+val to_csv : t -> string
+(** RFC-4180-ish CSV: header row then data rows; cells containing
+    commas or quotes are quoted. *)
+
+val save_csv : t -> dir:string -> string
+(** Write the CSV under [dir] (created if missing) using a slug of the
+    title as filename; returns the path. *)
+
+val cell_int : int -> string
+val cell_float : ?decimals:int -> float -> string
+val cell_ratio : float -> string

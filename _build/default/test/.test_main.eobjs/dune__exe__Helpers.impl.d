@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Ds_graph Ds_util List

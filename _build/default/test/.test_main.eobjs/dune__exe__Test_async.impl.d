@@ -1,0 +1,1 @@
+test/test_async.ml: Alcotest Array Ds_congest Ds_core Ds_graph Ds_util Helpers List QCheck QCheck_alcotest

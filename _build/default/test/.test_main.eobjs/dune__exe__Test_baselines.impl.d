@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Ds_baselines Ds_congest Ds_core Ds_graph Ds_util Float Helpers List Printf

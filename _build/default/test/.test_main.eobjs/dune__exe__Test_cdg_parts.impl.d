@@ -1,0 +1,1 @@
+test/test_cdg_parts.ml: Alcotest Array Ds_congest Ds_core Ds_graph Ds_util Helpers List Printf

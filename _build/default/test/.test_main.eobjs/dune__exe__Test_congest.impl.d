@@ -1,0 +1,1 @@
+test/test_congest.ml: Alcotest Array Ds_congest Ds_graph Ds_util Helpers List Printf

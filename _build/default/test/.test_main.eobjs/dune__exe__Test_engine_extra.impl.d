@@ -1,0 +1,1 @@
+test/test_engine_extra.ml: Alcotest Ds_congest Ds_graph Ds_util Fun List QCheck QCheck_alcotest

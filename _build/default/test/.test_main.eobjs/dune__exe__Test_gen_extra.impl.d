@@ -1,0 +1,1 @@
+test/test_gen_extra.ml: Alcotest Array Ds_core Ds_graph Ds_util Helpers List Printf String

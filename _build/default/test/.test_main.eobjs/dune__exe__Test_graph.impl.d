@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Ds_graph Ds_util Helpers List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Ds_congest Ds_core Ds_graph Ds_util List Printf

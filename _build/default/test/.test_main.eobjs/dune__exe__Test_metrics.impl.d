@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Ds_congest Ds_graph Ds_util Helpers List

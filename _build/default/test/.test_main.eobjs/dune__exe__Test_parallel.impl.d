@@ -1,0 +1,1 @@
+test/test_parallel.ml: Alcotest Array Ds_congest Ds_core Ds_parallel Ds_util Fun Helpers Printf

@@ -1,0 +1,1 @@
+test/test_props_extra.ml: Alcotest Array Ds_congest Ds_core Ds_graph Ds_util Helpers List Printf QCheck QCheck_alcotest String

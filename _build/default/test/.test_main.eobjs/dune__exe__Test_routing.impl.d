@@ -1,0 +1,1 @@
+test/test_routing.ml: Alcotest Ds_core Ds_graph Ds_util Helpers Printf

@@ -1,0 +1,1 @@
+test/test_slack.ml: Alcotest Array Ds_core Ds_graph Ds_util Helpers List Printf

@@ -1,0 +1,1 @@
+test/test_spanner.ml: Alcotest Ds_core Ds_graph Ds_util Helpers List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_tz.ml: Alcotest Array Ds_congest Ds_core Ds_graph Ds_util Fmt Fun Helpers List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Ds_util Filename Fun Hashtbl List Printf QCheck QCheck_alcotest String Sys

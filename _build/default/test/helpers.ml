@@ -1,0 +1,49 @@
+module Rng = Ds_util.Rng
+module Graph = Ds_graph.Graph
+module Gen = Ds_graph.Gen
+
+let rng seed = Rng.create seed
+
+(* A tiny fixed graph used by many hand-computed tests:
+
+       1 --2-- 2
+      /         \
+     1           3
+    /             \
+   0 ------9------ 3
+    \             /
+     4           1
+      \         /
+       4 --2-- 5          *)
+let diamond () =
+  Graph.of_edges ~n:6
+    [
+      (0, 1, 1); (1, 2, 2); (2, 3, 3); (0, 3, 9); (0, 4, 4); (4, 5, 2);
+      (5, 3, 1);
+    ]
+
+let path n =
+  Graph.of_edges ~n (List.init (n - 1) (fun i -> (i, i + 1, 1)))
+
+let random_graph ?(seed = 42) ?(avg_degree = 4.0) n =
+  Gen.erdos_renyi ~rng:(rng seed) ~n ~avg_degree ()
+
+let graph_suite seed =
+  [
+    ("er", random_graph ~seed 60);
+    ( "geometric",
+      Gen.random_geometric ~rng:(rng (seed + 1)) ~n:50 ~radius:0.25 () );
+    ("grid", Gen.grid ~rng:(rng (seed + 2)) ~rows:7 ~cols:7 ());
+    ("tree", Gen.random_tree ~rng:(rng (seed + 3)) ~n:40 ());
+    ("star-ring", Gen.star_ring ~n:41 ~heavy:10);
+    ( "power-law",
+      Gen.preferential_attachment ~rng:(rng (seed + 4)) ~n:50 ~edges_per_node:2
+        () );
+  ]
+
+let check_no_underestimate ~name ~query apsp =
+  Ds_graph.Apsp.iter_pairs apsp (fun u v d ->
+      let est = query u v in
+      if est < d then
+        Alcotest.failf "%s: underestimate %d < %d for pair (%d,%d)" name est d
+          u v)

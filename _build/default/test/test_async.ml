@@ -1,0 +1,139 @@
+(* Bounded link asynchrony (the paper's stated future-work model):
+   every message is held on its FIFO link for an extra random number of
+   rounds. Delay-tolerant protocols must still produce exact results. *)
+
+module Rng = Ds_util.Rng
+module Graph = Ds_graph.Graph
+module Dist = Ds_graph.Dist
+module Dijkstra = Ds_graph.Dijkstra
+module Engine = Ds_congest.Engine
+module Super_bf = Ds_congest.Super_bf
+module Setup = Ds_congest.Setup
+module Levels = Ds_core.Levels
+module Label = Ds_core.Label
+module Tz_centralized = Ds_core.Tz_centralized
+module Tz_echo = Ds_core.Tz_echo
+
+let jitter seed max_delay = { Engine.rng = Rng.create seed; max_delay }
+
+let test_super_bf_exact_under_jitter () =
+  List.iter
+    (fun (name, g) ->
+      let n = Graph.n g in
+      let sources = [ 0; n / 3; (2 * n) / 3 ] in
+      let r, _ = Super_bf.run ~jitter:(jitter 5 4) g ~sources in
+      let dist, nearest =
+        Dijkstra.multi_source g ~sources:(Array.of_list sources)
+      in
+      Alcotest.(check (array int)) (name ^ " dist") dist r.Super_bf.dist;
+      Alcotest.(check (array int)) (name ^ " nearest") nearest
+        r.Super_bf.nearest)
+    (Helpers.graph_suite 211)
+
+let check_spanning_tree g r =
+  (* parent pointers form a tree rooted at the leader covering all
+     nodes; children lists invert them. *)
+  let n = Graph.n g in
+  let depth = Array.make n (-1) in
+  let rec depth_of u =
+    if depth.(u) >= 0 then depth.(u)
+    else begin
+      let p = r.Setup.parent.(u) in
+      if p < 0 then begin
+        depth.(u) <- 0;
+        0
+      end
+      else begin
+        let d = 1 + depth_of p in
+        depth.(u) <- d;
+        d
+      end
+    end
+  in
+  for u = 0 to n - 1 do
+    ignore (depth_of u);
+    let p = r.Setup.parent.(u) in
+    if p >= 0 then begin
+      Alcotest.(check bool) "tree edge exists" true (Graph.has_edge g u p);
+      Alcotest.(check bool) "child registered" true
+        (List.mem u r.Setup.children.(p))
+    end
+  done;
+  let total =
+    Array.fold_left (fun acc l -> acc + List.length l) 0 r.Setup.children
+  in
+  Alcotest.(check int) "n-1 tree edges" (n - 1) total
+
+let test_setup_under_jitter () =
+  List.iter
+    (fun (name, g) ->
+      let r, _ = Setup.run ~jitter:(jitter 7 5) g in
+      Alcotest.(check int) (name ^ " leader") 0 r.Setup.leader;
+      check_spanning_tree g r)
+    (Helpers.graph_suite 223)
+
+let test_tz_echo_exact_under_jitter () =
+  List.iter
+    (fun (name, g) ->
+      let k = 3 in
+      let levels =
+        Levels.sample ~rng:(Rng.create 227) ~n:(Graph.n g) ~k
+      in
+      let central = Tz_centralized.build g ~levels in
+      let echo = Tz_echo.build ~jitter:(jitter 229 4) g ~levels in
+      Array.iteri
+        (fun u l ->
+          if not (Label.equal l echo.Tz_echo.labels.(u)) then
+            Alcotest.failf "%s: label of node %d differs under jitter" name u)
+        central)
+    (Helpers.graph_suite 233)
+
+let prop_tz_echo_jitter_random =
+  QCheck.Test.make ~name:"echo tz exact under random jitter" ~count:10
+    QCheck.(triple (int_range 8 30) (int_range 0 100000) (int_range 1 6))
+    (fun (n, seed, max_delay) ->
+      let g = Helpers.random_graph ~seed n in
+      let k = 2 + (seed mod 2) in
+      let levels = Levels.sample ~rng:(Rng.create (seed + 1)) ~n ~k in
+      let central = Tz_centralized.build g ~levels in
+      let echo =
+        Tz_echo.build ~jitter:(jitter (seed + 2) max_delay) g ~levels
+      in
+      Array.for_all2 Label.equal central echo.Tz_echo.labels)
+
+let test_jitter_zero_is_synchronous () =
+  (* max_delay = 0 must reproduce the synchronous schedule exactly,
+     including metrics. *)
+  let g = Helpers.random_graph ~seed:239 60 in
+  let levels = Levels.sample ~rng:(Rng.create 241) ~n:60 ~k:3 in
+  let sync = Tz_echo.build g ~levels in
+  let zero = Tz_echo.build ~jitter:(jitter 251 0) g ~levels in
+  Alcotest.(check int) "same rounds"
+    (Ds_congest.Metrics.rounds sync.Tz_echo.metrics)
+    (Ds_congest.Metrics.rounds zero.Tz_echo.metrics);
+  Alcotest.(check int) "same messages"
+    (Ds_congest.Metrics.messages sync.Tz_echo.metrics)
+    (Ds_congest.Metrics.messages zero.Tz_echo.metrics)
+
+let test_jitter_delays_rounds () =
+  let g = Helpers.random_graph ~seed:257 60 in
+  let levels = Levels.sample ~rng:(Rng.create 263) ~n:60 ~k:2 in
+  let sync = Tz_echo.build g ~levels in
+  let slow = Tz_echo.build ~jitter:(jitter 269 8) g ~levels in
+  Alcotest.(check bool) "jitter costs rounds" true
+    (Ds_congest.Metrics.rounds slow.Tz_echo.metrics
+    > Ds_congest.Metrics.rounds sync.Tz_echo.metrics)
+
+let suite =
+  [
+    Alcotest.test_case "super-bf exact under jitter" `Quick
+      test_super_bf_exact_under_jitter;
+    Alcotest.test_case "setup spanning tree under jitter" `Quick
+      test_setup_under_jitter;
+    Alcotest.test_case "tz-echo exact under jitter" `Slow
+      test_tz_echo_exact_under_jitter;
+    QCheck_alcotest.to_alcotest prop_tz_echo_jitter_random;
+    Alcotest.test_case "jitter 0 = synchronous" `Quick
+      test_jitter_zero_is_synchronous;
+    Alcotest.test_case "jitter delays rounds" `Quick test_jitter_delays_rounds;
+  ]

@@ -1,0 +1,119 @@
+module Rng = Ds_util.Rng
+module Graph = Ds_graph.Graph
+module Apsp = Ds_graph.Apsp
+module Vivaldi = Ds_baselines.Vivaldi
+module Setup = Ds_congest.Setup
+module Levels = Ds_core.Levels
+module Label = Ds_core.Label
+module Query_protocol = Ds_core.Query_protocol
+module Tz_centralized = Ds_core.Tz_centralized
+
+let test_vivaldi_estimates_sane () =
+  let g = Helpers.random_graph ~seed:701 60 in
+  let apsp = Apsp.compute g in
+  let t =
+    Vivaldi.run ~rng:(Rng.create 703) g ~distance:(fun u v -> Apsp.dist apsp u v)
+  in
+  for u = 0 to 59 do
+    Alcotest.(check int) "self distance" 0 (Vivaldi.estimate t u u);
+    Alcotest.(check bool) "height nonneg" true (Vivaldi.height t u >= 0.0);
+    Alcotest.(check bool) "error finite" true (Float.is_finite (Vivaldi.error t u));
+    for v = 0 to 59 do
+      Alcotest.(check bool) "estimate nonneg" true (Vivaldi.estimate t u v >= 0);
+      Alcotest.(check int) "symmetric" (Vivaldi.estimate t u v)
+        (Vivaldi.estimate t v u)
+    done
+  done
+
+let test_vivaldi_learns_geometric_metric () =
+  (* Geometric graphs genuinely live in the plane, so the embedding
+     should get average error well below a trivial embedding's. *)
+  let g =
+    Ds_graph.Gen.random_geometric ~rng:(Rng.create 709) ~n:80 ~radius:0.2 ()
+  in
+  let apsp = Apsp.compute g in
+  let t =
+    Vivaldi.run ~rng:(Rng.create 719)
+      ~config:{ Vivaldi.default_config with dim = 2; rounds = 300 }
+      g
+      ~distance:(fun u v -> Apsp.dist apsp u v)
+  in
+  let rel_errors = ref [] in
+  Apsp.iter_pairs apsp (fun u v d ->
+      if d > 0 then begin
+        let e = Vivaldi.estimate t u v in
+        rel_errors :=
+          (Float.abs (float_of_int (e - d)) /. float_of_int d) :: !rel_errors
+      end);
+  let mean = Ds_util.Stats.mean (Array.of_list !rel_errors) in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean relative error %.3f < 0.5" mean)
+    true (mean < 0.5)
+
+let test_vivaldi_deterministic_given_seed () =
+  let g = Helpers.random_graph ~seed:727 40 in
+  let apsp = Apsp.compute g in
+  let dist u v = Apsp.dist apsp u v in
+  let a = Vivaldi.run ~rng:(Rng.create 733) g ~distance:dist in
+  let b = Vivaldi.run ~rng:(Rng.create 733) g ~distance:dist in
+  for u = 0 to 39 do
+    Alcotest.(check (array (float 1e-12))) "same coords" (Vivaldi.coordinate a u)
+      (Vivaldi.coordinate b u)
+  done
+
+let test_query_protocol_matches_local_query () =
+  let g = Helpers.random_graph ~seed:739 70 in
+  let levels = Levels.sample ~rng:(Rng.create 743) ~n:70 ~k:3 in
+  let labels = Tz_centralized.build g ~levels in
+  let tree, _ = Setup.run g in
+  List.iter
+    (fun (u, v) ->
+      let r = Query_protocol.query g ~tree ~labels ~u ~v in
+      Alcotest.(check int) "estimate = local query"
+        (Label.query labels.(u) labels.(v))
+        r.Query_protocol.estimate;
+      Alcotest.(check bool) "did rounds" true (r.Query_protocol.rounds > 0))
+    [ (0, 69); (3, 42); (17, 18); (69, 0) ]
+
+let test_query_protocol_round_bound () =
+  (* O(D + |L(v)|): request flood <= D, stream pipelined <= D + chunks. *)
+  let g = Helpers.random_graph ~seed:751 80 in
+  let d = Ds_graph.Props.hop_diameter g in
+  let levels = Levels.sample ~rng:(Rng.create 757) ~n:80 ~k:3 in
+  let labels = Tz_centralized.build g ~levels in
+  let tree, _ = Setup.run g in
+  List.iter
+    (fun (u, v) ->
+      let r = Query_protocol.query g ~tree ~labels ~u ~v in
+      let chunks = (Label.size_words labels.(v) + 1) / 2 in
+      (* Request and stream each traverse at most 2D tree hops. *)
+      let bound = (4 * d) + chunks + 4 in
+      Alcotest.(check bool)
+        (Printf.sprintf "rounds %d <= %d" r.Query_protocol.rounds bound)
+        true
+        (r.Query_protocol.rounds <= bound))
+    [ (5, 60); (33, 12) ]
+
+let test_query_protocol_self_query () =
+  let g = Helpers.path 4 in
+  let levels = Levels.sample ~rng:(Rng.create 761) ~n:4 ~k:2 in
+  let labels = Tz_centralized.build g ~levels in
+  let tree, _ = Setup.run g in
+  let r = Query_protocol.query g ~tree ~labels ~u:2 ~v:2 in
+  Alcotest.(check int) "zero" 0 r.Query_protocol.estimate
+
+let suite =
+  [
+    Alcotest.test_case "vivaldi estimates sane" `Quick
+      test_vivaldi_estimates_sane;
+    Alcotest.test_case "vivaldi learns geometric metric" `Quick
+      test_vivaldi_learns_geometric_metric;
+    Alcotest.test_case "vivaldi deterministic" `Quick
+      test_vivaldi_deterministic_given_seed;
+    Alcotest.test_case "query protocol = local query" `Quick
+      test_query_protocol_matches_local_query;
+    Alcotest.test_case "query protocol round bound" `Quick
+      test_query_protocol_round_bound;
+    Alcotest.test_case "query protocol self query" `Quick
+      test_query_protocol_self_query;
+  ]

@@ -1,0 +1,123 @@
+(* Units for the CDG building blocks: the cell broadcast and the
+   net-restricted hierarchy plumbing. *)
+
+module Rng = Ds_util.Rng
+module Graph = Ds_graph.Graph
+module Metrics = Ds_congest.Metrics
+module Super_bf = Ds_congest.Super_bf
+module Levels = Ds_core.Levels
+module Cell_cast = Ds_core.Cell_cast
+module Cdg = Ds_core.Cdg
+
+let test_cell_cast_accounting () =
+  (* A path 0-1-2-3 with source {0}: the cell is the whole path, a
+     chain. Streaming c chunks from node 0 costs messages
+     c * (#tree edges) and rounds ~ depth + c (pipelined). *)
+  let g = Helpers.path 4 in
+  let forest, _ = Super_bf.run g ~sources:[ 0 ] in
+  let chunks = 5 in
+  let payload w =
+    if w = 0 then Array.init chunks (fun i -> (i, 10 * i)) else [||]
+  in
+  let received, m = Cell_cast.run g ~forest ~payload in
+  (* Every cell member got the exact stream. *)
+  for u = 0 to 3 do
+    Alcotest.(check (array (pair int int))) "stream content" (payload 0)
+      received.(u)
+  done;
+  Alcotest.(check int) "messages" (chunks * 3) (Metrics.messages m);
+  Alcotest.(check int) "words" (2 * chunks * 3) (Metrics.words m);
+  (* Pipelined: last chunk leaves at round `chunks`, arrives at the end
+     of the chain 2 rounds later. *)
+  Alcotest.(check int) "rounds" (chunks + 2) (Metrics.rounds m)
+
+let test_cell_cast_two_cells () =
+  (* Sources at both ends of a path of 5: cells are {0,1} and
+     {2,3,4} (3 is closer to 4? weights 1: node 2 at distance 2 from 0
+     and 2 from 4 -> tie broken toward smaller source id 0). *)
+  let g = Helpers.path 5 in
+  let forest, _ = Super_bf.run g ~sources:[ 0; 4 ] in
+  Alcotest.(check (array int)) "nearest" [| 0; 0; 0; 4; 4 |]
+    forest.Super_bf.nearest;
+  let payload w =
+    match w with
+    | 0 -> Array.init 4 (fun i -> (i, i))
+    | 4 -> Array.init 2 (fun i -> (100 + i, i))
+    | _ -> [||]
+  in
+  let received, m = Cell_cast.run g ~forest ~payload in
+  Alcotest.(check (array (pair int int))) "cell of 0 content" (payload 0)
+    received.(2);
+  Alcotest.(check (array (pair int int))) "cell of 4 content" (payload 4)
+    received.(3);
+  (* Cell of 0 is the chain 0-1-2 (2 edges, 4 chunks = 8 msgs); cell of
+     4 is 4-3 (1 edge, 2 chunks). *)
+  Alcotest.(check int) "messages" ((4 * 2) + 2) (Metrics.messages m)
+
+let test_net_probability_monotone () =
+  let p1 = Cdg.net_sampling_probability ~n:500 ~eps:0.2 ~k:1 in
+  let p2 = Cdg.net_sampling_probability ~n:500 ~eps:0.2 ~k:3 in
+  Alcotest.(check bool) "prob in (0,1]" true (p1 > 0.0 && p1 <= 1.0);
+  Alcotest.(check bool) "deeper hierarchy samples more" true (p2 > p1)
+
+let test_cdg_sketch_size_accounting () =
+  let g = Helpers.random_graph ~seed:363 60 in
+  let r = Cdg.build_distributed ~rng:(Rng.create 367) g ~eps:0.3 ~k:2 in
+  Array.iter
+    (fun s ->
+      Alcotest.(check int) "2 + |L(u')|"
+        (2 + Ds_core.Label.size_words s.Cdg.net_label)
+        (Cdg.size_words s))
+    r.Cdg.sketches
+
+let test_cdg_net_levels_restricted_to_net () =
+  let g = Helpers.random_graph ~seed:373 60 in
+  let r = Cdg.build_distributed ~rng:(Rng.create 379) g ~eps:0.3 ~k:2 in
+  for u = 0 to 59 do
+    let lvl = Levels.level r.Cdg.net_levels u in
+    if List.mem u r.Cdg.net then
+      Alcotest.(check bool) "net member sampled" true (lvl >= 0)
+    else Alcotest.(check int) "outside net excluded" (-1) lvl
+  done
+
+let test_cdg_net_label_survives_the_wire () =
+  (* The net label inside each sketch is deserialized from the words
+     that actually crossed the network; it must equal the label the
+     nearest net node computed. *)
+  let g = Helpers.random_graph ~seed:391 80 in
+  let r = Cdg.build_distributed ~rng:(Rng.create 397) g ~eps:0.3 ~k:2 in
+  let oracle = Ds_core.Tz_distributed.build g ~levels:r.Cdg.net_levels in
+  Array.iter
+    (fun s ->
+      Alcotest.(check bool) "wire round-trip" true
+        (Ds_core.Label.equal s.Cdg.net_label
+           oracle.Ds_core.Tz_distributed.labels.(s.Cdg.nearest)))
+    r.Cdg.sketches
+
+let test_cdg_transfer_cost_small_share () =
+  let g = Helpers.random_graph ~seed:383 120 in
+  let r = Cdg.build_distributed ~rng:(Rng.create 389) g ~eps:0.25 ~k:2 in
+  let share =
+    float_of_int (Metrics.messages r.Cdg.transfer_metrics)
+    /. float_of_int (Metrics.messages r.Cdg.metrics)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "transfer share %.3f < 0.5" share)
+    true (share < 0.5)
+
+let suite =
+  [
+    Alcotest.test_case "cell-cast accounting on a chain" `Quick
+      test_cell_cast_accounting;
+    Alcotest.test_case "cell-cast two cells" `Quick test_cell_cast_two_cells;
+    Alcotest.test_case "net sampling probability" `Quick
+      test_net_probability_monotone;
+    Alcotest.test_case "cdg size accounting" `Quick
+      test_cdg_sketch_size_accounting;
+    Alcotest.test_case "cdg net levels restricted" `Quick
+      test_cdg_net_levels_restricted_to_net;
+    Alcotest.test_case "cdg net label survives the wire" `Quick
+      test_cdg_net_label_survives_the_wire;
+    Alcotest.test_case "cdg transfer share small" `Quick
+      test_cdg_transfer_cost_small_share;
+  ]

@@ -1,0 +1,268 @@
+module Rng = Ds_util.Rng
+module Graph = Ds_graph.Graph
+module Dist = Ds_graph.Dist
+module Dijkstra = Ds_graph.Dijkstra
+module Bfs = Ds_graph.Bfs
+module Engine = Ds_congest.Engine
+module Metrics = Ds_congest.Metrics
+module Super_bf = Ds_congest.Super_bf
+module Multi_bf = Ds_congest.Multi_bf
+module Setup = Ds_congest.Setup
+
+(* A one-shot flood protocol used to exercise the engine itself. *)
+let flood_protocol ~root : (int ref, int) Engine.protocol =
+  let open Engine in
+  {
+    name = "flood";
+    max_msg_words = 1;
+    msg_words = (fun _ -> 1);
+    halted = (fun _ -> true);
+    init =
+      (fun api ->
+        if api.id = root then begin
+          api.broadcast 0;
+          ref 0
+        end
+        else ref max_int);
+    on_round =
+      (fun api st inbox ->
+        List.iter
+          (fun (_, h) ->
+            if h + 1 < !st then begin
+              st := h + 1;
+              api.broadcast (h + 1)
+            end)
+          inbox);
+  }
+
+let test_engine_flood_is_bfs () =
+  let g = Helpers.random_graph 70 in
+  let eng = Engine.create g (flood_protocol ~root:0) in
+  (match Engine.run eng with
+  | Engine.Quiescent | Engine.All_halted -> ()
+  | Engine.Round_limit -> Alcotest.fail "round limit");
+  let hops = Bfs.hops g ~src:0 in
+  Array.iteri
+    (fun u st -> Alcotest.(check int) (Printf.sprintf "node %d" u) hops.(u) !st)
+    (Engine.states eng);
+  (* The flood's last (futile) re-broadcasts from the farthest nodes
+     cross in round eccentricity + 1. *)
+  let ecc = Bfs.eccentricity g ~src:0 in
+  Alcotest.(check int) "rounds = eccentricity + 1" (ecc + 1)
+    (Metrics.rounds (Engine.metrics eng))
+
+let test_engine_counts_messages () =
+  let g = Helpers.path 5 in
+  let eng = Engine.create g (flood_protocol ~root:0) in
+  ignore (Engine.run eng);
+  let m = Engine.metrics eng in
+  (* Flood on a path: node i broadcasts once; every broadcast crosses
+     each incident edge once. Degrees: 1,2,2,2,1 but node 4 only
+     receives; it still broadcasts back. Total sends = sum of degrees
+     of broadcasting nodes = 1+2+2+2+1 = 8. *)
+  Alcotest.(check int) "messages" 8 (Metrics.messages m);
+  Alcotest.(check int) "words" 8 (Metrics.words m);
+  Alcotest.(check int) "max msg words" 1 (Metrics.max_msg_words m)
+
+let test_engine_rejects_oversized_messages () =
+  let g = Helpers.path 2 in
+  let proto : (unit, int) Engine.protocol =
+    {
+      Engine.name = "oversize";
+      max_msg_words = 1;
+      msg_words = (fun _ -> 2);
+      halted = (fun _ -> true);
+      init = (fun api -> api.Engine.broadcast 0);
+      on_round = (fun _ _ _ -> ());
+    }
+  in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Engine.create g proto);
+       false
+     with Invalid_argument _ -> true)
+
+(* One message per edge per direction per round: a protocol that sends
+   two messages to the same neighbor in one round must have them
+   delivered in two successive rounds. *)
+let test_engine_link_discipline () =
+  let g = Helpers.path 2 in
+  let proto : ((int * int) list ref, int) Engine.protocol =
+    {
+      Engine.name = "two-sends";
+      max_msg_words = 1;
+      msg_words = (fun _ -> 1);
+      halted = (fun _ -> true);
+      init =
+        (fun api ->
+          if api.Engine.id = 0 then begin
+            api.Engine.send 0 1;
+            api.Engine.send 0 2
+          end;
+          ref []);
+      on_round =
+        (fun api st inbox ->
+          List.iter (fun (_, m) -> st := (m, api.Engine.round ()) :: !st) inbox);
+    }
+  in
+  let eng = Engine.create g proto in
+  ignore (Engine.run eng);
+  let received = List.rev !(Engine.state eng 1) in
+  Alcotest.(check int) "two messages" 2 (List.length received);
+  match received with
+  | [ (1, r1); (2, r2) ] ->
+    Alcotest.(check bool) "successive rounds" true (r2 = r1 + 1)
+  | _ -> Alcotest.fail "unexpected delivery order"
+
+let test_super_bf_matches_multi_source_dijkstra () =
+  List.iter
+    (fun (name, g) ->
+      let n = Graph.n g in
+      let sources = [ 0; n / 2; n - 1 ] in
+      let r, _ = Super_bf.run g ~sources in
+      let dist, nearest =
+        Dijkstra.multi_source g ~sources:(Array.of_list sources)
+      in
+      Alcotest.(check (array int)) (name ^ " dist") dist r.Super_bf.dist;
+      Alcotest.(check (array int)) (name ^ " nearest") nearest
+        r.Super_bf.nearest)
+    (Helpers.graph_suite 23)
+
+let test_super_bf_forest_consistent () =
+  let g = Helpers.random_graph 60 in
+  let sources = [ 5; 40 ] in
+  let r, _ = Super_bf.run g ~sources in
+  (* Parent edges are tight and stay within the same cell; children
+     lists are the exact inverse of parents. *)
+  Array.iteri
+    (fun u p ->
+      if p >= 0 then begin
+        Alcotest.(check int) "tight"
+          r.Super_bf.dist.(u)
+          (r.Super_bf.dist.(p) + Graph.weight g u p);
+        Alcotest.(check int) "same cell" r.Super_bf.nearest.(u)
+          r.Super_bf.nearest.(p);
+        Alcotest.(check bool) "child link" true
+          (List.mem u r.Super_bf.children.(p))
+      end
+      else
+        Alcotest.(check bool) "roots are sources" true (List.mem u sources))
+    r.Super_bf.parent;
+  Array.iteri
+    (fun u kids ->
+      List.iter
+        (fun c ->
+          Alcotest.(check int) (Printf.sprintf "parent of %d" c) u
+            r.Super_bf.parent.(c))
+        kids)
+    r.Super_bf.children
+
+let test_single_source_bf_is_dijkstra () =
+  let g = Helpers.random_graph 50 in
+  let d, _ = Super_bf.single_source g ~src:7 in
+  Alcotest.(check (array int)) "distances" (Dijkstra.sssp g ~src:7) d
+
+let test_multi_bf_unbounded_is_k_source () =
+  let g = Helpers.random_graph 40 in
+  let sources = [ 1; 2; 3; 30 ] in
+  let found, _ = Multi_bf.run g ~sources ~bound:(fun _ -> Dist.none) in
+  let per_source = List.map (fun s -> (s, Dijkstra.sssp g ~src:s)) sources in
+  Array.iteri
+    (fun u lst ->
+      Alcotest.(check int) "all sources found" (List.length sources)
+        (List.length lst);
+      List.iter
+        (fun (s, d) ->
+          Alcotest.(check int)
+            (Printf.sprintf "d(%d,%d)" u s)
+            (List.assoc s per_source).(u)
+            d)
+        lst)
+    found
+
+let test_multi_bf_respects_bounds () =
+  let g = Helpers.random_graph 40 in
+  (* Bound each node by its distance to source 0: only announcements
+     strictly closer (lex) than source 0 may be kept. *)
+  let d0 = Dijkstra.sssp g ~src:0 in
+  let bound u = (d0.(u), 0) in
+  let sources = [ 0; 10; 20; 30 ] in
+  let found, _ = Multi_bf.run g ~sources ~bound in
+  let ds = List.map (fun s -> (s, Dijkstra.sssp g ~src:s)) sources in
+  Array.iteri
+    (fun u lst ->
+      (* Exactness: found = { (s, d(u,s)) : (d(u,s), s) <lex bound u }. *)
+      List.iter
+        (fun (s, d) ->
+          Alcotest.(check int) "exact distance" (List.assoc s ds).(u) d;
+          Alcotest.(check bool) "within bound" true
+            (Dist.lex_lt (d, s) (bound u)))
+        lst;
+      List.iter
+        (fun (s, dist_s) ->
+          if Dist.lex_lt (dist_s.(u), s) (bound u) then
+            Alcotest.(check bool)
+              (Printf.sprintf "node %d must have found %d" u s)
+              true
+              (List.mem_assoc s lst))
+        ds)
+    found
+
+let test_setup_elects_min_and_builds_bfs_tree () =
+  List.iter
+    (fun (name, g) ->
+      let r, m = Setup.run g in
+      Alcotest.(check int) (name ^ " leader") 0 r.Setup.leader;
+      let hops = Bfs.hops g ~src:0 in
+      Array.iteri
+        (fun u p ->
+          if u = 0 then Alcotest.(check int) (name ^ " root parent") (-1) p
+          else begin
+            Alcotest.(check bool) (name ^ " has parent") true (p >= 0);
+            Alcotest.(check int)
+              (Printf.sprintf "%s: tree edge depth at %d" name u)
+              hops.(u) (hops.(p) + 1);
+            Alcotest.(check bool)
+              (name ^ " child registered")
+              true
+              (List.mem u r.Setup.children.(p))
+          end)
+        r.Setup.parent;
+      (* Tree has exactly n-1 child links. *)
+      let total_children =
+        Array.fold_left (fun acc l -> acc + List.length l) 0 r.Setup.children
+      in
+      Alcotest.(check int) (name ^ " tree size") (Graph.n g - 1) total_children;
+      Alcotest.(check bool) (name ^ " rounds sane") true (Metrics.rounds m > 0))
+    (Helpers.graph_suite 31)
+
+let test_setup_single_node () =
+  let g = Graph.of_edges ~n:2 [ (0, 1, 1) ] in
+  let r, _ = Setup.run g in
+  Alcotest.(check int) "leader" 0 r.Setup.leader;
+  Alcotest.(check (list int)) "children of 0" [ 1 ] r.Setup.children.(0)
+
+let suite =
+  [
+    Alcotest.test_case "engine: flood = BFS, rounds = ecc" `Quick
+      test_engine_flood_is_bfs;
+    Alcotest.test_case "engine: message accounting" `Quick
+      test_engine_counts_messages;
+    Alcotest.test_case "engine: rejects oversized messages" `Quick
+      test_engine_rejects_oversized_messages;
+    Alcotest.test_case "engine: one message per link per round" `Quick
+      test_engine_link_discipline;
+    Alcotest.test_case "super-bf = multi-source dijkstra" `Quick
+      test_super_bf_matches_multi_source_dijkstra;
+    Alcotest.test_case "super-bf forest consistent" `Quick
+      test_super_bf_forest_consistent;
+    Alcotest.test_case "single-source bf = dijkstra" `Quick
+      test_single_source_bf_is_dijkstra;
+    Alcotest.test_case "multi-bf unbounded = k-source dijkstra" `Quick
+      test_multi_bf_unbounded_is_k_source;
+    Alcotest.test_case "multi-bf respects bounds exactly" `Quick
+      test_multi_bf_respects_bounds;
+    Alcotest.test_case "setup: min-ID leader + BFS tree" `Quick
+      test_setup_elects_min_and_builds_bfs_tree;
+    Alcotest.test_case "setup: two nodes" `Quick test_setup_single_node;
+  ]

@@ -1,0 +1,132 @@
+(* Engine-level semantics that the protocol correctness proofs lean
+   on: FIFO links (with and without jitter), round numbering, and
+   quiescence behaviour. *)
+
+module Rng = Ds_util.Rng
+module Graph = Ds_graph.Graph
+module Engine = Ds_congest.Engine
+module Metrics = Ds_congest.Metrics
+
+(* Node 0 sends a numbered burst to node 1; node 1 records arrivals. *)
+let burst_protocol ~count : ((int * int) list ref, int) Engine.protocol =
+  {
+    Engine.name = "burst";
+    max_msg_words = 1;
+    msg_words = (fun _ -> 1);
+    halted = (fun _ -> true);
+    init =
+      (fun api ->
+        if api.Engine.id = 0 then
+          for s = 1 to count do
+            api.Engine.send 0 s
+          done;
+        ref []);
+    on_round =
+      (fun api st inbox ->
+        List.iter (fun (_, m) -> st := (m, api.Engine.round ()) :: !st) inbox);
+  }
+
+let arrivals ?jitter count =
+  let g = Graph.of_edges ~n:2 [ (0, 1, 1) ] in
+  let eng = Engine.create ?jitter g (burst_protocol ~count) in
+  ignore (Engine.run eng);
+  List.rev !(Engine.state eng 1)
+
+let test_fifo_synchronous () =
+  let a = arrivals 5 in
+  Alcotest.(check (list int)) "order" [ 1; 2; 3; 4; 5 ] (List.map fst a);
+  Alcotest.(check (list int)) "one per round" [ 1; 2; 3; 4; 5 ]
+    (List.map snd a)
+
+let test_fifo_under_jitter () =
+  let jitter = { Engine.rng = Rng.create 901; max_delay = 5 } in
+  let a = arrivals ~jitter 8 in
+  Alcotest.(check (list int)) "order preserved" [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+    (List.map fst a);
+  let rounds = List.map snd a in
+  let rec strictly_increasing = function
+    | x :: (y :: _ as rest) -> x < y && strictly_increasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "arrival rounds strictly increase" true
+    (strictly_increasing rounds)
+
+let test_jitter_never_reorders_qcheck =
+  QCheck.Test.make ~name:"jitter preserves per-link FIFO order" ~count:50
+    QCheck.(pair (int_range 1 20) (int_range 0 100000))
+    (fun (count, seed) ->
+      let jitter = { Engine.rng = Rng.create seed; max_delay = seed mod 7 } in
+      let a = arrivals ~jitter count in
+      List.map fst a = List.init count (fun i -> i + 1))
+
+let test_round_numbers_visible_to_nodes () =
+  let g = Graph.of_edges ~n:2 [ (0, 1, 1) ] in
+  let seen = ref [] in
+  let proto : (unit, int) Engine.protocol =
+    {
+      Engine.name = "rounds";
+      max_msg_words = 1;
+      msg_words = (fun _ -> 1);
+      halted = (fun _ -> true);
+      init = (fun api -> if api.Engine.id = 0 then api.Engine.send 0 0);
+      on_round =
+        (fun api _ inbox ->
+          if api.Engine.id = 0 then seen := api.Engine.round () :: !seen;
+          (* keep one message circulating for three rounds *)
+          List.iter
+            (fun (_, m) -> if m < 2 then api.Engine.send 0 (m + 1))
+            inbox);
+    }
+  in
+  let eng = Engine.create g proto in
+  ignore (Engine.run eng);
+  Alcotest.(check bool) "rounds increase from 1" true
+    (List.rev !seen |> List.mapi (fun i r -> r = i + 1) |> List.for_all Fun.id)
+
+let test_quiescent_empty_protocol () =
+  let g = Graph.of_edges ~n:3 [ (0, 1, 1); (1, 2, 1) ] in
+  let proto : (unit, int) Engine.protocol =
+    {
+      Engine.name = "silent";
+      max_msg_words = 1;
+      msg_words = (fun _ -> 1);
+      halted = (fun _ -> true);
+      init = (fun _ -> ());
+      on_round = (fun _ _ _ -> ());
+    }
+  in
+  let eng = Engine.create g proto in
+  let reason = Engine.run eng in
+  Alcotest.(check bool) "halts immediately" true (reason = Engine.All_halted);
+  Alcotest.(check int) "zero rounds" 0 (Metrics.rounds (Engine.metrics eng));
+  Alcotest.(check int) "zero messages" 0 (Metrics.messages (Engine.metrics eng))
+
+let test_round_limit () =
+  (* Two nodes ping-pong forever; the limit must fire. *)
+  let g = Graph.of_edges ~n:2 [ (0, 1, 1) ] in
+  let proto : (unit, int) Engine.protocol =
+    {
+      Engine.name = "ping-pong";
+      max_msg_words = 1;
+      msg_words = (fun _ -> 1);
+      halted = (fun _ -> false);
+      init = (fun api -> if api.Engine.id = 0 then api.Engine.send 0 0);
+      on_round =
+        (fun api _ inbox -> List.iter (fun (i, m) -> api.Engine.send i m) inbox);
+    }
+  in
+  let eng = Engine.create g proto in
+  let reason = Engine.run ~max_rounds:50 eng in
+  Alcotest.(check bool) "limit reached" true (reason = Engine.Round_limit)
+
+let suite =
+  [
+    Alcotest.test_case "fifo synchronous" `Quick test_fifo_synchronous;
+    Alcotest.test_case "fifo under jitter" `Quick test_fifo_under_jitter;
+    QCheck_alcotest.to_alcotest test_jitter_never_reorders_qcheck;
+    Alcotest.test_case "round numbers visible" `Quick
+      test_round_numbers_visible_to_nodes;
+    Alcotest.test_case "quiescent empty protocol" `Quick
+      test_quiescent_empty_protocol;
+    Alcotest.test_case "round limit fires" `Quick test_round_limit;
+  ]

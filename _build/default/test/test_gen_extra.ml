@@ -1,0 +1,84 @@
+module Rng = Ds_util.Rng
+module Graph = Ds_graph.Graph
+module Gen = Ds_graph.Gen
+module Props = Ds_graph.Props
+
+let test_random_regular () =
+  let g = Gen.random_regular ~rng:(Rng.create 801) ~n:100 ~degree:4 () in
+  Alcotest.(check bool) "connected" true (Props.is_connected g);
+  for u = 0 to 99 do
+    let d = Graph.degree g u in
+    Alcotest.(check bool)
+      (Printf.sprintf "degree of %d is %d, near 4" u d)
+      true
+      (d >= 2 && d <= 6)
+  done;
+  (* Expanders have logarithmic diameter. *)
+  Alcotest.(check bool) "small diameter" true (Props.hop_diameter g <= 10)
+
+let test_complete () =
+  let g = Gen.complete ~rng:(Rng.create 809) ~n:12 () in
+  Alcotest.(check int) "m" (12 * 11 / 2) (Graph.m g);
+  Alcotest.(check int) "hop diameter" 1 (Props.hop_diameter g)
+
+let test_barbell () =
+  let g = Gen.barbell ~rng:(Rng.create 811) ~clique:6 ~bridge:5 () in
+  Alcotest.(check int) "n" 17 (Graph.n g);
+  Alcotest.(check bool) "connected" true (Props.is_connected g);
+  (* Diameter path crosses the bridge: 1 + (bridge+1) + 1. *)
+  Alcotest.(check int) "hop diameter" 8 (Props.hop_diameter g)
+
+let test_caterpillar () =
+  let g = Gen.caterpillar ~rng:(Rng.create 821) ~spine:5 ~legs:3 () in
+  Alcotest.(check int) "n" 20 (Graph.n g);
+  Alcotest.(check int) "m (tree)" 19 (Graph.m g);
+  Alcotest.(check bool) "connected" true (Props.is_connected g)
+
+let test_to_dot () =
+  let g = Helpers.path 3 in
+  let dot = Gen.to_dot g in
+  Alcotest.(check bool) "has graph header" true
+    (String.length dot > 10 && String.sub dot 0 7 = "graph G");
+  (* Both edges present. *)
+  let contains needle =
+    let nl = String.length needle and dl = String.length dot in
+    let rec go i = i + nl <= dl && (String.sub dot i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "edge 0-1" true (contains "0 -- 1");
+  Alcotest.(check bool) "edge 1-2" true (contains "1 -- 2")
+
+(* The sketches should behave on the new shapes too. *)
+let test_tz_on_new_families () =
+  List.iter
+    (fun g ->
+      let n = Graph.n g in
+      let k = 2 in
+      let levels = Ds_core.Levels.sample ~rng:(Rng.create 823) ~n ~k in
+      let labels = Ds_core.Tz_centralized.build g ~levels in
+      let dist = Ds_core.Tz_distributed.build g ~levels in
+      Array.iteri
+        (fun u l ->
+          Alcotest.(check bool) "labels equal" true
+            (Ds_core.Label.equal l dist.Ds_core.Tz_distributed.labels.(u)))
+        labels;
+      let apsp = Ds_graph.Apsp.compute g in
+      Helpers.check_no_underestimate ~name:"new-family"
+        ~query:(fun u v -> Ds_core.Label.query labels.(u) labels.(v))
+        apsp)
+    [
+      Gen.random_regular ~rng:(Rng.create 827) ~n:60 ~degree:4 ();
+      Gen.barbell ~rng:(Rng.create 829) ~clique:8 ~bridge:6 ();
+      Gen.caterpillar ~rng:(Rng.create 839) ~spine:10 ~legs:4 ();
+      Gen.complete ~rng:(Rng.create 853) ~n:20 ();
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "random regular" `Quick test_random_regular;
+    Alcotest.test_case "complete" `Quick test_complete;
+    Alcotest.test_case "barbell" `Quick test_barbell;
+    Alcotest.test_case "caterpillar" `Quick test_caterpillar;
+    Alcotest.test_case "to_dot" `Quick test_to_dot;
+    Alcotest.test_case "tz on new families" `Quick test_tz_on_new_families;
+  ]

@@ -1,0 +1,220 @@
+module Rng = Ds_util.Rng
+module Graph = Ds_graph.Graph
+module Gen = Ds_graph.Gen
+module Dist = Ds_graph.Dist
+module Dijkstra = Ds_graph.Dijkstra
+module Bfs = Ds_graph.Bfs
+module Bellman_ford = Ds_graph.Bellman_ford
+module Props = Ds_graph.Props
+module Apsp = Ds_graph.Apsp
+
+let test_graph_basics () =
+  let g = Helpers.diamond () in
+  Alcotest.(check int) "n" 6 (Graph.n g);
+  Alcotest.(check int) "m" 7 (Graph.m g);
+  Alcotest.(check int) "deg 0" 3 (Graph.degree g 0);
+  Alcotest.(check int) "weight 0-3" 9 (Graph.weight g 0 3);
+  Alcotest.(check int) "weight symmetric" 9 (Graph.weight g 3 0);
+  Alcotest.(check bool) "has edge" true (Graph.has_edge g 4 5);
+  Alcotest.(check bool) "no edge" false (Graph.has_edge g 1 5)
+
+let test_graph_rejects_bad_edges () =
+  let bad name edges =
+    Alcotest.(check bool) name true
+      (try
+         ignore (Graph.of_edges ~n:3 edges);
+         false
+       with Invalid_argument _ -> true)
+  in
+  bad "self loop" [ (1, 1, 1) ];
+  bad "range" [ (0, 3, 1) ];
+  bad "weight" [ (0, 1, 0) ];
+  bad "duplicate" [ (0, 1, 1); (1, 0, 2) ]
+
+let test_graph_edges_roundtrip () =
+  let g = Helpers.diamond () in
+  let g' = Graph.of_edges ~n:6 (Graph.edges g) in
+  Alcotest.(check int) "same m" (Graph.m g) (Graph.m g');
+  List.iter
+    (fun (u, v, w) ->
+      Alcotest.(check int) "same weight" w (Graph.weight g' u v))
+    (Graph.edges g)
+
+let test_dijkstra_diamond () =
+  let g = Helpers.diamond () in
+  let d = Dijkstra.sssp g ~src:0 in
+  Alcotest.(check (array int)) "dists" [| 0; 1; 3; 6; 4; 6 |] d
+
+let test_dijkstra_parents_form_tree () =
+  let g = Helpers.random_graph 80 in
+  let dist, parent = Dijkstra.sssp_with_parents g ~src:0 in
+  Array.iteri
+    (fun v p ->
+      if v <> 0 then begin
+        Alcotest.(check bool) "has parent" true (p >= 0);
+        Alcotest.(check int) "tree edge tight" dist.(v)
+          (dist.(p) + Graph.weight g p v)
+      end)
+    parent
+
+let test_multi_source_matches_min () =
+  let g = Helpers.random_graph 60 in
+  let sources = [| 3; 17; 44 |] in
+  let dist, nearest = Dijkstra.multi_source g ~sources in
+  let per_source = Array.map (fun s -> Dijkstra.sssp g ~src:s) sources in
+  for u = 0 to Graph.n g - 1 do
+    let best = ref Dist.none in
+    Array.iteri
+      (fun i s ->
+        let d = per_source.(i).(u) in
+        if Dist.lex_lt (d, s) !best then best := (d, s))
+      sources;
+    Alcotest.(check (pair int int))
+      (Printf.sprintf "node %d" u)
+      !best
+      (dist.(u), nearest.(u))
+  done
+
+let test_sssp_hops_on_parallel_paths () =
+  (* Two shortest paths of equal weight, different hop counts: hops
+     must pick the smaller. 0-1-2-3 (1+1+1) vs 0-3 (3). *)
+  let g = Graph.of_edges ~n:4 [ (0, 1, 1); (1, 2, 1); (2, 3, 1); (0, 3, 3) ] in
+  let dist, hops = Dijkstra.sssp_hops g ~src:0 in
+  Alcotest.(check int) "dist" 3 dist.(3);
+  Alcotest.(check int) "hops prefers direct edge" 1 hops.(3)
+
+let prop_dijkstra_equals_bellman_ford =
+  QCheck.Test.make ~name:"dijkstra = bellman-ford on random graphs" ~count:30
+    QCheck.(pair (int_range 5 40) (int_range 0 10000))
+    (fun (n, seed) ->
+      let g = Helpers.random_graph ~seed n in
+      let src = seed mod n in
+      let d1 = Dijkstra.sssp g ~src in
+      let d2, _ = Bellman_ford.sssp g ~src in
+      d1 = d2)
+
+let prop_bfs_is_unit_weight_dijkstra =
+  QCheck.Test.make ~name:"bfs = dijkstra on unit weights" ~count:30
+    QCheck.(int_range 0 10000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let g =
+        Gen.erdos_renyi ~rng ~weights:Gen.unit_weights ~n:40 ~avg_degree:3.0 ()
+      in
+      let h = Bfs.hops g ~src:0 in
+      let d = Dijkstra.sssp g ~src:0 in
+      Array.for_all2 (fun a b -> a = b) h d)
+
+let test_generators_connected_and_positive () =
+  List.iter
+    (fun (name, g) ->
+      Alcotest.(check bool) (name ^ " connected") true (Props.is_connected g);
+      List.iter
+        (fun (_, _, w) ->
+          Alcotest.(check bool) (name ^ " weight > 0") true (w > 0))
+        (Graph.edges g))
+    (Helpers.graph_suite 7)
+
+let test_grid_shape () =
+  let g = Gen.grid ~rng:(Rng.create 1) ~rows:3 ~cols:4 () in
+  Alcotest.(check int) "n" 12 (Graph.n g);
+  (* 3*(4-1) horizontal + (3-1)*4 vertical *)
+  Alcotest.(check int) "m" 17 (Graph.m g)
+
+let test_hypercube_shape () =
+  let g = Gen.hypercube ~rng:(Rng.create 1) ~dims:4 () in
+  Alcotest.(check int) "n" 16 (Graph.n g);
+  Alcotest.(check int) "m" 32 (Graph.m g);
+  for u = 0 to 15 do
+    Alcotest.(check int) "regular degree" 4 (Graph.degree g u)
+  done
+
+let test_ring_shape () =
+  let g = Gen.ring ~rng:(Rng.create 1) ~n:10 () in
+  Alcotest.(check int) "m" 10 (Graph.m g);
+  Alcotest.(check int) "hop diameter" 5 (Props.hop_diameter g)
+
+let test_star_ring_s_much_larger_than_d () =
+  let g = Gen.star_ring ~n:101 ~heavy:25 in
+  let p = Props.profile g in
+  Alcotest.(check int) "D = 2" 2 p.Props.d;
+  Alcotest.(check bool)
+    (Printf.sprintf "S = %d >> D" p.Props.s)
+    true
+    (p.Props.s >= 20)
+
+let test_hop_diameter_path () =
+  let g = Helpers.path 9 in
+  Alcotest.(check int) "D" 8 (Props.hop_diameter g);
+  Alcotest.(check int) "S" 8 (Props.shortest_path_diameter g)
+
+let test_spd_at_least_hop_diameter () =
+  List.iter
+    (fun (name, g) ->
+      let p = Props.profile g in
+      Alcotest.(check bool) (name ^ ": S >= D") true (p.Props.s >= p.Props.d))
+    (Helpers.graph_suite 19)
+
+let test_apsp_symmetric () =
+  let g = Helpers.random_graph 50 in
+  let apsp = Apsp.compute g in
+  for u = 0 to 49 do
+    for v = 0 to 49 do
+      Alcotest.(check int) "symmetric" (Apsp.dist apsp u v) (Apsp.dist apsp v u)
+    done
+  done
+
+let prop_apsp_triangle_inequality =
+  QCheck.Test.make ~name:"apsp satisfies triangle inequality" ~count:20
+    QCheck.(int_range 0 10000)
+    (fun seed ->
+      let g = Helpers.random_graph ~seed 30 in
+      let apsp = Apsp.compute g in
+      let ok = ref true in
+      for u = 0 to 29 do
+        for v = 0 to 29 do
+          for w = 0 to 29 do
+            if Apsp.dist apsp u v > Apsp.dist apsp u w + Apsp.dist apsp w v
+            then ok := false
+          done
+        done
+      done;
+      !ok)
+
+let test_dist_lex_order () =
+  Alcotest.(check bool) "lt dist" true (Dist.lex_lt (1, 9) (2, 0));
+  Alcotest.(check bool) "tie id" true (Dist.lex_lt (2, 0) (2, 1));
+  Alcotest.(check bool) "not lt" false (Dist.lex_lt (2, 1) (2, 1));
+  Alcotest.(check bool) "add saturates" true
+    (Dist.add Dist.infinity 5 = Dist.infinity);
+  Alcotest.(check bool) "none is top" true (Dist.lex_lt (Dist.infinity, 0) Dist.none)
+
+let suite =
+  [
+    Alcotest.test_case "graph basics" `Quick test_graph_basics;
+    Alcotest.test_case "graph rejects bad edges" `Quick
+      test_graph_rejects_bad_edges;
+    Alcotest.test_case "graph edges roundtrip" `Quick test_graph_edges_roundtrip;
+    Alcotest.test_case "dijkstra diamond" `Quick test_dijkstra_diamond;
+    Alcotest.test_case "dijkstra parents form tree" `Quick
+      test_dijkstra_parents_form_tree;
+    Alcotest.test_case "multi-source matches min" `Quick
+      test_multi_source_matches_min;
+    Alcotest.test_case "sssp hops on parallel paths" `Quick
+      test_sssp_hops_on_parallel_paths;
+    QCheck_alcotest.to_alcotest prop_dijkstra_equals_bellman_ford;
+    QCheck_alcotest.to_alcotest prop_bfs_is_unit_weight_dijkstra;
+    Alcotest.test_case "generators connected, positive" `Quick
+      test_generators_connected_and_positive;
+    Alcotest.test_case "grid shape" `Quick test_grid_shape;
+    Alcotest.test_case "hypercube shape" `Quick test_hypercube_shape;
+    Alcotest.test_case "ring shape" `Quick test_ring_shape;
+    Alcotest.test_case "star-ring: S >> D" `Quick
+      test_star_ring_s_much_larger_than_d;
+    Alcotest.test_case "hop diameter of path" `Quick test_hop_diameter_path;
+    Alcotest.test_case "S >= D on all families" `Quick
+      test_spd_at_least_hop_diameter;
+    Alcotest.test_case "apsp symmetric" `Quick test_apsp_symmetric;
+    QCheck_alcotest.to_alcotest prop_apsp_triangle_inequality;
+    Alcotest.test_case "dist lex order" `Quick test_dist_lex_order;
+  ]

@@ -1,0 +1,133 @@
+(* End-to-end pipelines across module boundaries, mirroring the
+   shipped examples at test scale. *)
+
+module Rng = Ds_util.Rng
+module Graph = Ds_graph.Graph
+module Gen = Ds_graph.Gen
+module Apsp = Ds_graph.Apsp
+module Dist = Ds_graph.Dist
+module Metrics = Ds_congest.Metrics
+module Multi_bf = Ds_congest.Multi_bf
+module Levels = Ds_core.Levels
+module Label = Ds_core.Label
+module Tz_echo = Ds_core.Tz_echo
+module Slack = Ds_core.Slack
+module Graceful = Ds_core.Graceful
+module Cdg = Ds_core.Cdg
+module Routing = Ds_core.Routing
+module Eval = Ds_core.Eval
+
+let test_quickstart_pipeline () =
+  let n = 80 in
+  let g = Gen.erdos_renyi ~rng:(Rng.create 601) ~n ~avg_degree:5.0 () in
+  let k = 3 in
+  let levels = Levels.sample ~rng:(Rng.create 607) ~n ~k in
+  let r = Tz_echo.build g ~levels in
+  let apsp = Apsp.compute g in
+  let report =
+    Eval.all_pairs
+      ~query:(fun u v -> Label.query r.Tz_echo.labels.(u) r.Tz_echo.labels.(v))
+      apsp
+  in
+  Alcotest.(check int) "no violations" 0 report.Eval.violations;
+  Alcotest.(check int) "no unreachable" 0 report.Eval.unreachable;
+  Alcotest.(check bool) "stretch bound" true
+    (report.Eval.max_stretch <= float_of_int ((2 * k) - 1));
+  Alcotest.(check bool) "did real communication" true
+    (Metrics.messages r.Tz_echo.metrics > 0)
+
+let test_monitoring_pipeline () =
+  let n = 120 in
+  let g = Gen.random_geometric ~rng:(Rng.create 613) ~n ~radius:0.18 () in
+  let monitors = [ 5; 44; 90 ] in
+  let found, _ = Multi_bf.run g ~sources:monitors ~bound:(fun _ -> Dist.none) in
+  let exact = List.map (fun m -> (m, Ds_graph.Dijkstra.sssp g ~src:m)) monitors in
+  Array.iteri
+    (fun u entries ->
+      Alcotest.(check int) "all monitors heard" 3 (List.length entries);
+      List.iter
+        (fun (m, d) ->
+          Alcotest.(check int)
+            (Printf.sprintf "d(%d, monitor %d)" u m)
+            (List.assoc m exact).(u)
+            d)
+        entries)
+    found
+
+let test_slack_queries_match_oracle () =
+  let n = 90 in
+  let g = Gen.erdos_renyi ~rng:(Rng.create 617) ~n ~avg_degree:5.0 () in
+  let r = Slack.build_distributed ~rng:(Rng.create 619) g ~eps:0.25 in
+  let oracle = Slack.build_centralized g ~net:r.Slack.net in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      Alcotest.(check int) "same estimate"
+        (Slack.query oracle.(u) oracle.(v))
+        (Slack.query r.Slack.sketches.(u) r.Slack.sketches.(v))
+    done
+  done
+
+let test_graceful_query_is_min_of_parts () =
+  let n = 64 in
+  let g = Gen.erdos_renyi ~rng:(Rng.create 631) ~n ~avg_degree:5.0 () in
+  let r = Graceful.build_distributed ~rng:(Rng.create 641) g in
+  let s = r.Graceful.sketches in
+  for u = 0 to n - 1 do
+    let v = (u + 7) mod n in
+    if u <> v then begin
+      let by_hand =
+        Array.to_list s.(u).Graceful.parts
+        |> List.mapi (fun i (_, pu) ->
+               let _, pv = s.(v).Graceful.parts.(i) in
+               Cdg.query pu pv)
+        |> List.fold_left min Dist.infinity
+      in
+      Alcotest.(check int) "min of parts" by_hand (Graceful.query s.(u) s.(v))
+    end
+  done
+
+let test_cdg_on_star_ring () =
+  (* The S >> D topology stresses phase lengths and the cell cast. *)
+  let g = Gen.star_ring ~n:65 ~heavy:16 in
+  let apsp = Apsp.compute g in
+  let r = Cdg.build_distributed ~rng:(Rng.create 643) g ~eps:0.25 ~k:2 in
+  let far = Eval.far_pairs apsp ~eps:0.25 in
+  Array.iter
+    (fun (u, v, d) ->
+      let est = Cdg.query r.Cdg.sketches.(u) r.Cdg.sketches.(v) in
+      Alcotest.(check bool) "sound" true (est >= d);
+      Alcotest.(check bool) "8k-1" true (est <= 15 * d))
+    far
+
+let test_routing_pipeline_under_jitter () =
+  (* Sketches built under asynchrony route tokens exactly like the
+     synchronous ones (labels are equal, so walks are identical). *)
+  let n = 60 in
+  let g = Gen.random_geometric ~rng:(Rng.create 647) ~n ~radius:0.22 () in
+  let levels = Levels.sample ~rng:(Rng.create 653) ~n ~k:2 in
+  let sync = Tz_echo.build g ~levels in
+  let jit =
+    Tz_echo.build
+      ~jitter:{ Ds_congest.Engine.rng = Rng.create 659; max_delay = 3 }
+      g ~levels
+  in
+  for src = 0 to 9 do
+    let dst = n - 1 - src in
+    let a = Routing.with_labels g sync.Tz_echo.labels ~src ~dst in
+    let b = Routing.with_labels g jit.Tz_echo.labels ~src ~dst in
+    Alcotest.(check bool) "same outcome" true (a = b)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "quickstart pipeline (echo mode)" `Quick
+      test_quickstart_pipeline;
+    Alcotest.test_case "monitoring pipeline" `Quick test_monitoring_pipeline;
+    Alcotest.test_case "slack distributed matches oracle queries" `Quick
+      test_slack_queries_match_oracle;
+    Alcotest.test_case "graceful query = min of parts" `Quick
+      test_graceful_query_is_min_of_parts;
+    Alcotest.test_case "cdg on star-ring" `Quick test_cdg_on_star_ring;
+    Alcotest.test_case "routing pipeline under jitter" `Quick
+      test_routing_pipeline_under_jitter;
+  ]

@@ -1,0 +1,20 @@
+let () =
+  Alcotest.run "distsketch"
+    [
+      ("util", Test_util.suite);
+      ("parallel", Test_parallel.suite);
+      ("graph", Test_graph.suite);
+      ("gen-extra", Test_gen_extra.suite);
+      ("congest", Test_congest.suite);
+      ("metrics", Test_metrics.suite);
+      ("engine-extra", Test_engine_extra.suite);
+      ("tz", Test_tz.suite);
+      ("slack", Test_slack.suite);
+      ("async", Test_async.suite);
+      ("spanner", Test_spanner.suite);
+      ("cdg-parts", Test_cdg_parts.suite);
+      ("routing", Test_routing.suite);
+      ("integration", Test_integration.suite);
+      ("props-extra", Test_props_extra.suite);
+      ("baselines", Test_baselines.suite);
+    ]

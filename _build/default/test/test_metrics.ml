@@ -1,0 +1,108 @@
+module Metrics = Ds_congest.Metrics
+module Graph = Ds_graph.Graph
+module Engine = Ds_congest.Engine
+module Rng = Ds_util.Rng
+
+let test_counters () =
+  let m = Metrics.create () in
+  Metrics.tick_round m;
+  Metrics.tick_round m;
+  Metrics.count_message m ~words:2;
+  Metrics.count_message m ~words:3;
+  Alcotest.(check int) "rounds" 2 (Metrics.rounds m);
+  Alcotest.(check int) "messages" 2 (Metrics.messages m);
+  Alcotest.(check int) "words" 5 (Metrics.words m);
+  Alcotest.(check int) "max msg words" 3 (Metrics.max_msg_words m);
+  Metrics.untick_round m;
+  Alcotest.(check int) "untick" 1 (Metrics.rounds m)
+
+let test_phases () =
+  let m = Metrics.create () in
+  Metrics.tick_round m;
+  Metrics.count_message m ~words:1;
+  Metrics.mark_phase m "a";
+  Metrics.tick_round m;
+  Metrics.tick_round m;
+  Metrics.mark_phase m "b";
+  match Metrics.phases m with
+  | [ a; b ] ->
+    Alcotest.(check string) "name a" "a" a.Metrics.name;
+    Alcotest.(check int) "rounds a" 1 a.Metrics.rounds;
+    Alcotest.(check int) "messages a" 1 a.Metrics.messages;
+    Alcotest.(check string) "name b" "b" b.Metrics.name;
+    Alcotest.(check int) "rounds b" 2 b.Metrics.rounds;
+    Alcotest.(check int) "messages b" 0 b.Metrics.messages
+  | other -> Alcotest.failf "expected 2 phases, got %d" (List.length other)
+
+let test_add () =
+  let a = Metrics.create () and b = Metrics.create () in
+  Metrics.tick_round a;
+  Metrics.count_message a ~words:2;
+  Metrics.mark_phase a "first";
+  Metrics.tick_round b;
+  Metrics.tick_round b;
+  Metrics.count_message b ~words:5;
+  Metrics.mark_phase b "second";
+  let c = Metrics.add a b in
+  Alcotest.(check int) "rounds" 3 (Metrics.rounds c);
+  Alcotest.(check int) "messages" 2 (Metrics.messages c);
+  Alcotest.(check int) "words" 7 (Metrics.words c);
+  Alcotest.(check int) "max words" 5 (Metrics.max_msg_words c);
+  Alcotest.(check (list string)) "phase order" [ "first"; "second" ]
+    (List.map (fun p -> p.Metrics.name) (Metrics.phases c))
+
+(* Words accounting across a full distributed run is consistent with
+   the per-message sizes the protocol declares. *)
+let test_word_accounting_in_engine () =
+  let g = Helpers.path 4 in
+  let proto : (unit, int) Engine.protocol =
+    {
+      Engine.name = "two-word";
+      max_msg_words = 2;
+      msg_words = (fun _ -> 2);
+      halted = (fun _ -> true);
+      init =
+        (fun api -> if api.Engine.id = 0 then api.Engine.broadcast 7);
+      on_round = (fun _ _ _ -> ());
+    }
+  in
+  let eng = Engine.create g proto in
+  ignore (Engine.run eng);
+  let m = Engine.metrics eng in
+  Alcotest.(check int) "words = 2 * messages" (2 * Metrics.messages m)
+    (Metrics.words m)
+
+let test_backlog_tracking () =
+  (* Sending three messages down one link in one round creates a
+     backlog of >= 2 at the next delivery. *)
+  let g = Helpers.path 2 in
+  let proto : (unit, int) Engine.protocol =
+    {
+      Engine.name = "burst";
+      max_msg_words = 1;
+      msg_words = (fun _ -> 1);
+      halted = (fun _ -> true);
+      init =
+        (fun api ->
+          if api.Engine.id = 0 then begin
+            api.Engine.send 0 1;
+            api.Engine.send 0 2;
+            api.Engine.send 0 3
+          end);
+      on_round = (fun _ _ _ -> ());
+    }
+  in
+  let eng = Engine.create g proto in
+  ignore (Engine.run eng);
+  Alcotest.(check int) "max backlog" 3
+    (Metrics.max_link_backlog (Engine.metrics eng))
+
+let suite =
+  [
+    Alcotest.test_case "counters" `Quick test_counters;
+    Alcotest.test_case "phases" `Quick test_phases;
+    Alcotest.test_case "add" `Quick test_add;
+    Alcotest.test_case "word accounting in engine" `Quick
+      test_word_accounting_in_engine;
+    Alcotest.test_case "backlog tracking" `Quick test_backlog_tracking;
+  ]

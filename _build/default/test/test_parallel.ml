@@ -1,0 +1,77 @@
+module Pool = Ds_parallel.Pool
+
+let test_sequential_pool () =
+  let acc = Array.make 100 0 in
+  Pool.parallel_for Pool.sequential ~lo:0 ~hi:100 (fun i -> acc.(i) <- i * i);
+  Array.iteri (fun i v -> Alcotest.(check int) "value" (i * i) v) acc
+
+let test_multi_domain_pool () =
+  let pool = Pool.create ~domains:4 () in
+  Alcotest.(check int) "domains" 4 (Pool.domains pool);
+  let acc = Array.make 1000 0 in
+  Pool.parallel_for pool ~lo:0 ~hi:1000 (fun i -> acc.(i) <- i + 1);
+  let sum = Array.fold_left ( + ) 0 acc in
+  Alcotest.(check int) "sum" (1000 * 1001 / 2) sum
+
+let test_empty_range () =
+  let hit = ref false in
+  Pool.parallel_for Pool.sequential ~lo:5 ~hi:5 (fun _ -> hit := true);
+  Pool.parallel_for Pool.sequential ~lo:5 ~hi:3 (fun _ -> hit := true);
+  Alcotest.(check bool) "never called" false !hit
+
+let test_partial_range () =
+  let pool = Pool.create ~domains:3 () in
+  let acc = Array.make 20 (-1) in
+  Pool.parallel_for pool ~lo:7 ~hi:13 (fun i -> acc.(i) <- i);
+  Array.iteri
+    (fun i v ->
+      if i >= 7 && i < 13 then Alcotest.(check int) "set" i v
+      else Alcotest.(check int) "untouched" (-1) v)
+    acc
+
+let test_map_array () =
+  let pool = Pool.create ~domains:2 () in
+  let out = Pool.map_array pool (fun x -> x * 2) (Array.init 50 Fun.id) in
+  Array.iteri (fun i v -> Alcotest.(check int) "doubled" (2 * i) v) out;
+  Alcotest.(check (array int)) "empty" [||] (Pool.map_array pool Fun.id [||])
+
+let test_rejects_bad_domains () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Pool.create ~domains:0 ());
+       false
+     with Invalid_argument _ -> true)
+
+(* The simulator must produce identical results whatever the pool
+   size: node steps only touch their own state. *)
+let test_engine_deterministic_across_pools () =
+  let g = Helpers.random_graph ~seed:401 80 in
+  let levels =
+    Ds_core.Levels.sample ~rng:(Ds_util.Rng.create 403) ~n:80 ~k:3
+  in
+  let seq = Ds_core.Tz_distributed.build ~pool:Pool.sequential g ~levels in
+  let par =
+    Ds_core.Tz_distributed.build ~pool:(Pool.create ~domains:4 ()) g ~levels
+  in
+  Array.iteri
+    (fun u l ->
+      Alcotest.(check bool)
+        (Printf.sprintf "label %d equal" u)
+        true
+        (Ds_core.Label.equal l par.Ds_core.Tz_distributed.labels.(u)))
+    seq.Ds_core.Tz_distributed.labels;
+  Alcotest.(check int) "same rounds"
+    (Ds_congest.Metrics.rounds seq.Ds_core.Tz_distributed.metrics)
+    (Ds_congest.Metrics.rounds par.Ds_core.Tz_distributed.metrics)
+
+let suite =
+  [
+    Alcotest.test_case "sequential pool" `Quick test_sequential_pool;
+    Alcotest.test_case "multi-domain pool" `Quick test_multi_domain_pool;
+    Alcotest.test_case "empty range" `Quick test_empty_range;
+    Alcotest.test_case "partial range" `Quick test_partial_range;
+    Alcotest.test_case "map_array" `Quick test_map_array;
+    Alcotest.test_case "rejects bad domains" `Quick test_rejects_bad_domains;
+    Alcotest.test_case "engine deterministic across pools" `Quick
+      test_engine_deterministic_across_pools;
+  ]

@@ -1,0 +1,127 @@
+(* Properties and edge cases cutting across graph/eval/slack/levels. *)
+
+module Rng = Ds_util.Rng
+module Graph = Ds_graph.Graph
+module Dist = Ds_graph.Dist
+module Apsp = Ds_graph.Apsp
+module Metrics = Ds_congest.Metrics
+module Multi_bf = Ds_congest.Multi_bf
+module Levels = Ds_core.Levels
+module Slack = Ds_core.Slack
+module Eval = Ds_core.Eval
+
+let test_far_pairs_against_brute_force () =
+  let g = Helpers.random_graph ~seed:1001 40 in
+  let apsp = Apsp.compute g in
+  let eps = 0.3 in
+  let expected = ref [] in
+  let n = 40 in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if v <> u then begin
+        let closer = ref 0 in
+        for w = 0 to n - 1 do
+          if Apsp.dist apsp u w < Apsp.dist apsp u v then incr closer
+        done;
+        if float_of_int !closer >= eps *. float_of_int n then
+          expected := (u, v, Apsp.dist apsp u v) :: !expected
+      end
+    done
+  done;
+  let got = Eval.far_pairs apsp ~eps in
+  Alcotest.(check int) "same count" (List.length !expected) (Array.length got);
+  let sort a = List.sort compare a in
+  Alcotest.(check bool) "same pairs" true
+    (sort !expected = sort (Array.to_list got))
+
+let test_multi_bf_rounds_near_s_on_star_ring () =
+  (* Single source on the far side of the ring: Bellman-Ford needs at
+     least ~S rounds and, modulo small constants, not much more. *)
+  let g = Ds_graph.Gen.star_ring ~n:129 ~heavy:32 in
+  let s = Ds_graph.Props.shortest_path_diameter g in
+  let _, m =
+    Multi_bf.run g ~sources:[ 64 ] ~bound:(fun _ -> Dist.none)
+  in
+  let rounds = Metrics.rounds m in
+  Alcotest.(check bool)
+    (Printf.sprintf "rounds %d within [S/2, 2S+4] for S=%d" rounds s)
+    true
+    (rounds >= s / 2 && rounds <= (2 * s) + 4)
+
+let test_query_protocol_under_jitter () =
+  let g = Helpers.random_graph ~seed:1013 50 in
+  let levels = Levels.sample ~rng:(Rng.create 1019) ~n:50 ~k:2 in
+  let labels = Ds_core.Tz_centralized.build g ~levels in
+  let jitter = { Ds_congest.Engine.rng = Rng.create 1021; max_delay = 3 } in
+  let tree, _ = Ds_congest.Setup.run ~jitter g in
+  (* The tree is a valid spanning tree under jitter, so the exchange
+     still delivers the right label. *)
+  let r = Ds_core.Query_protocol.query g ~tree ~labels ~u:0 ~v:49 in
+  Alcotest.(check int) "estimate intact"
+    (Ds_core.Label.query labels.(0) labels.(49))
+    r.Ds_core.Query_protocol.estimate
+
+let prop_neighbor_accessors_consistent =
+  QCheck.Test.make ~name:"neighbor_at/neighbor_index/weight agree" ~count:30
+    QCheck.(pair (int_range 5 40) (int_range 0 100000))
+    (fun (n, seed) ->
+      let g = Helpers.random_graph ~seed n in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        for i = 0 to Graph.degree g u - 1 do
+          let v, w = Graph.neighbor_at g u i in
+          if Graph.neighbor_index g u v <> i then ok := false;
+          if Graph.weight g u v <> w then ok := false;
+          if Graph.weight g v u <> w then ok := false
+        done
+      done;
+      !ok)
+
+let prop_slack_query_symmetric =
+  QCheck.Test.make ~name:"slack query symmetric" ~count:20
+    QCheck.(pair (int_range 8 40) (int_range 0 100000))
+    (fun (n, seed) ->
+      let g = Helpers.random_graph ~seed n in
+      let r = Slack.build_distributed ~rng:(Rng.create (seed + 1)) g ~eps:0.3 in
+      let s = r.Slack.sketches in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        for v = u + 1 to n - 1 do
+          if Slack.query s.(u) s.(v) <> Slack.query s.(v) s.(u) then ok := false
+        done
+      done;
+      !ok)
+
+let test_levels_geometric_decay () =
+  (* |A_i| should shrink by roughly n^{1/k} per level on average. *)
+  let n = 4096 and k = 4 in
+  let t = Levels.sample ~rng:(Rng.create 1031) ~n ~k in
+  let c = Levels.counts t in
+  let expected_ratio = float_of_int n ** (1.0 /. float_of_int k) in
+  for i = 1 to k - 1 do
+    let ratio = float_of_int c.(i - 1) /. float_of_int (max 1 c.(i)) in
+    Alcotest.(check bool)
+      (Printf.sprintf "level %d ratio %.1f near %.1f" i ratio expected_ratio)
+      true
+      (ratio > expected_ratio /. 2.5 && ratio < expected_ratio *. 2.5)
+  done
+
+let test_eval_size_summary () =
+  let sizes = Eval.size_summary String.length [| "ab"; "abcd"; "abcdef" |] in
+  Alcotest.(check (float 1e-9)) "mean" 4.0 sizes.Ds_util.Stats.mean;
+  Alcotest.(check (float 1e-9)) "max" 6.0 sizes.Ds_util.Stats.max
+
+let suite =
+  [
+    Alcotest.test_case "far-pairs = brute force" `Quick
+      test_far_pairs_against_brute_force;
+    Alcotest.test_case "multi-bf rounds ~ S on star-ring" `Quick
+      test_multi_bf_rounds_near_s_on_star_ring;
+    Alcotest.test_case "query protocol under jitter" `Quick
+      test_query_protocol_under_jitter;
+    QCheck_alcotest.to_alcotest prop_neighbor_accessors_consistent;
+    QCheck_alcotest.to_alcotest prop_slack_query_symmetric;
+    Alcotest.test_case "levels geometric decay" `Quick
+      test_levels_geometric_decay;
+    Alcotest.test_case "eval size summary" `Quick test_eval_size_summary;
+  ]

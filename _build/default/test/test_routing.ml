@@ -1,0 +1,79 @@
+module Rng = Ds_util.Rng
+module Graph = Ds_graph.Graph
+module Apsp = Ds_graph.Apsp
+module Levels = Ds_core.Levels
+module Routing = Ds_core.Routing
+module Tz_centralized = Ds_core.Tz_centralized
+
+let test_exact_oracle_routes_shortest () =
+  let g = Helpers.random_graph ~seed:501 60 in
+  let apsp = Apsp.compute g in
+  let estimate u v = Apsp.dist apsp u v in
+  for dst = 0 to 9 do
+    match Routing.greedy g ~estimate ~src:42 ~dst () with
+    | None -> Alcotest.failf "no route 42 -> %d" dst
+    | Some o ->
+      Alcotest.(check int) "cost = exact distance" (Apsp.dist apsp 42 dst)
+        o.Routing.cost
+  done
+
+let test_path_endpoints () =
+  let g = Helpers.path 8 in
+  let apsp = Apsp.compute g in
+  match Routing.greedy g ~estimate:(Apsp.dist apsp) ~src:0 ~dst:7 () with
+  | None -> Alcotest.fail "no route"
+  | Some o ->
+    Alcotest.(check (list int)) "full path" [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+      o.Routing.path;
+    Alcotest.(check int) "hops" 7 o.Routing.hops
+
+let test_sketch_routing_all_pairs_delivered () =
+  let g = Helpers.random_graph ~seed:503 50 in
+  let levels = Levels.sample ~rng:(Rng.create 509) ~n:50 ~k:2 in
+  let labels = Tz_centralized.build g ~levels in
+  let apsp = Apsp.compute g in
+  let worst = ref 1.0 in
+  for src = 0 to 49 do
+    for dst = 0 to 49 do
+      if src <> dst then begin
+        match Routing.with_labels g labels ~src ~dst with
+        | None -> Alcotest.failf "token lost %d -> %d" src dst
+        | Some o ->
+          let d = Apsp.dist apsp src dst in
+          let ratio = float_of_int o.Routing.cost /. float_of_int d in
+          if ratio > !worst then worst := ratio
+      end
+    done
+  done;
+  (* No formal guarantee on walk cost, but on these instances greedy
+     routing stays within a small constant of optimal. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "worst walk ratio %.2f bounded" !worst)
+    true (!worst < 10.0)
+
+let test_trivial_route () =
+  let g = Helpers.path 3 in
+  match Routing.greedy g ~estimate:(fun _ _ -> 0) ~src:1 ~dst:1 () with
+  | Some o ->
+    Alcotest.(check int) "zero hops" 0 o.Routing.hops;
+    Alcotest.(check (list int)) "self path" [ 1 ] o.Routing.path
+  | None -> Alcotest.fail "self route failed"
+
+let test_hop_budget_respected () =
+  let g = Helpers.path 10 in
+  (* A constant estimate gives no gradient; with a tiny budget the
+     token must give up rather than loop forever. *)
+  match Routing.greedy g ~estimate:(fun _ _ -> 1) ~src:0 ~dst:9 ~max_hops:3 () with
+  | None -> ()
+  | Some o -> Alcotest.(check bool) "within budget" true (o.Routing.hops <= 3)
+
+let suite =
+  [
+    Alcotest.test_case "exact oracle routes shortest" `Quick
+      test_exact_oracle_routes_shortest;
+    Alcotest.test_case "path endpoints" `Quick test_path_endpoints;
+    Alcotest.test_case "sketch routing delivers all pairs" `Slow
+      test_sketch_routing_all_pairs_delivered;
+    Alcotest.test_case "trivial route" `Quick test_trivial_route;
+    Alcotest.test_case "hop budget respected" `Quick test_hop_budget_respected;
+  ]

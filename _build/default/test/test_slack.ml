@@ -1,0 +1,225 @@
+module Rng = Ds_util.Rng
+module Graph = Ds_graph.Graph
+module Dist = Ds_graph.Dist
+module Apsp = Ds_graph.Apsp
+module Density_net = Ds_core.Density_net
+module Slack = Ds_core.Slack
+module Cdg = Ds_core.Cdg
+module Graceful = Ds_core.Graceful
+module Eval = Ds_core.Eval
+
+let test_density_net_size_bound () =
+  let n = 400 in
+  List.iter
+    (fun eps ->
+      let net = Density_net.sample ~rng:(Rng.create 3) ~n ~eps in
+      let bound = Density_net.size_bound ~n ~eps in
+      Alcotest.(check bool)
+        (Printf.sprintf "eps=%.2f: |N|=%d <= %.1f" eps (List.length net) bound)
+        true
+        (float_of_int (List.length net) <= bound))
+    [ 0.5; 0.25; 0.1 ]
+
+let test_density_net_covers () =
+  let g = Helpers.random_graph ~seed:91 120 in
+  let apsp = Apsp.compute g in
+  List.iter
+    (fun eps ->
+      let net = Density_net.sample ~rng:(Rng.create 5) ~n:120 ~eps in
+      Alcotest.(check bool)
+        (Printf.sprintf "eps=%.2f net valid" eps)
+        true
+        (Density_net.is_valid_net apsp ~eps net))
+    [ 0.5; 0.25; 0.1 ]
+
+let test_density_net_small_eps_is_everyone () =
+  (* eps <= 5 ln n / n forces probability 1. *)
+  let n = 50 in
+  let eps = 0.01 in
+  Alcotest.(check (float 1e-9)) "prob 1" 1.0
+    (Density_net.sample_probability ~n ~eps);
+  let net = Density_net.sample ~rng:(Rng.create 7) ~n ~eps in
+  Alcotest.(check int) "everyone" n (List.length net)
+
+let test_covering_radius_monotone () =
+  let g = Helpers.random_graph ~seed:97 60 in
+  let apsp = Apsp.compute g in
+  for u = 0 to 10 do
+    let r1 = Density_net.covering_radius apsp ~eps:0.1 ~u in
+    let r2 = Density_net.covering_radius apsp ~eps:0.5 ~u in
+    Alcotest.(check bool) "monotone in eps" true (r1 <= r2)
+  done
+
+let test_slack_distributed_equals_centralized () =
+  let g = Helpers.random_graph ~seed:101 70 in
+  let r = Slack.build_distributed ~rng:(Rng.create 103) g ~eps:0.2 in
+  let oracle = Slack.build_centralized g ~net:r.Slack.net in
+  Array.iteri
+    (fun u s ->
+      Alcotest.(check (array (pair int int)))
+        (Printf.sprintf "sketch of %d" u)
+        oracle.(u).Slack.entries s.Slack.entries)
+    r.Slack.sketches
+
+let test_slack_stretch_3_on_far_pairs () =
+  List.iter
+    (fun (name, g) ->
+      let apsp = Apsp.compute g in
+      let eps = 0.25 in
+      let r = Slack.build_distributed ~rng:(Rng.create 107) g ~eps in
+      let query u v = Slack.query r.Slack.sketches.(u) r.Slack.sketches.(v) in
+      Helpers.check_no_underestimate ~name ~query apsp;
+      let far = Eval.far_pairs apsp ~eps in
+      Array.iter
+        (fun (u, v, d) ->
+          let est = query u v in
+          if est > 3 * d then
+            Alcotest.failf "%s: slack stretch %d > 3*%d at (%d,%d)" name est d
+              u v)
+        far)
+    (Helpers.graph_suite 109)
+
+let test_slack_sketch_sizes () =
+  let n = 300 in
+  let g = Helpers.random_graph ~seed:113 n in
+  let eps = 0.2 in
+  let r = Slack.build_distributed ~rng:(Rng.create 127) g ~eps in
+  let bound = 2.0 *. Density_net.size_bound ~n ~eps in
+  Array.iter
+    (fun s ->
+      Alcotest.(check bool) "size within 2|N| bound" true
+        (float_of_int (Slack.size_words s) <= bound))
+    r.Slack.sketches
+
+let test_cdg_stretch_bound_on_far_pairs () =
+  List.iter
+    (fun (name, g) ->
+      let apsp = Apsp.compute g in
+      let eps = 0.25 and k = 2 in
+      let r = Cdg.build_distributed ~rng:(Rng.create 131) g ~eps ~k in
+      let query u v = Cdg.query r.Cdg.sketches.(u) r.Cdg.sketches.(v) in
+      Helpers.check_no_underestimate ~name ~query apsp;
+      let far = Eval.far_pairs apsp ~eps in
+      Array.iter
+        (fun (u, v, d) ->
+          let est = query u v in
+          if est > ((8 * k) - 1) * d then
+            Alcotest.failf "%s: CDG stretch %d > %d*%d at (%d,%d)" name est
+              ((8 * k) - 1) d u v)
+        far)
+    (Helpers.graph_suite 137)
+
+let test_cdg_direct_query_also_sound () =
+  let g = Helpers.random_graph ~seed:139 60 in
+  let apsp = Apsp.compute g in
+  let r = Cdg.build_distributed ~rng:(Rng.create 149) g ~eps:0.3 ~k:2 in
+  Helpers.check_no_underestimate ~name:"cdg-direct"
+    ~query:(fun u v -> Cdg.query_direct r.Cdg.sketches.(u) r.Cdg.sketches.(v))
+    apsp
+
+let test_cdg_nearest_is_nearest () =
+  let g = Helpers.random_graph ~seed:151 60 in
+  let r = Cdg.build_distributed ~rng:(Rng.create 157) g ~eps:0.3 ~k:2 in
+  let dist, nearest =
+    Ds_graph.Dijkstra.multi_source g ~sources:(Array.of_list r.Cdg.net)
+  in
+  Array.iteri
+    (fun u s ->
+      Alcotest.(check int) "nearest id" nearest.(u) s.Cdg.nearest;
+      Alcotest.(check int) "nearest dist" dist.(u) s.Cdg.nearest_dist;
+      Alcotest.(check int) "net label owner" s.Cdg.nearest
+        s.Cdg.net_label.Ds_core.Label.owner)
+    r.Cdg.sketches
+
+let test_cdg_centralized_equivalent_properties () =
+  let g = Helpers.random_graph ~seed:163 50 in
+  let apsp = Apsp.compute g in
+  let sketches = Cdg.build_centralized ~rng:(Rng.create 167) g ~eps:0.3 ~k:2 in
+  Helpers.check_no_underestimate ~name:"cdg-central"
+    ~query:(fun u v -> Cdg.query sketches.(u) sketches.(v))
+    apsp
+
+let test_graceful_sound_and_log_stretch () =
+  let g = Helpers.random_graph ~seed:173 80 in
+  let n = Graph.n g in
+  let apsp = Apsp.compute g in
+  let r = Graceful.build_distributed ~rng:(Rng.create 179) g in
+  let query u v = Graceful.query r.Graceful.sketches.(u) r.Graceful.sketches.(v) in
+  Helpers.check_no_underestimate ~name:"graceful" ~query apsp;
+  (* Worst-case stretch O(log n): generous constant 8*ceil(log2 n). *)
+  let cap = 8 * int_of_float (ceil (log (float_of_int n) /. log 2.0)) in
+  Apsp.iter_pairs apsp (fun u v d ->
+      if d > 0 then begin
+        let est = query u v in
+        if est > cap * d then
+          Alcotest.failf "graceful stretch %d > %d*%d at (%d,%d)" est cap d u v
+      end)
+
+let test_graceful_parts_cover_eps_range () =
+  let g = Helpers.random_graph ~seed:181 64 in
+  let r = Graceful.build_distributed ~rng:(Rng.create 191) g in
+  let parts = r.Graceful.sketches.(0).Graceful.parts in
+  Alcotest.(check int) "log n parts" 6 (Array.length parts);
+  Array.iteri
+    (fun i (eps, _) ->
+      Alcotest.(check (float 1e-9)) "eps_i = 2^-(i+1)"
+        (1.0 /. float_of_int (1 lsl (i + 1)))
+        eps)
+    parts
+
+let test_eval_far_pairs_definition () =
+  let g = Helpers.path 10 in
+  let apsp = Apsp.compute g in
+  (* On a path, node 9 is 0.5-far from node 0 (all 9 others closer),
+     while node 1 is not. *)
+  Alcotest.(check bool) "9 far from 0" true (Eval.is_far apsp ~eps:0.5 0 9);
+  Alcotest.(check bool) "1 not far from 0" false (Eval.is_far apsp ~eps:0.5 0 1)
+
+let test_eval_report_exact_query () =
+  let g = Helpers.random_graph ~seed:193 30 in
+  let apsp = Apsp.compute g in
+  let report = Eval.all_pairs ~query:(fun u v -> Apsp.dist apsp u v) apsp in
+  Alcotest.(check int) "no violations" 0 report.Eval.violations;
+  Alcotest.(check int) "no unreachable" 0 report.Eval.unreachable;
+  Alcotest.(check (float 1e-9)) "max stretch 1" 1.0 report.Eval.max_stretch;
+  Alcotest.(check (float 1e-9)) "avg stretch 1" 1.0 report.Eval.avg_stretch
+
+let test_eval_detects_violation () =
+  let g = Helpers.path 3 in
+  let apsp = Apsp.compute g in
+  let report = Eval.all_pairs ~query:(fun _ _ -> 0) apsp in
+  Alcotest.(check int) "all violations" report.Eval.pairs
+    report.Eval.violations
+
+let suite =
+  [
+    Alcotest.test_case "density net size bound" `Quick
+      test_density_net_size_bound;
+    Alcotest.test_case "density net covers" `Quick test_density_net_covers;
+    Alcotest.test_case "density net small eps = everyone" `Quick
+      test_density_net_small_eps_is_everyone;
+    Alcotest.test_case "covering radius monotone" `Quick
+      test_covering_radius_monotone;
+    Alcotest.test_case "slack distributed = centralized" `Quick
+      test_slack_distributed_equals_centralized;
+    Alcotest.test_case "slack stretch <= 3 on far pairs" `Slow
+      test_slack_stretch_3_on_far_pairs;
+    Alcotest.test_case "slack sketch sizes" `Quick test_slack_sketch_sizes;
+    Alcotest.test_case "cdg stretch <= 8k-1 on far pairs" `Slow
+      test_cdg_stretch_bound_on_far_pairs;
+    Alcotest.test_case "cdg direct query sound" `Quick
+      test_cdg_direct_query_also_sound;
+    Alcotest.test_case "cdg nearest is nearest" `Quick test_cdg_nearest_is_nearest;
+    Alcotest.test_case "cdg centralized sound" `Quick
+      test_cdg_centralized_equivalent_properties;
+    Alcotest.test_case "graceful sound + log-stretch" `Slow
+      test_graceful_sound_and_log_stretch;
+    Alcotest.test_case "graceful parts cover eps range" `Quick
+      test_graceful_parts_cover_eps_range;
+    Alcotest.test_case "eval far-pairs definition" `Quick
+      test_eval_far_pairs_definition;
+    Alcotest.test_case "eval exact query report" `Quick
+      test_eval_report_exact_query;
+    Alcotest.test_case "eval detects violations" `Quick
+      test_eval_detects_violation;
+  ]

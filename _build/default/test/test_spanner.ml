@@ -1,0 +1,103 @@
+module Rng = Ds_util.Rng
+module Graph = Ds_graph.Graph
+module Props = Ds_graph.Props
+module Levels = Ds_core.Levels
+module Spanner = Ds_core.Spanner
+
+let levels_for ~seed g k = Levels.sample ~rng:(Rng.create seed) ~n:(Graph.n g) ~k
+
+let test_spanner_is_subgraph () =
+  let g = Helpers.random_graph ~seed:301 60 in
+  let levels = levels_for ~seed:303 g 3 in
+  let sp = Spanner.of_levels g ~levels in
+  List.iter
+    (fun (u, v, w) ->
+      Alcotest.(check bool) "edge in g" true (Graph.has_edge g u v);
+      Alcotest.(check int) "same weight" w (Graph.weight g u v))
+    (Graph.edges sp)
+
+let test_spanner_stretch_bound () =
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun k ->
+          let levels = levels_for ~seed:(307 + k) g k in
+          let sp = Spanner.of_levels g ~levels in
+          let s = Spanner.max_stretch g ~spanner:sp in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s k=%d: stretch %.2f <= %d" name k s ((2 * k) - 1))
+            true
+            (s <= float_of_int ((2 * k) - 1) +. 1e-9))
+        [ 2; 3 ])
+    (Helpers.graph_suite 311)
+
+let test_spanner_k1_preserves_distances () =
+  let g = Helpers.random_graph ~seed:313 40 in
+  let levels = levels_for ~seed:317 g 1 in
+  let sp = Spanner.of_levels g ~levels in
+  Alcotest.(check (float 1e-9)) "stretch 1" 1.0 (Spanner.max_stretch g ~spanner:sp)
+
+let test_spanner_connected () =
+  let g = Helpers.random_graph ~seed:331 80 in
+  let levels = levels_for ~seed:337 g 3 in
+  let sp = Spanner.of_levels g ~levels in
+  Alcotest.(check bool) "connected" true (Props.is_connected sp)
+
+let test_distributed_spanner_stretch () =
+  List.iter
+    (fun (name, g) ->
+      let k = 3 in
+      let levels = levels_for ~seed:347 g k in
+      let sp, _ = Spanner.of_distributed g ~levels in
+      let s = Spanner.max_stretch g ~spanner:sp in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: distributed spanner stretch %.2f" name s)
+        true
+        (s <= float_of_int ((2 * k) - 1) +. 1e-9))
+    (Helpers.graph_suite 349)
+
+let test_spanner_edge_counts_similar () =
+  (* Centralized and distributed spanners may differ edge-by-edge
+     (shortest-path ties) but have comparable size, both within the
+     k n^{1+1/k} whp regime. *)
+  let g = Helpers.random_graph ~seed:353 150 in
+  let k = 3 in
+  let levels = levels_for ~seed:359 g k in
+  let sp_c = Spanner.of_levels g ~levels in
+  let sp_d, _ = Spanner.of_distributed g ~levels in
+  let bound = 2.0 *. log 150.0 *. Spanner.edge_bound ~n:150 ~k in
+  Alcotest.(check bool) "centralized within bound" true
+    (float_of_int (Graph.m sp_c) <= bound);
+  Alcotest.(check bool) "distributed within bound" true
+    (float_of_int (Graph.m sp_d) <= bound);
+  let ratio = float_of_int (Graph.m sp_d) /. float_of_int (Graph.m sp_c) in
+  Alcotest.(check bool)
+    (Printf.sprintf "sizes comparable (ratio %.2f)" ratio)
+    true
+    (ratio > 0.5 && ratio < 2.0)
+
+let prop_spanner_stretch_random =
+  QCheck.Test.make ~name:"spanner stretch <= 2k-1 (random)" ~count:15
+    QCheck.(pair (int_range 8 40) (int_range 0 100000))
+    (fun (n, seed) ->
+      let g = Helpers.random_graph ~seed n in
+      let k = 1 + (seed mod 3) in
+      let levels = Levels.sample ~rng:(Rng.create (seed + 1)) ~n ~k in
+      let sp = Spanner.of_levels g ~levels in
+      Spanner.max_stretch g ~spanner:sp
+      <= float_of_int ((2 * k) - 1) +. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "spanner is subgraph" `Quick test_spanner_is_subgraph;
+    Alcotest.test_case "spanner stretch <= 2k-1" `Slow
+      test_spanner_stretch_bound;
+    Alcotest.test_case "k=1 spanner preserves distances" `Quick
+      test_spanner_k1_preserves_distances;
+    Alcotest.test_case "spanner connected" `Quick test_spanner_connected;
+    Alcotest.test_case "distributed spanner stretch" `Slow
+      test_distributed_spanner_stretch;
+    Alcotest.test_case "spanner edge counts comparable" `Quick
+      test_spanner_edge_counts_similar;
+    QCheck_alcotest.to_alcotest prop_spanner_stretch_random;
+  ]

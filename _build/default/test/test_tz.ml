@@ -1,0 +1,302 @@
+module Rng = Ds_util.Rng
+module Graph = Ds_graph.Graph
+module Dist = Ds_graph.Dist
+module Apsp = Ds_graph.Apsp
+module Levels = Ds_core.Levels
+module Label = Ds_core.Label
+module Tz_centralized = Ds_core.Tz_centralized
+module Tz_distributed = Ds_core.Tz_distributed
+module Tz_echo = Ds_core.Tz_echo
+module Metrics = Ds_congest.Metrics
+
+let levels_for ~seed g k = Levels.sample ~rng:(Rng.create seed) ~n:(Graph.n g) ~k
+
+let test_levels_nested_and_top_nonempty () =
+  let rng = Rng.create 3 in
+  let t = Levels.sample ~rng ~n:200 ~k:4 in
+  let c = Levels.counts t in
+  Alcotest.(check int) "A_0 = V" 200 c.(0);
+  for i = 1 to 3 do
+    Alcotest.(check bool) "nested" true (c.(i) <= c.(i - 1))
+  done;
+  Alcotest.(check bool) "top nonempty" true (c.(3) > 0)
+
+let test_levels_exactly_partitions () =
+  let rng = Rng.create 5 in
+  let t = Levels.sample ~rng ~n:100 ~k:3 in
+  let all = List.concat_map (Levels.exactly t) [ 0; 1; 2 ] in
+  Alcotest.(check int) "partition covers V" 100 (List.length all);
+  Alcotest.(check (list int)) "partition = V" (List.init 100 Fun.id)
+    (List.sort compare all)
+
+let test_levels_subset () =
+  let rng = Rng.create 5 in
+  let subset = [ 1; 3; 5; 7; 9 ] in
+  let t = Levels.sample_subset ~rng ~n:10 ~k:2 ~subset ~prob:0.5 in
+  for u = 0 to 9 do
+    if List.mem u subset then
+      Alcotest.(check bool) "members have level >= 0" true (Levels.level t u >= 0)
+    else Alcotest.(check int) "non-members excluded" (-1) (Levels.level t u)
+  done
+
+(* Hand-checkable Thorup-Zwick run on the diamond graph with a forced
+   hierarchy: k=2, A_1 = {3}. *)
+let test_tz_centralized_hand_example () =
+  let g = Helpers.diamond () in
+  let levels = Levels.of_level_array ~k:2 [| 0; 0; 0; 1; 0; 0 |] in
+  let labels = Tz_centralized.build g ~levels in
+  (* Exact distances from 3: [6;5;3;0;3;1]. Every node's p_1 = 3. *)
+  Array.iteri
+    (fun u l ->
+      let d3 = [| 6; 5; 3; 0; 3; 1 |].(u) in
+      Alcotest.(check (pair int int))
+        (Printf.sprintf "p_1 of %d" u)
+        (d3, 3) l.Label.pivots.(1))
+    labels;
+  (* B_0(0) = nodes at distance < 6 among A_0 \ A_1 reachable under the
+     bound: {0 (d0), 1 (d1), 2 (d3), 4 (d4)}; plus bunch level-1 entry 3. *)
+  let bunch0 = List.map (fun (w, d, _) -> (w, d)) (Label.bunch_nodes labels.(0)) in
+  Alcotest.(check (list (pair int int))) "bunch of node 0"
+    [ (0, 0); (1, 1); (2, 3); (3, 6); (4, 4) ]
+    bunch0;
+  (* Query 0 -> 5: p_0(0)=0 not in B(5)? B_0(5) = {5 (0), 3? no 3 is A_1; 4 (2)}
+     plus (3,1). 0 at distance 6 from 5 >= d(5,A_1)=1: not in bunch of 5.
+     p_0(5)=5, d=0; 5 in B(0)? d(0,5)=6 >= 6: no. Level 1: p_1(0)=3 in
+     B(5) yes: estimate = d(0,3) + d(5,3) = 6 + 1 = 7; or p_1(5)=3 in
+     B(0): 6+1=7. True distance 6, stretch 7/6 <= 3. *)
+  Alcotest.(check int) "query(0,5)" 7 (Label.query labels.(0) labels.(5))
+
+let test_tz_size_lemma () =
+  (* Expected bunch size per level is n^{1/k}; check the high
+     probability bound O(n^{1/k} ln n) empirically with slack. *)
+  let g = Helpers.random_graph ~seed:11 300 in
+  let k = 3 in
+  let levels = levels_for ~seed:13 g k in
+  let labels = Tz_centralized.build g ~levels in
+  let bound =
+    float_of_int k *. (300.0 ** (1.0 /. float_of_int k)) *. log 300.0
+  in
+  Array.iter
+    (fun l ->
+      Alcotest.(check bool) "bunch within whp bound" true
+        (float_of_int (Label.bunch_size l) <= bound))
+    labels
+
+let check_stretch_bound ~name g ~k ~seed =
+  let apsp = Apsp.compute g in
+  let levels = levels_for ~seed g k in
+  let labels = Tz_centralized.build g ~levels in
+  let query u v = Label.query labels.(u) labels.(v) in
+  Apsp.iter_pairs apsp (fun u v d ->
+      let est = query u v in
+      if est < d then
+        Alcotest.failf "%s: underestimate %d < %d for (%d,%d)" name est d u v;
+      if est > ((2 * k) - 1) * d then
+        Alcotest.failf "%s: stretch violated: %d > %d * %d for (%d,%d)" name est
+          ((2 * k) - 1) d u v)
+
+let test_tz_stretch_all_families () =
+  List.iter
+    (fun (name, g) ->
+      List.iter (fun k -> check_stretch_bound ~name g ~k ~seed:(17 + k)) [ 1; 2; 3 ])
+    (Helpers.graph_suite 37)
+
+let test_tz_k1_is_exact () =
+  let g = Helpers.random_graph ~seed:19 40 in
+  let apsp = Apsp.compute g in
+  let levels = levels_for ~seed:19 g 1 in
+  let labels = Tz_centralized.build g ~levels in
+  Apsp.iter_pairs apsp (fun u v d ->
+      Alcotest.(check int) "k=1 exact" d (Label.query labels.(u) labels.(v)))
+
+let test_bunch_cluster_duality () =
+  let g = Helpers.random_graph ~seed:23 50 in
+  let levels = levels_for ~seed:29 g 3 in
+  let labels = Tz_centralized.build g ~levels in
+  for w = 0 to 49 do
+    let cluster = Tz_centralized.cluster g ~levels w in
+    (* u in C(w) iff w in B(u), with matching distances. *)
+    List.iter
+      (fun (u, d) ->
+        match Label.bunch_dist labels.(u) w with
+        | Some d' -> Alcotest.(check int) "distance agrees" d d'
+        | None -> Alcotest.failf "%d in C(%d) but %d not in B(%d)" u w w u)
+      cluster;
+    for u = 0 to 49 do
+      if Label.bunch_dist labels.(u) w <> None then
+        Alcotest.(check bool)
+          (Printf.sprintf "%d in B(%d) implies %d in C(%d)" w u u w)
+          true
+          (List.mem_assoc u cluster)
+    done
+  done
+
+let labels_equal_testable =
+  Alcotest.testable (Fmt.of_to_string (fun _ -> "<label>")) Label.equal
+
+let test_distributed_equals_centralized () =
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun k ->
+          let levels = levels_for ~seed:(41 + k) g k in
+          let central = Tz_centralized.build g ~levels in
+          let dist = Tz_distributed.build g ~levels in
+          Array.iteri
+            (fun u l ->
+              Alcotest.check labels_equal_testable
+                (Printf.sprintf "%s k=%d node %d" name k u)
+                l
+                dist.Tz_distributed.labels.(u))
+            central)
+        [ 1; 2; 3 ])
+    (Helpers.graph_suite 43)
+
+let test_echo_equals_centralized () =
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun k ->
+          let levels = levels_for ~seed:(47 + k) g k in
+          let central = Tz_centralized.build g ~levels in
+          let echo = Tz_echo.build g ~levels in
+          Array.iteri
+            (fun u l ->
+              Alcotest.check labels_equal_testable
+                (Printf.sprintf "%s k=%d node %d" name k u)
+                l
+                echo.Tz_echo.labels.(u))
+            central)
+        [ 2; 3 ])
+    (Helpers.graph_suite 53)
+
+let test_echo_overhead_bounded () =
+  (* Section 3.3: echoes at most double the data traffic of the same
+     execution; completion/start add O(n) per phase and setup O(E).
+     Against the ideal-mode run the constant is looser because the two
+     schedules diverge (different arrival orders cause different
+     numbers of provisional re-broadcasts); experiment E4 reports the
+     measured ratio. *)
+  let g = Helpers.random_graph ~seed:59 120 in
+  let k = 3 in
+  let levels = levels_for ~seed:61 g k in
+  let ideal = Tz_distributed.build g ~levels in
+  let echo = Tz_echo.build g ~levels in
+  let mi = Metrics.messages ideal.Tz_distributed.metrics in
+  let me = Metrics.messages echo.Tz_echo.metrics in
+  let slack =
+    (4 * mi) + (8 * Graph.m g) + (4 * k * Graph.n g) + (8 * Graph.n g)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "echo messages %d <= %d" me slack)
+    true (me <= slack)
+
+let prop_distributed_equals_centralized_random =
+  QCheck.Test.make ~name:"distributed tz = centralized tz (random)" ~count:15
+    QCheck.(pair (int_range 8 40) (int_range 0 100000))
+    (fun (n, seed) ->
+      let g = Helpers.random_graph ~seed n in
+      let k = 1 + (seed mod 4) in
+      let levels = Levels.sample ~rng:(Rng.create (seed + 1)) ~n ~k in
+      let central = Tz_centralized.build g ~levels in
+      let dist = Tz_distributed.build g ~levels in
+      Array.for_all2 Label.equal central dist.Tz_distributed.labels)
+
+let prop_echo_equals_centralized_random =
+  QCheck.Test.make ~name:"echo tz = centralized tz (random)" ~count:8
+    QCheck.(pair (int_range 8 30) (int_range 0 100000))
+    (fun (n, seed) ->
+      let g = Helpers.random_graph ~seed n in
+      let k = 2 + (seed mod 3) in
+      let levels = Levels.sample ~rng:(Rng.create (seed + 1)) ~n ~k in
+      let central = Tz_centralized.build g ~levels in
+      let echo = Tz_echo.build g ~levels in
+      Array.for_all2 Label.equal central echo.Tz_echo.labels)
+
+let test_query_bidirectional_never_worse () =
+  let g = Helpers.random_graph ~seed:67 60 in
+  let levels = levels_for ~seed:71 g 3 in
+  let labels = Tz_centralized.build g ~levels in
+  for u = 0 to 59 do
+    for v = u + 1 to 59 do
+      let q = Label.query labels.(u) labels.(v) in
+      let qb = Label.query_bidirectional labels.(u) labels.(v) in
+      Alcotest.(check bool) "bidirectional <= unidirectional" true (qb <= q)
+    done
+  done
+
+let test_query_symmetric () =
+  let g = Helpers.random_graph ~seed:73 50 in
+  let levels = levels_for ~seed:79 g 3 in
+  let labels = Tz_centralized.build g ~levels in
+  for u = 0 to 49 do
+    for v = u + 1 to 49 do
+      Alcotest.(check int) "query symmetric"
+        (Label.query labels.(u) labels.(v))
+        (Label.query labels.(v) labels.(u))
+    done
+  done
+
+let prop_label_words_roundtrip =
+  QCheck.Test.make ~name:"label to_words/of_words round-trip" ~count:30
+    QCheck.(pair (int_range 5 40) (int_range 0 100000))
+    (fun (n, seed) ->
+      let g = Helpers.random_graph ~seed n in
+      let k = 1 + (seed mod 3) in
+      let levels = Levels.sample ~rng:(Rng.create (seed + 1)) ~n ~k in
+      let labels = Tz_centralized.build g ~levels in
+      Array.for_all
+        (fun l -> Label.equal l (Label.of_words (Label.to_words l)))
+        labels)
+
+let test_label_size_words () =
+  let l = Label.create ~owner:0 ~k:3 in
+  Label.add_bunch l ~node:4 ~dist:2 ~level:0;
+  Label.add_bunch l ~node:9 ~dist:7 ~level:1;
+  Alcotest.(check int) "2k + 2|B|" 10 (Label.size_words l)
+
+let test_max_pending_bounded_by_bunch () =
+  (* Lemma 3.7's engine fact: the send-queue backlog never exceeds the
+     number of sources a node accepts in a phase (its bunch slice). *)
+  let g = Helpers.random_graph ~seed:83 150 in
+  let k = 3 in
+  let levels = levels_for ~seed:89 g k in
+  let r = Tz_distributed.build g ~levels in
+  let max_bunch =
+    Array.fold_left
+      (fun acc l -> max acc (Label.bunch_size l))
+      0 r.Tz_distributed.labels
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "pending %d <= max bunch %d" r.Tz_distributed.max_pending
+       max_bunch)
+    true
+    (r.Tz_distributed.max_pending <= max_bunch)
+
+let suite =
+  [
+    Alcotest.test_case "levels nested, top nonempty" `Quick
+      test_levels_nested_and_top_nonempty;
+    Alcotest.test_case "levels partition" `Quick test_levels_exactly_partitions;
+    Alcotest.test_case "levels subset" `Quick test_levels_subset;
+    Alcotest.test_case "tz centralized hand example" `Quick
+      test_tz_centralized_hand_example;
+    Alcotest.test_case "tz size lemma (whp bound)" `Quick test_tz_size_lemma;
+    Alcotest.test_case "tz stretch <= 2k-1, all families" `Slow
+      test_tz_stretch_all_families;
+    Alcotest.test_case "tz k=1 is exact" `Quick test_tz_k1_is_exact;
+    Alcotest.test_case "bunch/cluster duality" `Quick test_bunch_cluster_duality;
+    Alcotest.test_case "distributed = centralized" `Slow
+      test_distributed_equals_centralized;
+    Alcotest.test_case "echo = centralized" `Slow test_echo_equals_centralized;
+    Alcotest.test_case "echo overhead bounded" `Quick test_echo_overhead_bounded;
+    QCheck_alcotest.to_alcotest prop_distributed_equals_centralized_random;
+    QCheck_alcotest.to_alcotest prop_echo_equals_centralized_random;
+    Alcotest.test_case "bidirectional query never worse" `Quick
+      test_query_bidirectional_never_worse;
+    Alcotest.test_case "query symmetric" `Quick test_query_symmetric;
+    QCheck_alcotest.to_alcotest prop_label_words_roundtrip;
+    Alcotest.test_case "label size accounting" `Quick test_label_size_words;
+    Alcotest.test_case "send-queue backlog <= bunch size" `Quick
+      test_max_pending_bounded_by_bunch;
+  ]
