@@ -1,20 +1,44 @@
 (* The reproduction harness. Two parts:
 
-   1. The per-theorem experiment tables (E1..E9 from DESIGN.md) — the
+   1. The per-theorem experiment tables (E1..E14 from DESIGN.md) — the
       "tables and figures" of this theory paper, regenerated on every
       run.
-   2. Bechamel wall-clock microbenchmarks (B1..B6): construction and
-      query throughput of the library primitives. *)
+   2. Bechamel wall-clock microbenchmarks (B1..B10): construction and
+      query throughput of the library primitives.
+
+   Flags: --micro-only skips the experiment tables; DS_DOMAINS=<d> runs
+   the engine phases of the experiments on a d-domain pool. Results are
+   identical for every d; only wall-clock changes. *)
 
 module Rng = Ds_util.Rng
 module Graph = Ds_graph.Graph
 module Gen = Ds_graph.Gen
+module Engine = Ds_congest.Engine
 module Levels = Ds_core.Levels
 module Label = Ds_core.Label
 module Registry = Ds_experiments.Registry
+module Pool = Ds_parallel.Pool
 
 open Bechamel
 open Toolkit
+
+(* B10: per-round cost on a quiescent-but-for-one-link network. Two
+   adjacent nodes bounce one message forever while the other n-2 nodes
+   (and all other links) stay silent. The engine's worklist makes this
+   O(1) per round regardless of graph size — under the old full-rescan
+   deliver it was O(|E|). *)
+let ping_pong_protocol : (unit, int) Engine.protocol =
+  {
+    Engine.name = "ping-pong";
+    max_msg_words = 1;
+    msg_words = (fun _ -> 1);
+    halted = (fun _ -> false);
+    init =
+      (fun api -> if api.Engine.id = 0 && api.Engine.degree > 0 then api.Engine.send 0 0);
+    on_round =
+      (fun api _ inbox ->
+        Engine.Inbox.iter (fun i m -> api.Engine.send i m) inbox);
+  }
 
 let bench_tests () =
   let n = 256 in
@@ -29,6 +53,8 @@ let bench_tests () =
     let v = (u + 1 + Rng.int pair_rng (n - 1)) mod n in
     (u, v)
   in
+  let big_n = 4096 in
+  let big_g = Gen.erdos_renyi ~rng:(Rng.create 6) ~n:big_n ~avg_degree:6.0 () in
   [
     Test.make ~name:"B1 tz-centralized build (n=256,k=3)"
       (Staged.stage (fun () -> Ds_core.Tz_centralized.build g ~levels));
@@ -52,16 +78,56 @@ let bench_tests () =
     Test.make ~name:"B8 cdg build distributed (n=256,eps=.25,k=2)"
       (Staged.stage (fun () ->
            Ds_core.Cdg.build_distributed ~rng:(Rng.create 5) g ~eps:0.25 ~k:2));
+    (* A live multi-bf round. The protocol quiesces after ~30 rounds,
+       so the engine is rebuilt whenever it drains; samples therefore
+       measure busy rounds (plus an amortized create), never the empty
+       rounds a drained engine would serve. *)
     Test.make ~name:"B9 engine round (multi-bf, n=256)"
       (Staged.stage
-         (let eng =
-            Ds_congest.Engine.create g
+         (let make () =
+            Engine.create g
               (Ds_congest.Multi_bf.protocol
                  ~is_source:(fun u -> u < 8)
                  ~bound:(fun _ -> Ds_graph.Dist.none))
           in
-          fun () -> Ds_congest.Engine.step eng));
+          let eng = ref (make ()) in
+          fun () ->
+            if Engine.quiescent !eng then eng := make ();
+            Engine.step !eng));
+    Test.make ~name:"B10 quiet engine round (ping-pong, n=4096)"
+      (Staged.stage
+         (let eng = Engine.create big_g ping_pong_protocol in
+          fun () -> Engine.step eng));
   ]
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let save_json ~path rows =
+  let oc = open_out path in
+  output_string oc "{\n  \"benchmarks\": [\n";
+  List.iteri
+    (fun i (name, ns_per_run, r2) ->
+      Printf.fprintf oc
+        "    {\"name\": \"%s\", \"ns_per_run\": %.3f, \"r_square\": %s}%s\n"
+        (json_escape name) ns_per_run
+        (match r2 with Some v -> Printf.sprintf "%.6f" v | None -> "null")
+        (if i < List.length rows - 1 then "," else ""))
+    rows;
+  output_string oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "(json: %s)\n" path
 
 let run_microbenches () =
   print_endline "### Microbenchmarks (Bechamel, monotonic clock)\n";
@@ -80,31 +146,44 @@ let run_microbenches () =
     Ds_util.Table.create ~title:"wall-clock per run"
       ~headers:[ "benchmark"; "time/run"; "r^2" ]
   in
-  List.iter
-    (fun (name, r) ->
-      let est =
-        match Analyze.OLS.estimates r with Some (e :: _) -> e | _ -> nan
-      in
-      let pretty =
-        if est > 1e9 then Printf.sprintf "%.3f s" (est /. 1e9)
-        else if est > 1e6 then Printf.sprintf "%.3f ms" (est /. 1e6)
-        else if est > 1e3 then Printf.sprintf "%.3f us" (est /. 1e3)
-        else Printf.sprintf "%.1f ns" est
-      in
-      let r2 =
-        match Analyze.OLS.r_square r with
-        | Some v -> Printf.sprintf "%.4f" v
-        | None -> "-"
-      in
-      Ds_util.Table.add_row t [ name; pretty; r2 ])
-    rows;
-  Ds_util.Table.print t
+  let json_rows =
+    List.map
+      (fun (name, r) ->
+        let est =
+          match Analyze.OLS.estimates r with Some (e :: _) -> e | _ -> nan
+        in
+        let pretty =
+          if est > 1e9 then Printf.sprintf "%.3f s" (est /. 1e9)
+          else if est > 1e6 then Printf.sprintf "%.3f ms" (est /. 1e6)
+          else if est > 1e3 then Printf.sprintf "%.3f us" (est /. 1e3)
+          else Printf.sprintf "%.1f ns" est
+        in
+        let r2 = Analyze.OLS.r_square r in
+        let r2s =
+          match r2 with Some v -> Printf.sprintf "%.4f" v | None -> "-"
+        in
+        Ds_util.Table.add_row t [ name; pretty; r2s ];
+        (name, est, r2))
+      rows
+  in
+  Ds_util.Table.print t;
+  save_json ~path:"BENCH_engine.json" json_rows
 
 let () =
+  let micro_only =
+    Array.exists (fun a -> a = "--micro-only") Sys.argv
+  in
   print_endline
     "Reproduction harness: 'Efficient Computation of Distance Sketches in \
      Distributed Networks' (Das Sarma, Dinitz, Pandurangan; SPAA 2012).\n\
      The paper is theory-only; each experiment below reproduces one theorem \
      or lemma (see DESIGN.md / EXPERIMENTS.md).\n";
-  Registry.run_all ();
+  if not micro_only then begin
+    let domains =
+      match Sys.getenv_opt "DS_DOMAINS" with
+      | Some s -> (try max 1 (int_of_string (String.trim s)) with _ -> 1)
+      | None -> 1
+    in
+    Pool.with_pool ~domains (fun pool -> Registry.run_all ~pool ())
+  end;
   run_microbenches ()

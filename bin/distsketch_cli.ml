@@ -11,6 +11,7 @@ module Levels = Ds_core.Levels
 module Label = Ds_core.Label
 module Eval = Ds_core.Eval
 module Registry = Ds_experiments.Registry
+module Pool = Ds_parallel.Pool
 
 open Cmdliner
 
@@ -49,6 +50,23 @@ let family_arg =
           "Graph family: er, geometric, grid, torus, ring-chords, tree, \
            power-law, star-ring.")
 
+let domains_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ] ~docv:"D"
+        ~doc:
+          "Worker domains for the simulator's round loop (1 = sequential). \
+           Results are identical for every value.")
+
+(* One pool per command invocation: created before the work, joined
+   after, whatever happens in between. *)
+let with_domains domains f =
+  if domains < 1 then begin
+    Printf.eprintf "--domains must be >= 1\n";
+    exit 1
+  end;
+  Pool.with_pool ~domains f
+
 let make_graph family n seed =
   let rng = Rng.create seed in
   Gen.build ~rng family ~n
@@ -76,21 +94,22 @@ let run_cmd =
       & opt (some string) None
       & info [ "csv" ] ~docv:"DIR" ~doc:"Also save each table as CSV in $(docv).")
   in
-  let run csv_dir ids =
+  let run domains csv_dir ids =
+    with_domains domains @@ fun pool ->
     match ids with
-    | [] -> Registry.run_all ?csv_dir ()
+    | [] -> Registry.run_all ~pool ?csv_dir ()
     | ids ->
       List.iter
         (fun id ->
           match Registry.find id with
-          | Some e -> Registry.run_one ?csv_dir e
+          | Some e -> Registry.run_one ~pool ?csv_dir e
           | None -> Printf.eprintf "unknown experiment %S (try `list')\n" id)
         ids
   in
   Cmd.v
     (Cmd.info "run"
        ~doc:"Run experiments by id (all when none given); see `list'.")
-    Term.(const run $ csv_arg $ ids)
+    Term.(const run $ domains_arg $ csv_arg $ ids)
 
 (* ---- profile ---- *)
 
@@ -116,7 +135,8 @@ let build_cmd =
       & info [ "mode" ] ~docv:"MODE"
           ~doc:"Construction: central, dist (known-S), echo (self-terminating).")
   in
-  let run family n seed k mode =
+  let run family n seed k mode domains =
+    with_domains domains @@ fun pool ->
     let g = make_graph family n seed in
     let gn = Graph.n g in
     let levels = Levels.sample ~rng:(Rng.create (seed + 1)) ~n:gn ~k in
@@ -137,11 +157,11 @@ let build_cmd =
     match mode with
     | `Central -> describe (Ds_core.Tz_centralized.build g ~levels) None
     | `Dist ->
-      let r = Ds_core.Tz_distributed.build g ~levels in
+      let r = Ds_core.Tz_distributed.build ~pool g ~levels in
       describe r.Ds_core.Tz_distributed.labels
         (Some r.Ds_core.Tz_distributed.metrics)
     | `Echo ->
-      let r = Ds_core.Tz_echo.build g ~levels in
+      let r = Ds_core.Tz_echo.build ~pool g ~levels in
       Format.printf "leader: %d@." r.Ds_core.Tz_echo.leader;
       describe r.Ds_core.Tz_echo.labels (Some r.Ds_core.Tz_echo.metrics)
   in
@@ -149,16 +169,19 @@ let build_cmd =
     (Cmd.info "build"
        ~doc:"Build Thorup-Zwick sketches on a generated graph and report \
              sizes and CONGEST cost.")
-    Term.(const run $ family_arg $ n_arg $ seed_arg $ k_arg $ mode_arg)
+    Term.(
+      const run $ family_arg $ n_arg $ seed_arg $ k_arg $ mode_arg
+      $ domains_arg)
 
 (* ---- spanner ---- *)
 
 let spanner_cmd =
-  let run family n seed k =
+  let run family n seed k domains =
+    with_domains domains @@ fun pool ->
     let g = make_graph family n seed in
     let gn = Graph.n g in
     let levels = Levels.sample ~rng:(Rng.create (seed + 1)) ~n:gn ~k in
-    let sp, metrics = Ds_core.Spanner.of_distributed g ~levels in
+    let sp, metrics = Ds_core.Spanner.of_distributed ~pool g ~levels in
     Format.printf "input:   n=%d |E|=%d@." gn (Graph.m g);
     Format.printf "spanner: |E'|=%d (bound %d * 2k-1 stretch), %.1f%% of edges@."
       (Graph.m sp) ((2 * k) - 1)
@@ -171,7 +194,7 @@ let spanner_cmd =
   Cmd.v
     (Cmd.info "spanner"
        ~doc:"Extract the (2k-1)-spanner from the distributed construction.")
-    Term.(const run $ family_arg $ n_arg $ seed_arg $ k_arg)
+    Term.(const run $ family_arg $ n_arg $ seed_arg $ k_arg $ domains_arg)
 
 (* ---- query ---- *)
 
@@ -182,7 +205,8 @@ let query_cmd =
   let v_arg =
     Arg.(value & opt int 1 & info [ "v"; "to" ] ~docv:"V" ~doc:"Query endpoint v.")
   in
-  let run family n seed k u v =
+  let run family n seed k u v domains =
+    with_domains domains @@ fun pool ->
     let g = make_graph family n seed in
     let gn = Graph.n g in
     if u < 0 || u >= gn || v < 0 || v >= gn then begin
@@ -190,10 +214,10 @@ let query_cmd =
       exit 1
     end;
     let levels = Levels.sample ~rng:(Rng.create (seed + 1)) ~n:gn ~k in
-    let built = Ds_core.Tz_distributed.build g ~levels in
-    let tree, _ = Ds_congest.Setup.run g in
+    let built = Ds_core.Tz_distributed.build ~pool g ~levels in
+    let tree, _ = Ds_congest.Setup.run ~pool g in
     let r =
-      Ds_core.Query_protocol.query g ~tree
+      Ds_core.Query_protocol.query ~pool g ~tree
         ~labels:built.Ds_core.Tz_distributed.labels ~u ~v
     in
     let exact = Ds_graph.Dijkstra.sssp g ~src:u in
@@ -207,7 +231,9 @@ let query_cmd =
   Cmd.v
     (Cmd.info "query"
        ~doc:"Answer one distance query by in-network sketch exchange.")
-    Term.(const run $ family_arg $ n_arg $ seed_arg $ k_arg $ u_arg $ v_arg)
+    Term.(
+      const run $ family_arg $ n_arg $ seed_arg $ k_arg $ u_arg $ v_arg
+      $ domains_arg)
 
 (* ---- route ---- *)
 
@@ -218,11 +244,12 @@ let route_cmd =
   let v_arg =
     Arg.(value & opt int 1 & info [ "dst" ] ~docv:"DST" ~doc:"Token target.")
   in
-  let run family n seed k src dst =
+  let run family n seed k src dst domains =
+    with_domains domains @@ fun pool ->
     let g = make_graph family n seed in
     let gn = Graph.n g in
     let levels = Levels.sample ~rng:(Rng.create (seed + 1)) ~n:gn ~k in
-    let built = Ds_core.Tz_distributed.build g ~levels in
+    let built = Ds_core.Tz_distributed.build ~pool g ~levels in
     match
       Ds_core.Routing.with_labels g built.Ds_core.Tz_distributed.labels ~src
         ~dst
@@ -240,7 +267,9 @@ let route_cmd =
   Cmd.v
     (Cmd.info "route"
        ~doc:"Greedily forward a token using sketches as the distance oracle.")
-    Term.(const run $ family_arg $ n_arg $ seed_arg $ k_arg $ u_arg $ v_arg)
+    Term.(
+      const run $ family_arg $ n_arg $ seed_arg $ k_arg $ u_arg $ v_arg
+      $ domains_arg)
 
 let main =
   Cmd.group

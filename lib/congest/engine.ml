@@ -1,6 +1,7 @@
 module Graph = Ds_graph.Graph
 module Pool = Ds_parallel.Pool
 module Rng = Ds_util.Rng
+module Ivec = Ds_util.Ivec
 
 type 'msg api = {
   id : int;
@@ -12,10 +13,64 @@ type 'msg api = {
   round : unit -> int;
 }
 
+(* Reusable per-node inbox: two parallel growable arrays, cleared (not
+   reallocated) after each round, so steady-state delivery allocates
+   nothing for the backbone. Cleared slots keep their last message
+   until overwritten; messages are small words in every protocol here,
+   so the retention is harmless. *)
+module Inbox = struct
+  type 'msg t = {
+    mutable froms : int array;
+    mutable msgs : 'msg array; (* only the first [len] slots are valid *)
+    mutable len : int;
+  }
+
+  let create () = { froms = [||]; msgs = [||]; len = 0 }
+  let length b = b.len
+  let is_empty b = b.len = 0
+
+  let from b i =
+    if i < 0 || i >= b.len then invalid_arg "Inbox.from";
+    b.froms.(i)
+
+  let msg b i =
+    if i < 0 || i >= b.len then invalid_arg "Inbox.msg";
+    b.msgs.(i)
+
+  let push b j m =
+    if b.len = Array.length b.msgs then begin
+      let cap = max 4 (2 * b.len) in
+      let froms = Array.make cap 0 and msgs = Array.make cap m in
+      Array.blit b.froms 0 froms 0 b.len;
+      Array.blit b.msgs 0 msgs 0 b.len;
+      b.froms <- froms;
+      b.msgs <- msgs
+    end;
+    b.froms.(b.len) <- j;
+    b.msgs.(b.len) <- m;
+    b.len <- b.len + 1
+
+  let clear b = b.len <- 0
+
+  let iter f b =
+    for i = 0 to b.len - 1 do
+      f b.froms.(i) b.msgs.(i)
+    done
+
+  let fold f acc b =
+    let acc = ref acc in
+    for i = 0 to b.len - 1 do
+      acc := f !acc b.froms.(i) b.msgs.(i)
+    done;
+    !acc
+
+  let to_list b = List.init b.len (fun i -> (b.froms.(i), b.msgs.(i)))
+end
+
 type ('state, 'msg) protocol = {
   name : string;
   init : 'msg api -> 'state;
-  on_round : 'msg api -> 'state -> (int * 'msg) list -> unit;
+  on_round : 'msg api -> 'state -> 'msg Inbox.t -> unit;
   halted : 'state -> bool;
   msg_words : 'msg -> int;
   max_msg_words : int;
@@ -27,21 +82,45 @@ type jitter = { rng : Rng.t; max_delay : int }
    deliver it (links are FIFO, so a delayed head blocks the rest). *)
 type 'msg in_transit = { msg : 'msg; ready_at : int }
 
+(* Links are flattened: directed link [offsets.(u) + i] is u's i-th
+   outgoing edge. All per-link state lives in flat arrays indexed by
+   that id, so the delivery loop touches only the worklist. *)
 type ('state, 'msg) t = {
   graph : Graph.t;
   protocol : ('state, 'msg) protocol;
   pool : Pool.t;
   jitter : jitter option;
-  apis : 'msg api array;
-  node_states : 'state array;
-  links : 'msg in_transit Queue.t array array;
-      (* links.(u).(i): pending u -> i-th neighbor *)
-  rev : int array array; (* rev.(u).(i): index of u in nbr's adjacency *)
-  inboxes : (int * 'msg) list array; (* built during delivery, consumed next *)
+  jitter_base : int;
+  mutable apis : 'msg api array;
+  mutable node_states : 'state array;
+  offsets : int array; (* length n+1; prefix sums of out-degrees *)
+  link_q : 'msg in_transit Queue.t array;
+  link_dst : int array; (* destination node of each link *)
+  link_rev : int array; (* index of the sender in dst's adjacency *)
+  link_pushes : int array; (* messages ever pushed; jitter hash input *)
+  inboxes : 'msg Inbox.t array;
+  (* Activity tracking. [active] holds exactly the links with nonempty
+     queues; delivery iterates it and compacts drained links away, so a
+     round never scans the full edge set. Per-node scratch below is
+     written only by its owner node, which keeps the computation phase
+     race-free under any pool. *)
+  active : Ivec.t;
+  activated : Ivec.t array; (* per node: own links that went 0 -> 1 *)
+  enqueued : int array; (* per node: messages pushed this round *)
+  push_backlog : int array; (* per node: max own-queue length at push *)
+  (* Scheduling. [run_now] is the set of nodes stepped this round:
+     last round's senders plus this round's receivers (or every node
+     on a probe round, when nothing is in flight). [run_next]
+     accumulates this round's senders. The [in_*] bytes are
+     membership flags; lists and flags swap wholesale each round. *)
+  mutable run_now : Ivec.t;
+  mutable run_next : Ivec.t;
+  mutable in_now : Bytes.t;
+  mutable in_next : Bytes.t;
   metrics : Metrics.t;
   mutable round : int;
   mutable in_flight : int; (* total queued messages *)
-  mutable sent_this_round : int;
+  mutable sent_last_round : int;
 }
 
 let graph t = t.graph
@@ -49,32 +128,87 @@ let metrics t = t.metrics
 let states t = t.node_states
 let state t u = t.node_states.(u)
 
+(* Bounded-asynchrony delay for the [seq]-th message on link [l]:
+   a pure hash of the run's base seed and the message's coordinates.
+   Unlike drawing from a shared RNG stream inside [send] (the previous
+   scheme), the delay does not depend on the order nodes happen to
+   execute in, so jittered runs are reproducible under any pool. *)
+let link_delay t l seq =
+  match t.jitter with
+  | None -> 0
+  | Some { max_delay; _ } ->
+    if max_delay = 0 then 0
+    else Rng.mix (t.jitter_base lxor Rng.mix ((l * 2654435761) + seq))
+         mod (max_delay + 1)
+
+let schedule_now t u =
+  if Bytes.get t.in_now u = '\000' then begin
+    Bytes.set t.in_now u '\001';
+    Ivec.push t.run_now u
+  end
+
 let create ?(pool = Pool.sequential) ?jitter g protocol =
   let n = Graph.n g in
   let nbrs = Array.init n (fun u -> Graph.neighbors g u) in
-  let rev =
-    Array.init n (fun u ->
-        Array.map (fun (v, _) -> Graph.neighbor_index g v u) nbrs.(u))
+  let offsets = Array.make (n + 1) 0 in
+  for u = 0 to n - 1 do
+    offsets.(u + 1) <- offsets.(u) + Array.length nbrs.(u)
+  done;
+  let m2 = offsets.(n) in
+  let link_dst = Array.make (max 1 m2) 0 and link_rev = Array.make (max 1 m2) 0 in
+  for u = 0 to n - 1 do
+    Array.iteri
+      (fun i (v, _) ->
+        link_dst.(offsets.(u) + i) <- v;
+        link_rev.(offsets.(u) + i) <- Graph.neighbor_index g v u)
+      nbrs.(u)
+  done;
+  let t =
+    {
+      graph = g;
+      protocol;
+      pool;
+      jitter;
+      jitter_base =
+        (match jitter with None -> 0 | Some { rng; _ } -> Rng.int rng max_int);
+      apis = [||];
+      node_states = [||];
+      offsets;
+      link_q = Array.init (max 1 m2) (fun _ -> Queue.create ());
+      link_dst;
+      link_rev;
+      link_pushes = Array.make (max 1 m2) 0;
+      inboxes = Array.init n (fun _ -> Inbox.create ());
+      active = Ivec.create ();
+      activated = Array.init n (fun _ -> Ivec.create ~capacity:4 ());
+      enqueued = Array.make n 0;
+      push_backlog = Array.make n 0;
+      run_now = Ivec.create ();
+      run_next = Ivec.create ();
+      in_now = Bytes.make n '\000';
+      in_next = Bytes.make n '\000';
+      metrics = Metrics.create ();
+      round = 0;
+      in_flight = 0;
+      sent_last_round = 0;
+    }
   in
-  let links =
-    Array.init n (fun u ->
-        Array.init (Array.length nbrs.(u)) (fun _ -> Queue.create ()))
-  in
-  let t_ref = ref None in
   let make_api u =
     let deg = Array.length nbrs.(u) in
     let send i m =
-      let t = Option.get !t_ref in
       if protocol.msg_words m > protocol.max_msg_words then
         invalid_arg
           (Printf.sprintf "Engine(%s): message exceeds %d words" protocol.name
              protocol.max_msg_words);
-      let delay =
-        match t.jitter with
-        | None -> 0
-        | Some { rng; max_delay } -> Rng.int rng (max_delay + 1)
-      in
-      Queue.push { msg = m; ready_at = t.round + 1 + delay } t.links.(u).(i)
+      let l = t.offsets.(u) + i in
+      let seq = t.link_pushes.(l) in
+      t.link_pushes.(l) <- seq + 1;
+      let q = t.link_q.(l) in
+      Queue.push { msg = m; ready_at = t.round + 1 + link_delay t l seq } q;
+      let len = Queue.length q in
+      if len = 1 then Ivec.push t.activated.(u) l;
+      if len > t.push_backlog.(u) then t.push_backlog.(u) <- len;
+      t.enqueued.(u) <- t.enqueued.(u) + 1
     in
     {
       id = u;
@@ -87,78 +221,103 @@ let create ?(pool = Pool.sequential) ?jitter g protocol =
           for i = 0 to deg - 1 do
             send i m
           done);
-      round = (fun () -> match !t_ref with Some t -> t.round | None -> 0);
+      round = (fun () -> t.round);
     }
   in
-  let apis = Array.init n make_api in
-  let t =
-    {
-      graph = g;
-      protocol;
-      pool;
-      jitter;
-      apis;
-      node_states = [||];
-      links;
-      rev;
-      inboxes = Array.make n [];
-      metrics = Metrics.create ();
-      round = 0;
-      in_flight = 0;
-      sent_this_round = 0;
-    }
-  in
-  t_ref := Some t;
-  let node_states = Array.init n (fun u -> protocol.init apis.(u)) in
-  let t = { t with node_states } in
-  t_ref := Some t;
-  (* Count init-phase sends. *)
-  let queued = ref 0 in
-  Array.iter (Array.iter (fun q -> queued := !queued + Queue.length q)) links;
-  t.in_flight <- !queued;
+  t.apis <- Array.init n make_api;
+  t.node_states <- Array.init n (fun u -> protocol.init t.apis.(u));
+  (* Absorb init-phase sends: count them, activate their links, and
+     schedule the senders for round 1. *)
+  for u = 0 to n - 1 do
+    if t.enqueued.(u) > 0 then begin
+      t.in_flight <- t.in_flight + t.enqueued.(u);
+      t.enqueued.(u) <- 0;
+      Metrics.observe_backlog t.metrics t.push_backlog.(u);
+      t.push_backlog.(u) <- 0;
+      Ivec.iter (fun l -> Ivec.push t.active l) t.activated.(u);
+      Ivec.clear t.activated.(u);
+      schedule_now t u
+    end
+  done;
   t
 
 (* Delivery happens at the start of round (t.round + 1): a head message
-   is released once that round reaches its ready_at. *)
+   is released once that round reaches its ready_at. Only the active
+   worklist is visited; drained links are compacted away in place. *)
 let deliver t =
-  let n = Graph.n t.graph in
   let now = t.round + 1 in
   let delivered = ref 0 in
-  for u = 0 to n - 1 do
-    let qs = t.links.(u) in
-    for i = 0 to Array.length qs - 1 do
-      Metrics.observe_backlog t.metrics (Queue.length qs.(i));
-      match Queue.peek_opt qs.(i) with
-      | Some { msg; ready_at } when ready_at <= now ->
-        ignore (Queue.pop qs.(i));
-        incr delivered;
-        let v = t.apis.(u).neighbor_id i in
-        let j = t.rev.(u).(i) in
-        t.inboxes.(v) <- (j, msg) :: t.inboxes.(v);
-        Metrics.count_message t.metrics ~words:(t.protocol.msg_words msg)
-      | Some _ | None -> ()
-    done
+  let kept = ref 0 in
+  for idx = 0 to Ivec.length t.active - 1 do
+    let l = Ivec.get t.active idx in
+    let q = t.link_q.(l) in
+    (match Queue.peek_opt q with
+    | Some { msg; ready_at } when ready_at <= now ->
+      ignore (Queue.pop q);
+      incr delivered;
+      let v = t.link_dst.(l) in
+      schedule_now t v;
+      Inbox.push t.inboxes.(v) t.link_rev.(l) msg;
+      Metrics.count_message t.metrics ~words:(t.protocol.msg_words msg)
+    | Some _ | None -> ());
+    if not (Queue.is_empty q) then begin
+      Ivec.set t.active !kept l;
+      incr kept
+    end
   done;
-  t.in_flight <- t.in_flight - !delivered;
-  !delivered
+  Ivec.truncate t.active !kept;
+  t.in_flight <- t.in_flight - !delivered
 
 let step t =
-  let n = Graph.n t.graph in
-  let before = t.in_flight in
-  let delivered = deliver t in
+  (* With nothing in flight nobody can be woken by a message, so run
+     every node once: this is the probe round [run] uses to detect
+     quiescence, and it also lets protocols whose nodes start without
+     sending (e.g. Multi_bf sources) bootstrap themselves. [run_now]
+     is necessarily empty here — last round's senders imply in-flight
+     messages. *)
+  if t.in_flight = 0 then
+    for u = 0 to Graph.n t.graph - 1 do
+      schedule_now t u
+    done;
+  deliver t;
   t.round <- t.round + 1;
   Metrics.tick_round t.metrics;
-  Pool.parallel_for t.pool ~lo:0 ~hi:n (fun u ->
+  let rl = t.run_now in
+  Pool.parallel_for t.pool ~lo:0 ~hi:(Ivec.length rl) (fun idx ->
+      let u = Ivec.get rl idx in
       let inbox = t.inboxes.(u) in
-      t.inboxes.(u) <- [];
-      t.protocol.on_round t.apis.(u) t.node_states.(u) inbox);
-  (* Sends during this round's computation raised in_flight; compute
-     how many were enqueued for the activity check. *)
-  t.sent_this_round <- 0;
-  let queued = ref 0 in
-  Array.iter (Array.iter (fun q -> queued := !queued + Queue.length q)) t.links;
-  t.sent_this_round <- !queued - (before - delivered);
-  t.in_flight <- !queued
+      t.protocol.on_round t.apis.(u) t.node_states.(u) inbox;
+      Inbox.clear inbox);
+  (* Sequentially absorb the round's sends from the per-node scratch:
+     O(nodes that ran + links activated), independent of pool size and
+     of node execution order, so parallel runs stay deterministic. *)
+  let total = ref 0 in
+  Ivec.iter
+    (fun u ->
+      Bytes.set t.in_now u '\000';
+      if t.enqueued.(u) > 0 then begin
+        total := !total + t.enqueued.(u);
+        t.enqueued.(u) <- 0;
+        Metrics.observe_backlog t.metrics t.push_backlog.(u);
+        t.push_backlog.(u) <- 0;
+        Ivec.iter (fun l -> Ivec.push t.active l) t.activated.(u);
+        Ivec.clear t.activated.(u);
+        if Bytes.get t.in_next u = '\000' then begin
+          Bytes.set t.in_next u '\001';
+          Ivec.push t.run_next u
+        end
+      end)
+    rl;
+  Ivec.clear rl;
+  t.in_flight <- t.in_flight + !total;
+  t.sent_last_round <- !total;
+  (* This round's senders become (part of) next round's run list. *)
+  let tmp = t.run_now in
+  t.run_now <- t.run_next;
+  t.run_next <- tmp;
+  let tmpf = t.in_now in
+  t.in_now <- t.in_next;
+  t.in_next <- tmpf
 
 let quiescent t = t.in_flight = 0
 

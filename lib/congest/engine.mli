@@ -8,7 +8,21 @@
     Protocols call {!api}[.send] freely; the engine serialises the
     sends through per-link FIFO queues so that the wire discipline
     (one message per edge per direction per round) always holds, and
-    charges every delivered message to {!Metrics}. *)
+    charges every delivered message to {!Metrics}.
+
+    The engine is activity-driven: per-round cost is proportional to
+    the number of links carrying messages and nodes doing work, not to
+    the size of the graph (see DESIGN.md, "Engine internals"). A
+    node's [on_round] is invoked in round [r] iff at least one of:
+    - a message is delivered to it in round [r];
+    - it sent at least one message in round [r - 1] (so protocols that
+      drain an internal work queue, sending as they go, keep running);
+    - nothing at all is in flight (a probe round: every node runs, so
+      protocols whose nodes start silently still bootstrap, and
+      quiescence detection matches the original run-everyone engine).
+    Protocols driven purely by an internal clock — doing work in
+    rounds where they neither received nor just sent — are not
+    supported; none of the paper's protocols are. *)
 
 type 'msg api = {
   id : int;  (** this node's ID *)
@@ -20,13 +34,35 @@ type 'msg api = {
   round : unit -> int;  (** current round number *)
 }
 
+(** A node's inbox for one round: the messages delivered to it, as
+    [(neighbor index, message)] pairs in delivery order (per-link FIFO
+    order is guaranteed; the interleaving across neighbors is
+    deterministic but unspecified). The buffer is reused — cleared,
+    not reallocated, between rounds — so it is only valid during the
+    [on_round] call it was passed to; copy out anything kept. *)
+module Inbox : sig
+  type 'msg t
+
+  val length : 'msg t -> int
+  val is_empty : 'msg t -> bool
+
+  val from : 'msg t -> int -> int
+  (** Sender's neighbor index of the [i]th delivery. *)
+
+  val msg : 'msg t -> int -> 'msg
+  (** Payload of the [i]th delivery. *)
+
+  val iter : (int -> 'msg -> unit) -> 'msg t -> unit
+  val fold : ('a -> int -> 'msg -> 'a) -> 'a -> 'msg t -> 'a
+  val to_list : 'msg t -> (int * 'msg) list
+end
+
 type ('state, 'msg) protocol = {
   name : string;
   init : 'msg api -> 'state;
       (** Round-0 computation; may send. Called once per node. *)
-  on_round : 'msg api -> 'state -> (int * 'msg) list -> unit;
-      (** Per-round computation. The inbox lists
-          [(neighbor index, message)] pairs delivered this round. *)
+  on_round : 'msg api -> 'state -> 'msg Inbox.t -> unit;
+      (** Per-round computation; see the scheduling contract above. *)
   halted : 'state -> bool;
       (** True once the node has locally terminated. *)
   msg_words : 'msg -> int;  (** size accounting, in words *)
@@ -42,11 +78,15 @@ type jitter = { rng : Ds_util.Rng.t; max_delay : int }
     reordering). This is the bounded-asynchrony extension the paper's
     conclusion calls for; delay-tolerant protocols ({!Setup},
     {!Super_bf}, the phase-tagged [Ds_core.Tz_echo]) stay correct,
-    round counts become meaningless as a complexity measure. *)
+    round counts become meaningless as a complexity measure. The [rng]
+    only seeds a per-message coordinate hash, so a jittered run is
+    reproducible under any pool size. *)
 
 val create :
   ?pool:Ds_parallel.Pool.t -> ?jitter:jitter -> Ds_graph.Graph.t ->
   ('state, 'msg) protocol -> ('state, 'msg) t
+(** The engine borrows [pool] (default {!Ds_parallel.Pool.sequential});
+    the caller owns its lifecycle and may share it across engines. *)
 
 val graph : ('state, 'msg) t -> Ds_graph.Graph.t
 val metrics : ('state, 'msg) t -> Metrics.t

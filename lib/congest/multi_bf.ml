@@ -73,13 +73,13 @@ let protocol ~is_source ~bound : (state, int * int) Engine.protocol =
         st);
     on_round =
       (fun api st inbox ->
-        let process (i, (src, dist)) =
+        let process i (src, dist) =
           let nd = dist + api.neighbor_weight i in
           match accept st src nd i with
           | None -> ()
           | Some e -> enqueue st src e
         in
-        List.iter process inbox;
+        Engine.Inbox.iter process inbox;
         pop_and_broadcast api st);
   }
 

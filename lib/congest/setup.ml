@@ -82,7 +82,7 @@ let protocol () : (state, msg) Engine.protocol =
         st);
     on_round =
       (fun api st inbox ->
-        let process (i, m) =
+        let process i m =
           match m with
           | Cand c -> if c < st.best then adopt api st c i else api.send i (Cand_echo c)
           | Cand_echo c -> begin
@@ -110,7 +110,7 @@ let protocol () : (state, msg) Engine.protocol =
             Array.iteri (fun j c -> if c then api.send j Done) st.child;
             st.done_seen <- true
         in
-        List.iter process inbox);
+        Engine.Inbox.iter process inbox);
   }
 
 type result = {

@@ -39,7 +39,7 @@ let protocol ~is_source : (state, msg) Engine.protocol =
         st);
     on_round =
       (fun api st inbox ->
-        let process (i, m) =
+        let process i m =
           match m with
           | Claim -> st.child.(i) <- true
           | Unclaim -> st.child.(i) <- false
@@ -55,7 +55,7 @@ let protocol ~is_source : (state, msg) Engine.protocol =
               st.dirty <- true
             end
         in
-        List.iter process inbox;
+        Engine.Inbox.iter process inbox;
         if st.dirty then begin
           st.dirty <- false;
           api.broadcast (Update { src = st.best_src; dist = st.best_dist })

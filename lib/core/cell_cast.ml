@@ -51,8 +51,8 @@ let protocol ~forest ~payload : (state, msg) Engine.protocol =
         (* Forward every chunk received from the cell parent. The
            parent sends at most one chunk per round, so each child link
            carries at most one forwarded chunk per round. *)
-        List.iter
-          (fun (_, Chunk (a, b)) ->
+        Engine.Inbox.iter
+          (fun _ (Chunk (a, b)) ->
             st.received <- (a, b) :: st.received;
             send_chunk api st (a, b))
           inbox;

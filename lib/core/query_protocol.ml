@@ -59,7 +59,7 @@ let protocol ~tree ~label_chunks ~u ~v : (state, msg) Engine.protocol =
     on_round =
       (fun api st inbox ->
         let me = api.id in
-        let process (i, m) =
+        let process i m =
           match m with
           | Req ->
             if st.req_parent < 0 && me <> u then begin
@@ -75,7 +75,7 @@ let protocol ~tree ~label_chunks ~u ~v : (state, msg) Engine.protocol =
               (* Relay the stream toward the requester. *)
               api.send st.req_parent (Chunk last)
         in
-        List.iter process inbox;
+        Engine.Inbox.iter process inbox;
         if me = v && st.to_stream > 0 then begin
           st.to_stream <- st.to_stream - 1;
           stream_one api st (st.to_stream = 0)

@@ -236,7 +236,7 @@ let protocol ~levels ~tree : (state, msg) Engine.protocol =
            BFS tree gives depth(v) <= depth(src) + hops exactly), so
            phase control is processed first: the new bound must be in
            place before any new-phase data is judged. *)
-        let control (_, m) =
+        let control _ m =
           match m with
           | Start i ->
             Array.iter (fun c -> api.send c (Start i)) st.tree_children;
@@ -254,7 +254,7 @@ let protocol ~levels ~tree : (state, msg) Engine.protocol =
             st.halted <- true
           | Data _ | Echo _ | Complete _ -> ()
         in
-        let process (j, m) =
+        let process j m =
           match m with
           | Start _ | Finish -> ()
           | Data (p, src, adv) -> handle_data api st j (p, src, adv)
@@ -267,8 +267,8 @@ let protocol ~levels ~tree : (state, msg) Engine.protocol =
             assert (p = st.phase);
             st.children_complete <- st.children_complete + 1
         in
-        List.iter control inbox;
-        List.iter process inbox;
+        Engine.Inbox.iter control inbox;
+        Engine.Inbox.iter process inbox;
         if st.phase >= 0 && st.phase < st.k then begin
           pop_and_broadcast api st;
           send_complete_if_ready api st;

@@ -20,7 +20,7 @@ type params = { seed : int; n : int; k : int; delays : int list }
 
 let default = { seed = 10; n = 192; k = 3; delays = [ 0; 1; 2; 4; 8 ] }
 
-let run { seed; n; k; delays } =
+let run ?pool { seed; n; k; delays } =
   let w =
     Common.make_workload ~seed
       ~family:(Ds_graph.Gen.Erdos_renyi { avg_degree = 6.0 })
@@ -43,7 +43,7 @@ let run { seed; n; k; delays } =
   List.iter
     (fun max_delay ->
       let r =
-        Tz_echo.build
+        Tz_echo.build ?pool
           ~jitter:{ Engine.rng = Rng.create (seed + max_delay); max_delay }
           g ~levels
       in

@@ -17,7 +17,7 @@ type params = { seed : int; n : int; ks : int list }
 
 let default = { seed = 11; n = 300; ks = [ 1; 2; 3; 4; 6 ] }
 
-let run { seed; n; ks } =
+let run ?pool { seed; n; ks } =
   let w =
     Common.make_workload ~seed
       ~family:(Ds_graph.Gen.Erdos_renyi { avg_degree = 8.0 })
@@ -40,7 +40,7 @@ let run { seed; n; ks } =
   List.iter
     (fun k ->
       let levels = Levels.sample ~rng:(Rng.create (seed + k)) ~n ~k in
-      let sp_d, _ = Spanner.of_distributed g ~levels in
+      let sp_d, _ = Spanner.of_distributed ?pool g ~levels in
       let sp_c = Spanner.of_levels g ~levels in
       let s = Spanner.max_stretch g ~spanner:sp_d in
       let ok = s <= float_of_int ((2 * k) - 1) +. 1e-9 in

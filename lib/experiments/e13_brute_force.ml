@@ -24,7 +24,7 @@ type params = { seed : int; ns : int list; k : int }
 
 let default = { seed = 13; ns = [ 32; 64; 128; 256 ]; k = 3 }
 
-let run { seed; ns; k } =
+let run ?pool { seed; ns; k } =
   let t =
     Table.create
       ~title:
@@ -48,10 +48,10 @@ let run { seed; ns; k } =
       let g = w.Common.graph in
       let all = List.init n Fun.id in
       let _, apsp_metrics =
-        Multi_bf.run g ~sources:all ~bound:(fun _ -> Dist.none)
+        Multi_bf.run ?pool g ~sources:all ~bound:(fun _ -> Dist.none)
       in
       let levels = Levels.sample ~rng:(Rng.create (seed + n)) ~n ~k in
-      let tz = Tz_distributed.build g ~levels in
+      let tz = Tz_distributed.build ?pool g ~levels in
       let tz_sizes =
         Eval.size_summary Label.size_words tz.Tz_distributed.labels
       in

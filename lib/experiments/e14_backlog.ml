@@ -17,7 +17,7 @@ type params = { seed : int; ns : int list; k : int }
 
 let default = { seed = 14; ns = [ 64; 128; 256; 512 ]; k = 3 }
 
-let run { seed; ns; k } =
+let run ?pool { seed; ns; k } =
   let t =
     Table.create
       ~title:
@@ -39,7 +39,7 @@ let run { seed; ns; k } =
           ~n
       in
       let levels = Levels.sample ~rng:(Rng.create (seed + n)) ~n ~k in
-      let r = Tz_distributed.build w.Common.graph ~levels in
+      let r = Tz_distributed.build ?pool w.Common.graph ~levels in
       let max_bunch =
         Array.fold_left
           (fun acc l -> max acc (Label.bunch_size l))

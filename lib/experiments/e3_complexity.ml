@@ -36,12 +36,12 @@ let bound_rounds ~n ~k ~s =
 
 let bound_messages ~n ~k ~s ~m = bound_rounds ~n ~k ~s *. float_of_int m
 
-let row w ~seed ~k =
+let row ?pool w ~seed ~k =
   let p = w.Common.profile in
   let n = p.Ds_graph.Props.n and s = p.Ds_graph.Props.s in
   let m = p.Ds_graph.Props.m in
   let levels = Levels.sample ~rng:(Rng.create (seed + k)) ~n ~k in
-  let r = Tz_distributed.build w.Common.graph ~levels in
+  let r = Tz_distributed.build ?pool w.Common.graph ~levels in
   let rounds = Metrics.rounds r.Tz_distributed.metrics in
   let msgs = Metrics.messages r.Tz_distributed.metrics in
   let br = bound_rounds ~n ~k ~s and bm = bound_messages ~n ~k ~s ~m in
@@ -64,7 +64,7 @@ let headers =
     "bound msgs"; "m-ratio";
   ]
 
-let run { seed; ns; k_of_n; k_sweep; k_sweep_n } =
+let run ?pool { seed; ns; k_of_n; k_sweep; k_sweep_n } =
   let t1 =
     Table.create
       ~title:
@@ -79,7 +79,7 @@ let run { seed; ns; k_of_n; k_sweep; k_sweep_n } =
           ~family:(Ds_graph.Gen.Erdos_renyi { avg_degree = 6.0 })
           ~n
       in
-      Table.add_row t1 (row w ~seed ~k:(k_of_n n)))
+      Table.add_row t1 (row ?pool w ~seed ~k:(k_of_n n)))
     ns;
   let t2 =
     Table.create
@@ -94,7 +94,7 @@ let run { seed; ns; k_of_n; k_sweep; k_sweep_n } =
       ~family:(Ds_graph.Gen.Erdos_renyi { avg_degree = 6.0 })
       ~n:k_sweep_n
   in
-  List.iter (fun k -> Table.add_row t2 (row w ~seed ~k)) k_sweep;
+  List.iter (fun k -> Table.add_row t2 (row ?pool w ~seed ~k)) k_sweep;
   let t3 =
     Table.create
       ~title:"E3c: distributed TZ across topologies (k=3) — S-dependence"
@@ -103,6 +103,6 @@ let run { seed; ns; k_of_n; k_sweep; k_sweep_n } =
   List.iter
     (fun (_, family) ->
       let w = Common.make_workload ~seed ~family ~n:256 in
-      Table.add_row t3 (row w ~seed ~k:3))
+      Table.add_row t3 (row ?pool w ~seed ~k:3))
     (Common.standard_families ~n:256);
   [ t1; t2; t3 ]

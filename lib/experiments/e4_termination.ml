@@ -18,7 +18,7 @@ type params = { seed : int; n : int; k : int }
 
 let default = { seed = 4; n = 256; k = 3 }
 
-let run { seed; n; k } =
+let run ?pool { seed; n; k } =
   let t =
     Table.create
       ~title:
@@ -37,8 +37,8 @@ let run { seed; n; k } =
       let w = Common.make_workload ~seed ~family ~n in
       let gn = Ds_graph.Graph.n w.Common.graph in
       let levels = Levels.sample ~rng:(Rng.create (seed + 7)) ~n:gn ~k in
-      let ideal = Tz_distributed.build w.Common.graph ~levels in
-      let echo = Tz_echo.build w.Common.graph ~levels in
+      let ideal = Tz_distributed.build ?pool w.Common.graph ~levels in
+      let echo = Tz_echo.build ?pool w.Common.graph ~levels in
       let ri = Metrics.rounds ideal.Tz_distributed.metrics in
       let re = Metrics.rounds echo.Tz_echo.metrics in
       let mi = Metrics.messages ideal.Tz_distributed.metrics in

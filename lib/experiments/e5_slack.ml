@@ -16,7 +16,7 @@ type params = { seed : int; n : int; epss : float list }
 
 let default = { seed = 5; n = 400; epss = [ 0.5; 0.25; 0.1; 0.05 ] }
 
-let run { seed; n; epss } =
+let run ?pool { seed; n; epss } =
   let w =
     Common.make_workload ~seed
       ~family:(Ds_graph.Gen.Erdos_renyi { avg_degree = 6.0 })
@@ -53,7 +53,7 @@ let run { seed; n; epss } =
            else "NO");
           Table.cell_float ~decimals:4 (Density_net.sample_probability ~n ~eps);
         ];
-      let r = Slack.build_distributed ~rng:(Rng.create (seed + 13)) w.Common.graph ~eps in
+      let r = Slack.build_distributed ?pool ~rng:(Rng.create (seed + 13)) w.Common.graph ~eps in
       let nn = List.length r.Slack.net in
       let far =
         Common.far_sample ~rng:(Rng.create (seed + 17)) w.Common.apsp ~eps

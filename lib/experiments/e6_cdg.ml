@@ -21,7 +21,7 @@ let default =
     grid = [ (0.25, 1); (0.25, 2); (0.25, 3); (0.1, 1); (0.1, 2); (0.1, 3) ];
   }
 
-let run { seed; n; grid } =
+let run ?pool { seed; n; grid } =
   let w =
     Common.make_workload ~seed
       ~family:(Ds_graph.Gen.Erdos_renyi { avg_degree = 6.0 })
@@ -42,7 +42,7 @@ let run { seed; n; grid } =
   List.iter
     (fun (eps, k) ->
       let r =
-        Cdg.build_distributed ~rng:(Rng.create (seed + k)) w.Common.graph ~eps
+        Cdg.build_distributed ?pool ~rng:(Rng.create (seed + k)) w.Common.graph ~eps
           ~k
       in
       let far =

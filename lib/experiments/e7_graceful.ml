@@ -17,7 +17,7 @@ type params = { seed : int; ns : int list }
 
 let default = { seed = 7; ns = [ 64; 128; 256; 512 ] }
 
-let run { seed; ns } =
+let run ?pool { seed; ns } =
   let t =
     Table.create
       ~title:
@@ -35,7 +35,7 @@ let run { seed; ns } =
           ~family:(Ds_graph.Gen.Erdos_renyi { avg_degree = 6.0 })
           ~n
       in
-      let r = Graceful.build_distributed ~rng:(Rng.create (seed + n)) w.Common.graph in
+      let r = Graceful.build_distributed ?pool ~rng:(Rng.create (seed + n)) w.Common.graph in
       let report =
         Eval.all_pairs
           ~query:(fun u v ->

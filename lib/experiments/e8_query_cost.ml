@@ -23,7 +23,7 @@ type params = { seed : int; ns : int list; k : int }
 
 let default = { seed = 8; ns = [ 65; 129; 257; 513 ]; k = 3 }
 
-let run { seed; ns; k } =
+let run ?pool { seed; ns; k } =
   let t =
     Table.create
       ~title:
@@ -49,7 +49,7 @@ let run { seed; ns; k } =
       let gn = Ds_graph.Graph.n g in
       let d = w.Common.profile.Ds_graph.Props.d in
       let levels = Levels.sample ~rng:(Rng.create (seed + n)) ~n:gn ~k in
-      let built = Tz_distributed.build g ~levels in
+      let built = Tz_distributed.build ?pool g ~levels in
       let sizes =
         Eval.size_summary Label.size_words built.Tz_distributed.labels
       in
@@ -60,9 +60,9 @@ let run { seed; ns; k } =
       let naive = float_of_int d *. mean_l in
       let pipelined = float_of_int d +. mean_l in
       (* Actually run the in-network sketch exchange for one pair. *)
-      let tree, _ = Setup.run g in
+      let tree, _ = Setup.run ?pool g in
       let exchange =
-        Query_protocol.query g ~tree ~labels:built.Tz_distributed.labels
+        Query_protocol.query ?pool g ~tree ~labels:built.Tz_distributed.labels
           ~u:(gn / 4) ~v:(gn / 2)
       in
       let build_rounds = Metrics.rounds built.Tz_distributed.metrics in

@@ -17,7 +17,7 @@ type params = { seed : int; n : int; ks : int list; eps : float }
 
 let default = { seed = 9; n = 300; ks = [ 2; 3; 4; 6 ]; eps = 0.2 }
 
-let run { seed; n; ks; eps } =
+let run ?pool { seed; n; ks; eps } =
   let w =
     Common.make_workload ~seed
       ~family:(Ds_graph.Gen.Erdos_renyi { avg_degree = 6.0 })
@@ -66,7 +66,7 @@ let run { seed; n; ks; eps } =
   List.iter
     (fun k ->
       let r =
-        Cdg.build_distributed ~rng:(Rng.create (seed + (7 * k))) w.Common.graph
+        Cdg.build_distributed ?pool ~rng:(Rng.create (seed + (7 * k))) w.Common.graph
           ~eps ~k
       in
       let far =

@@ -1,103 +1,106 @@
 module Table = Ds_util.Table
+module Pool = Ds_parallel.Pool
 
 type entry = {
   id : string;
   title : string;
   claim : string;
-  run : unit -> Table.t list;
+  run : Pool.t -> Table.t list;
 }
 
+(* Experiments whose measurements are all centralized take the pool
+   anyway so the registry stays uniform; they just ignore it. *)
 let all =
   [
     {
       id = "e1";
       title = "sketch size vs k";
       claim = "Lemma 3.1 / Theorem 1.1: O(k n^{1/k}) words";
-      run = (fun () -> E1_size.run E1_size.default);
+      run = (fun _pool -> E1_size.run E1_size.default);
     };
     {
       id = "e2";
       title = "stretch vs k";
       claim = "Lemma 3.2: d <= estimate <= (2k-1) d";
-      run = (fun () -> E2_stretch.run E2_stretch.default);
+      run = (fun _pool -> E2_stretch.run E2_stretch.default);
     };
     {
       id = "e3";
       title = "construction rounds/messages";
       claim = "Theorem 1.1: O(k n^{1/k} S log n) rounds";
-      run = (fun () -> E3_complexity.run E3_complexity.default);
+      run = (fun pool -> E3_complexity.run ~pool E3_complexity.default);
     };
     {
       id = "e4";
       title = "termination-detection overhead";
       claim = "Section 3.3: constant-factor overhead";
-      run = (fun () -> E4_termination.run E4_termination.default);
+      run = (fun pool -> E4_termination.run ~pool E4_termination.default);
     };
     {
       id = "e5";
       title = "density nets + stretch-3 slack sketches";
       claim = "Lemma 4.2 + Theorem 4.3";
-      run = (fun () -> E5_slack.run E5_slack.default);
+      run = (fun pool -> E5_slack.run ~pool E5_slack.default);
     };
     {
       id = "e6";
       title = "(eps,k)-CDG sketches";
       claim = "Theorems 1.2 / 4.6: stretch 8k-1 with eps-slack";
-      run = (fun () -> E6_cdg.run E6_cdg.default);
+      run = (fun pool -> E6_cdg.run ~pool E6_cdg.default);
     };
     {
       id = "e7";
       title = "gracefully degrading sketches";
       claim = "Theorem 1.3: O(log n) stretch, O(1) average stretch";
-      run = (fun () -> E7_graceful.run E7_graceful.default);
+      run = (fun pool -> E7_graceful.run ~pool E7_graceful.default);
     };
     {
       id = "e8";
       title = "query cost vs on-demand computation";
       claim = "Section 2.1: O(D) vs Omega(S) per query";
-      run = (fun () -> E8_query_cost.run E8_query_cost.default);
+      run = (fun pool -> E8_query_cost.run ~pool E8_query_cost.default);
     };
     {
       id = "e9";
       title = "query ablations";
       claim = "design choices (not a paper claim)";
-      run = (fun () -> E9_ablation.run E9_ablation.default);
+      run = (fun pool -> E9_ablation.run ~pool E9_ablation.default);
     };
     {
       id = "e10";
       title = "echo TZ under bounded asynchrony";
       claim = "extension: the paper's future-work model";
-      run = (fun () -> E10_async.run E10_async.default);
+      run = (fun pool -> E10_async.run ~pool E10_async.default);
     };
     {
       id = "e11";
       title = "TZ spanner for free";
       claim = "extension: (2k-1)-spanner with O(k n^{1+1/k}) edges";
-      run = (fun () -> E11_spanner.run E11_spanner.default);
+      run = (fun pool -> E11_spanner.run ~pool E11_spanner.default);
     };
     {
       id = "e12";
       title = "Vivaldi coordinates vs TZ sketches";
       claim = "Section 1: coordinate systems lack worst-case guarantees";
-      run = (fun () -> E12_vivaldi.run E12_vivaldi.default);
+      run = (fun _pool -> E12_vivaldi.run E12_vivaldi.default);
     };
     {
       id = "e13";
       title = "brute-force APSP vs sketches";
       claim = "Section 1: quadratic storage is the strawman";
-      run = (fun () -> E13_brute_force.run E13_brute_force.default);
+      run = (fun pool -> E13_brute_force.run ~pool E13_brute_force.default);
     };
     {
       id = "e14";
       title = "scheduler backlog vs Lemma 3.7";
       claim = "Lemma 3.7: pending queue <= bunch slice, O(n^{1/k} log n)";
-      run = (fun () -> E14_backlog.run E14_backlog.default);
+      run = (fun pool -> E14_backlog.run ~pool E14_backlog.default);
     };
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all
 
-let run_one ?csv_dir e =
+let run_one ?(pool = Pool.sequential) ?csv_dir e =
   Printf.printf "### %s — %s\n    reproduces: %s\n\n" e.id e.title e.claim;
   List.iter
     (fun t ->
@@ -108,6 +111,6 @@ let run_one ?csv_dir e =
         Printf.printf "(csv: %s)\n" path
       | None -> ());
       print_newline ())
-    (e.run ())
+    (e.run pool)
 
-let run_all ?csv_dir () = List.iter (run_one ?csv_dir) all
+let run_all ?pool ?csv_dir () = List.iter (run_one ?pool ?csv_dir) all

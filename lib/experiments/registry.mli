@@ -4,15 +4,19 @@ type entry = {
   id : string;
   title : string;
   claim : string;  (** which paper statement it reproduces *)
-  run : unit -> Ds_util.Table.t list;
+  run : Ds_parallel.Pool.t -> Ds_util.Table.t list;
+      (** Runs the experiment's engine phases on the given pool.
+          Experiments with no distributed phase ignore it. *)
 }
 
 val all : entry list
 
 val find : string -> entry option
 
-val run_one : ?csv_dir:string -> entry -> unit
+val run_one : ?pool:Ds_parallel.Pool.t -> ?csv_dir:string -> entry -> unit
 (** Run and print every table of the experiment; with [csv_dir] also
-    save each table as a CSV file there. *)
+    save each table as a CSV file there. [pool] (default
+    {!Ds_parallel.Pool.sequential}) is borrowed, not owned: the caller
+    shuts it down. *)
 
-val run_all : ?csv_dir:string -> unit -> unit
+val run_all : ?pool:Ds_parallel.Pool.t -> ?csv_dir:string -> unit -> unit

@@ -1,4 +1,76 @@
-type t = { domains : int }
+(* A persistent SPMD worker pool. Workers are spawned once in [create]
+   and parked on a condition variable; each [parallel_for] publishes a
+   job descriptor, bumps the epoch, and wakes them. The engine calls
+   [parallel_for] once per simulated round, so spawn-per-call (the
+   previous implementation) paid a domain spawn+join per round; here a
+   round costs two lock round-trips per worker. *)
+
+type job = { lo : int; hi : int; chunk_size : int; chunks : int; f : int -> unit }
+
+type t = {
+  size : int; (* total domains, including the caller *)
+  mutex : Mutex.t;
+  start : Condition.t; (* new epoch published *)
+  finished : Condition.t; (* all workers done with the epoch *)
+  mutable workers : unit Domain.t array;
+  mutable job : job option;
+  mutable epoch : int;
+  mutable pending : int; (* workers still running the current epoch *)
+  mutable failure : exn option;
+  mutable stop : bool;
+}
+
+(* Chunk [c] of the current job; chunk 0 always runs on the caller.
+   The split is the same deterministic static chunking as the old
+   spawn-per-call pool: contiguous ranges of ceil(n/chunks). *)
+let run_chunk job c =
+  if c < job.chunks then begin
+    let lo = job.lo + (c * job.chunk_size) in
+    let hi = min job.hi (lo + job.chunk_size) in
+    for i = lo to hi - 1 do
+      job.f i
+    done
+  end
+
+let worker t c =
+  let rec loop last_epoch =
+    Mutex.lock t.mutex;
+    while t.epoch = last_epoch && not t.stop do
+      Condition.wait t.start t.mutex
+    done;
+    if t.stop then Mutex.unlock t.mutex
+    else begin
+      let epoch = t.epoch in
+      let job = Option.get t.job in
+      Mutex.unlock t.mutex;
+      let failed = try run_chunk job c; None with e -> Some e in
+      Mutex.lock t.mutex;
+      (match failed with
+      | Some e when t.failure = None -> t.failure <- Some e
+      | _ -> ());
+      t.pending <- t.pending - 1;
+      if t.pending = 0 then Condition.signal t.finished;
+      Mutex.unlock t.mutex;
+      loop epoch
+    end
+  in
+  loop 0
+
+let make size =
+  {
+    size;
+    mutex = Mutex.create ();
+    start = Condition.create ();
+    finished = Condition.create ();
+    workers = [||];
+    job = None;
+    epoch = 0;
+    pending = 0;
+    failure = None;
+    stop = false;
+  }
+
+let sequential = make 1
 
 let create ?domains () =
   let d =
@@ -7,36 +79,59 @@ let create ?domains () =
     | Some _ -> invalid_arg "Pool.create: domains must be >= 1"
     | None -> Domain.recommended_domain_count ()
   in
-  { domains = d }
+  let t = make d in
+  (* Worker w owns chunk w+1 of every job; chunk 0 is the caller's. *)
+  t.workers <- Array.init (d - 1) (fun w -> Domain.spawn (fun () -> worker t (w + 1)));
+  t
 
-let domains t = t.domains
+let domains t = t.size
 
-let sequential = { domains = 1 }
+let shutdown t =
+  if Array.length t.workers > 0 then begin
+    Mutex.lock t.mutex;
+    t.stop <- true;
+    Condition.broadcast t.start;
+    Mutex.unlock t.mutex;
+    Array.iter Domain.join t.workers;
+    t.workers <- [||]
+  end
+
+let with_pool ?domains f =
+  let t = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
 let parallel_for t ~lo ~hi f =
-  if hi <= lo then ()
-  else begin
+  if t.stop then invalid_arg "Pool.parallel_for: pool is shut down";
+  if hi > lo then begin
     let n = hi - lo in
-    let chunks = min t.domains n in
-    if chunks <= 1 then
+    let chunks = min t.size n in
+    if chunks <= 1 || Array.length t.workers = 0 then
       for i = lo to hi - 1 do
         f i
       done
     else begin
-      let chunk_size = (n + chunks - 1) / chunks in
-      let run c =
-        let start = lo + (c * chunk_size) in
-        let stop = min hi (start + chunk_size) in
-        for i = start to stop - 1 do
-          f i
-        done
-      in
-      (* Run the first chunk on the current domain, the rest spawned. *)
-      let handles =
-        Array.init (chunks - 1) (fun c -> Domain.spawn (fun () -> run (c + 1)))
-      in
-      run 0;
-      Array.iter Domain.join handles
+      let job = { lo; hi; chunk_size = (n + chunks - 1) / chunks; chunks; f } in
+      Mutex.lock t.mutex;
+      t.job <- Some job;
+      t.failure <- None;
+      t.pending <- Array.length t.workers;
+      t.epoch <- t.epoch + 1;
+      Condition.broadcast t.start;
+      Mutex.unlock t.mutex;
+      (* The caller's own chunk; even if it raises we must wait for the
+         workers, or the next call would race the still-running job. *)
+      let caller_failed = try run_chunk job 0; None with e -> Some e in
+      Mutex.lock t.mutex;
+      while t.pending > 0 do
+        Condition.wait t.finished t.mutex
+      done;
+      t.job <- None;
+      let worker_failed = t.failure in
+      t.failure <- None;
+      Mutex.unlock t.mutex;
+      match caller_failed, worker_failed with
+      | Some e, _ | None, Some e -> raise e
+      | None, None -> ()
     end
   end
 

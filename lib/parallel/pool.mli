@@ -1,24 +1,50 @@
-(** Minimal data-parallel helpers over OCaml 5 domains.
+(** Persistent data-parallel worker pool over OCaml 5 domains.
 
-    The CONGEST engine steps all node automata once per round; the
-    per-node work is independent, so rounds parallelise trivially. On a
-    single-core host everything degrades to sequential execution with
-    no domain spawns. *)
+    The CONGEST engine steps all active node automata once per round;
+    the per-node work is independent, so rounds parallelise trivially.
+    Worker domains are spawned once in {!create} and parked on a
+    condition variable; {!parallel_for} never spawns — it publishes a
+    work descriptor, wakes the workers, runs its own share, and waits
+    for them. That makes a round cost two lock handoffs per worker
+    instead of a domain spawn+join, which matters when [parallel_for]
+    runs once per simulated round.
+
+    Determinism: the index range is split into the same contiguous
+    chunks regardless of how many workers exist (one chunk per domain,
+    ceiling-divided), and chunks never migrate. As long as [f i] only
+    writes state owned by index [i], a run is bit-for-bit identical
+    under any pool size, including {!sequential}. *)
 
 type t
 
 val create : ?domains:int -> unit -> t
-(** [create ()] sizes the pool to the number of recommended domains.
-    [domains] overrides it (1 means fully sequential). *)
+(** [create ()] sizes the pool to the number of recommended domains
+    and spawns [domains - 1] persistent workers. [domains] overrides
+    the size (1 means fully sequential: no workers are spawned). *)
 
 val domains : t -> int
 
 val parallel_for : t -> lo:int -> hi:int -> (int -> unit) -> unit
 (** [parallel_for t ~lo ~hi f] runs [f i] for [lo <= i < hi], split
     into one contiguous chunk per domain. [f] must be safe to run
-    concurrently for distinct [i]. *)
+    concurrently for distinct [i]. Not reentrant: do not call
+    [parallel_for] on the same pool from within [f], or from two
+    threads at once. If some [f] raises, one of the exceptions is
+    re-raised after every chunk has finished. *)
 
 val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
 
+val shutdown : t -> unit
+(** Joins the worker domains. Idempotent. The pool must be idle. After
+    shutdown, [parallel_for] over more than one chunk raises
+    [Invalid_argument]. Pools that are never shut down simply park
+    their workers until process exit, but long-lived processes that
+    create many pools should release them (domains are a bounded
+    resource). *)
+
+val with_pool : ?domains:int -> (t -> 'a) -> 'a
+(** [with_pool f] runs [f] with a fresh pool and always shuts it
+    down. *)
+
 val sequential : t
-(** A pool that never spawns; useful in tests. *)
+(** A pool that never spawns; useful in tests and as the default. *)

@@ -1,0 +1,37 @@
+type t = { mutable a : int array; mutable len : int }
+
+let create ?(capacity = 16) () = { a = Array.make (max 1 capacity) 0; len = 0 }
+
+let length t = t.len
+let is_empty t = t.len = 0
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Ivec.get";
+  t.a.(i)
+
+let set t i x =
+  if i < 0 || i >= t.len then invalid_arg "Ivec.set";
+  t.a.(i) <- x
+
+let push t x =
+  let cap = Array.length t.a in
+  if t.len = cap then begin
+    let b = Array.make (2 * cap) 0 in
+    Array.blit t.a 0 b 0 t.len;
+    t.a <- b
+  end;
+  t.a.(t.len) <- x;
+  t.len <- t.len + 1
+
+let clear t = t.len <- 0
+
+let truncate t len =
+  if len < 0 || len > t.len then invalid_arg "Ivec.truncate";
+  t.len <- len
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.a.(i)
+  done
+
+let to_list t = List.init t.len (fun i -> t.a.(i))

@@ -1,0 +1,25 @@
+(** Growable int vector with reusable storage.
+
+    Unlike a list, clearing keeps the backing array, so a vector that
+    is filled and drained every simulation round settles at its
+    high-water capacity and stops allocating. Used by the CONGEST
+    engine for its active-link worklist and per-round run lists. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val length : t -> int
+val is_empty : t -> bool
+val get : t -> int -> int
+val set : t -> int -> int -> unit
+val push : t -> int -> unit
+
+val clear : t -> unit
+(** Drops all elements; keeps the backing storage. *)
+
+val truncate : t -> int -> unit
+(** [truncate t len] keeps the first [len] elements (used for in-place
+    compaction). *)
+
+val iter : (int -> unit) -> t -> unit
+val to_list : t -> int list

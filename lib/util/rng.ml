@@ -9,6 +9,8 @@ let mix64 z =
 
 let create seed = { state = mix64 (Int64.of_int seed) }
 
+let mix x = Int64.to_int (mix64 (Int64.of_int x)) land max_int
+
 let bits64 t =
   t.state <- Int64.add t.state golden_gamma;
   mix64 t.state

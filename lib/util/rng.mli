@@ -9,6 +9,13 @@ type t
 val create : int -> t
 (** [create seed] makes a fresh generator. *)
 
+val mix : int -> int
+(** [mix x] is a stateless avalanche hash of [x], non-negative. Lets
+    callers derive reproducible per-event values (e.g. per-message
+    link delays) from coordinates instead of from a shared stateful
+    stream, which would make draw order — and hence results — depend
+    on execution interleaving. *)
+
 val split : t -> t
 (** [split t] derives an independent generator and advances [t]. *)
 

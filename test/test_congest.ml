@@ -26,8 +26,8 @@ let flood_protocol ~root : (int ref, int) Engine.protocol =
         else ref max_int);
     on_round =
       (fun api st inbox ->
-        List.iter
-          (fun (_, h) ->
+        Engine.Inbox.iter
+          (fun _ h ->
             if h + 1 < !st then begin
               st := h + 1;
               api.broadcast (h + 1)
@@ -102,7 +102,9 @@ let test_engine_link_discipline () =
           ref []);
       on_round =
         (fun api st inbox ->
-          List.iter (fun (_, m) -> st := (m, api.Engine.round ()) :: !st) inbox);
+          Engine.Inbox.iter
+            (fun _ m -> st := (m, api.Engine.round ()) :: !st)
+            inbox);
     }
   in
   let eng = Engine.create g proto in

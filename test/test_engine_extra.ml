@@ -23,7 +23,9 @@ let burst_protocol ~count : ((int * int) list ref, int) Engine.protocol =
         ref []);
     on_round =
       (fun api st inbox ->
-        List.iter (fun (_, m) -> st := (m, api.Engine.round ()) :: !st) inbox);
+        Engine.Inbox.iter
+          (fun _ m -> st := (m, api.Engine.round ()) :: !st)
+          inbox);
   }
 
 let arrivals ?jitter count =
@@ -73,8 +75,8 @@ let test_round_numbers_visible_to_nodes () =
         (fun api _ inbox ->
           if api.Engine.id = 0 then seen := api.Engine.round () :: !seen;
           (* keep one message circulating for three rounds *)
-          List.iter
-            (fun (_, m) -> if m < 2 then api.Engine.send 0 (m + 1))
+          Engine.Inbox.iter
+            (fun _ m -> if m < 2 then api.Engine.send 0 (m + 1))
             inbox);
     }
   in
@@ -112,7 +114,8 @@ let test_round_limit () =
       halted = (fun _ -> false);
       init = (fun api -> if api.Engine.id = 0 then api.Engine.send 0 0);
       on_round =
-        (fun api _ inbox -> List.iter (fun (i, m) -> api.Engine.send i m) inbox);
+        (fun api _ inbox ->
+          Engine.Inbox.iter (fun i m -> api.Engine.send i m) inbox);
     }
   in
   let eng = Engine.create g proto in

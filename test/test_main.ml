@@ -8,6 +8,7 @@ let () =
       ("congest", Test_congest.suite);
       ("metrics", Test_metrics.suite);
       ("engine-extra", Test_engine_extra.suite);
+      ("determinism", Test_determinism.suite);
       ("tz", Test_tz.suite);
       ("slack", Test_slack.suite);
       ("async", Test_async.suite);

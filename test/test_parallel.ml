@@ -6,7 +6,7 @@ let test_sequential_pool () =
   Array.iteri (fun i v -> Alcotest.(check int) "value" (i * i) v) acc
 
 let test_multi_domain_pool () =
-  let pool = Pool.create ~domains:4 () in
+  Pool.with_pool ~domains:4 @@ fun pool ->
   Alcotest.(check int) "domains" 4 (Pool.domains pool);
   let acc = Array.make 1000 0 in
   Pool.parallel_for pool ~lo:0 ~hi:1000 (fun i -> acc.(i) <- i + 1);
@@ -20,7 +20,7 @@ let test_empty_range () =
   Alcotest.(check bool) "never called" false !hit
 
 let test_partial_range () =
-  let pool = Pool.create ~domains:3 () in
+  Pool.with_pool ~domains:3 @@ fun pool ->
   let acc = Array.make 20 (-1) in
   Pool.parallel_for pool ~lo:7 ~hi:13 (fun i -> acc.(i) <- i);
   Array.iteri
@@ -30,7 +30,7 @@ let test_partial_range () =
     acc
 
 let test_map_array () =
-  let pool = Pool.create ~domains:2 () in
+  Pool.with_pool ~domains:2 @@ fun pool ->
   let out = Pool.map_array pool (fun x -> x * 2) (Array.init 50 Fun.id) in
   Array.iteri (fun i v -> Alcotest.(check int) "doubled" (2 * i) v) out;
   Alcotest.(check (array int)) "empty" [||] (Pool.map_array pool Fun.id [||])
@@ -42,6 +42,63 @@ let test_rejects_bad_domains () =
        false
      with Invalid_argument _ -> true)
 
+(* The pool is persistent: after [create] returns, [parallel_for] must
+   reuse the same worker domains instead of spawning fresh ones. *)
+let test_no_respawn_across_calls () =
+  Pool.with_pool ~domains:4 @@ fun pool ->
+  let seen = Hashtbl.create 16 in
+  let lock = Mutex.create () in
+  for _ = 1 to 10 do
+    Pool.parallel_for pool ~lo:0 ~hi:64 (fun _ ->
+        let id = (Domain.self () :> int) in
+        Mutex.lock lock;
+        Hashtbl.replace seen id ();
+        Mutex.unlock lock)
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "distinct domains %d <= 4" (Hashtbl.length seen))
+    true
+    (Hashtbl.length seen <= 4)
+
+let test_reuse_after_many_calls () =
+  Pool.with_pool ~domains:3 @@ fun pool ->
+  let total = ref 0 in
+  let lock = Mutex.create () in
+  for _ = 1 to 100 do
+    Pool.parallel_for pool ~lo:0 ~hi:10 (fun _ ->
+        Mutex.lock lock;
+        incr total;
+        Mutex.unlock lock)
+  done;
+  Alcotest.(check int) "all iterations ran" 1000 !total
+
+let test_shutdown_rejects_further_use () =
+  let pool = Pool.create ~domains:2 () in
+  Pool.parallel_for pool ~lo:0 ~hi:4 (fun _ -> ());
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  (* idempotent *)
+  Alcotest.(check bool) "raises after shutdown" true
+    (try
+       Pool.parallel_for pool ~lo:0 ~hi:100 (fun _ -> ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_propagates_exceptions () =
+  Pool.with_pool ~domains:4 @@ fun pool ->
+  let raised =
+    try
+      Pool.parallel_for pool ~lo:0 ~hi:1000 (fun i ->
+          if i = 977 then failwith "boom");
+      false
+    with Failure _ -> true
+  in
+  Alcotest.(check bool) "exception surfaces" true raised;
+  (* The pool survives a failed job. *)
+  let acc = Array.make 100 0 in
+  Pool.parallel_for pool ~lo:0 ~hi:100 (fun i -> acc.(i) <- 1);
+  Alcotest.(check int) "pool still works" 100 (Array.fold_left ( + ) 0 acc)
+
 (* The simulator must produce identical results whatever the pool
    size: node steps only touch their own state. *)
 let test_engine_deterministic_across_pools () =
@@ -51,7 +108,8 @@ let test_engine_deterministic_across_pools () =
   in
   let seq = Ds_core.Tz_distributed.build ~pool:Pool.sequential g ~levels in
   let par =
-    Ds_core.Tz_distributed.build ~pool:(Pool.create ~domains:4 ()) g ~levels
+    Pool.with_pool ~domains:4 (fun pool ->
+        Ds_core.Tz_distributed.build ~pool g ~levels)
   in
   Array.iteri
     (fun u l ->
@@ -72,6 +130,14 @@ let suite =
     Alcotest.test_case "partial range" `Quick test_partial_range;
     Alcotest.test_case "map_array" `Quick test_map_array;
     Alcotest.test_case "rejects bad domains" `Quick test_rejects_bad_domains;
+    Alcotest.test_case "no respawn across calls" `Quick
+      test_no_respawn_across_calls;
+    Alcotest.test_case "reuse after many calls" `Quick
+      test_reuse_after_many_calls;
+    Alcotest.test_case "shutdown rejects further use" `Quick
+      test_shutdown_rejects_further_use;
+    Alcotest.test_case "propagates exceptions" `Quick
+      test_propagates_exceptions;
     Alcotest.test_case "engine deterministic across pools" `Quick
       test_engine_deterministic_across_pools;
   ]
