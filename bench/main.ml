@@ -173,6 +173,9 @@ let () =
   let micro_only =
     Array.exists (fun a -> a = "--micro-only") Sys.argv
   in
+  let report =
+    Array.exists (fun a -> a = "--report") Sys.argv
+  in
   print_endline
     "Reproduction harness: 'Efficient Computation of Distance Sketches in \
      Distributed Networks' (Das Sarma, Dinitz, Pandurangan; SPAA 2012).\n\
@@ -184,6 +187,11 @@ let () =
       | Some s -> (try max 1 (int_of_string (String.trim s)) with _ -> 1)
       | None -> 1
     in
-    Pool.with_pool ~domains (fun pool -> Registry.run_all ~pool ())
+    Pool.with_pool ~domains (fun pool ->
+        ignore (Registry.run_all ~pool ());
+        if report then
+          List.iter
+            (Printf.printf "wrote %s\n")
+            (Registry.write_files ~pool ~dir:"." ()))
   end;
   run_microbenches ()

@@ -97,12 +97,12 @@ let run_cmd =
   let run domains csv_dir ids =
     with_domains domains @@ fun pool ->
     match ids with
-    | [] -> Registry.run_all ~pool ?csv_dir ()
+    | [] -> ignore (Registry.run_all ~pool ?csv_dir ())
     | ids ->
       List.iter
         (fun id ->
           match Registry.find id with
-          | Some e -> Registry.run_one ~pool ?csv_dir e
+          | Some e -> ignore (Registry.run_one ~pool ?csv_dir e)
           | None -> Printf.eprintf "unknown experiment %S (try `list')\n" id)
         ids
   in
@@ -110,6 +110,57 @@ let run_cmd =
     (Cmd.info "run"
        ~doc:"Run experiments by id (all when none given); see `list'.")
     Term.(const run $ domains_arg $ csv_arg $ ids)
+
+(* ---- report ---- *)
+
+let profile_conv =
+  Arg.enum [ ("full", Registry.Full); ("quick", Registry.Quick) ]
+
+let report_cmd =
+  let check_arg =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Do not write anything; re-run the experiments and fail (exit 1) \
+             if the committed EXPERIMENTS.md / EXPERIMENTS.json differ from a \
+             fresh render.")
+  in
+  let profile_arg =
+    Arg.(
+      value & opt profile_conv Registry.Full
+      & info [ "profile" ] ~docv:"PROFILE"
+          ~doc:
+            "Parameter profile: $(b,full) (the committed artifacts) or \
+             $(b,quick) (scaled-down, for smoke tests).")
+  in
+  let dir_arg =
+    Arg.(
+      value & opt string "."
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:"Directory holding EXPERIMENTS.md and EXPERIMENTS.json.")
+  in
+  let run domains check profile dir =
+    with_domains domains @@ fun pool ->
+    if check then
+      match Registry.check_files ~profile ~pool ~dir () with
+      | Ok () ->
+        Printf.printf "report --check: %s and %s match a fresh run\n"
+          Registry.md_file Registry.json_file
+      | Error msg ->
+        Printf.eprintf "report --check FAILED:\n%s\n" msg;
+        exit 1
+    else
+      let paths = Registry.write_files ~profile ~pool ~dir () in
+      List.iter (Printf.printf "wrote %s\n") paths
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Run every experiment (e1-e14) and regenerate EXPERIMENTS.md and \
+          EXPERIMENTS.json in place; with $(b,--check), verify the committed \
+          files instead of rewriting them.")
+    Term.(const run $ domains_arg $ check_arg $ profile_arg $ dir_arg)
 
 (* ---- profile ---- *)
 
@@ -275,7 +326,7 @@ let main =
   Cmd.group
     (Cmd.info "distsketch" ~version:"1.0.0"
        ~doc:"Distributed distance sketches (Das Sarma-Dinitz-Pandurangan).")
-    [ list_cmd; run_cmd; profile_cmd; build_cmd; spanner_cmd; query_cmd;
-      route_cmd ]
+    [ list_cmd; run_cmd; report_cmd; profile_cmd; build_cmd; spanner_cmd;
+      query_cmd; route_cmd ]
 
 let () = exit (Cmd.eval main)

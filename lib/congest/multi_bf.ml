@@ -98,4 +98,6 @@ let run ?pool g ~sources ~bound =
   (match Engine.run eng with
   | Engine.Quiescent | Engine.All_halted -> ()
   | Engine.Round_limit -> failwith "Multi_bf: round limit hit");
-  (Array.map found (Engine.states eng), Engine.metrics eng)
+  let m = Engine.metrics eng in
+  Metrics.mark_phase m "multi-bf";
+  (Array.map found (Engine.states eng), m)

@@ -147,4 +147,6 @@ let run ?pool ?jitter g =
         !acc)
       states
   in
-  ({ leader; parent; children }, Engine.metrics eng)
+  let m = Engine.metrics eng in
+  Metrics.mark_phase m "setup";
+  ({ leader; parent; children }, m)

@@ -101,7 +101,9 @@ let run ?pool ?jitter g ~sources =
         !acc)
       states
   in
-  ({ dist; nearest; parent; children }, Engine.metrics eng)
+  let m = Engine.metrics eng in
+  Metrics.mark_phase m "super-bf";
+  ({ dist; nearest; parent; children }, m)
 
 let single_source ?pool g ~src =
   let r, m = run ?pool g ~sources:[ src ] in

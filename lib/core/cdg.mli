@@ -39,10 +39,16 @@ type result = {
 }
 
 val net_sampling_probability : n:int -> eps:float -> k:int -> float
+(** The level-promotion probability over the net,
+    [((10/ε) ln n)^{-1/k}]. *)
 
 val build_distributed :
   ?pool:Ds_parallel.Pool.t -> rng:Ds_util.Rng.t -> Ds_graph.Graph.t ->
   eps:float -> k:int -> result
+(** The full pipeline with honest CONGEST accounting: net sampling,
+    super-source Bellman–Ford, Algorithm 2 on the net hierarchy, and
+    the {!Cell_cast} label transfer ([transfer_metrics] is that last
+    share). *)
 
 val build_centralized :
   rng:Ds_util.Rng.t -> Ds_graph.Graph.t -> eps:float -> k:int ->

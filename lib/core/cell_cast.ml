@@ -71,4 +71,6 @@ let run ?pool g ~forest ~payload =
         else Array.of_list (List.rev st.received))
       (Engine.states eng)
   in
-  (received, Engine.metrics eng)
+  let m = Engine.metrics eng in
+  Ds_congest.Metrics.mark_phase m "cell-cast";
+  (received, m)

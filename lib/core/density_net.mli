@@ -7,6 +7,7 @@
     with zero communication (every coin is local). *)
 
 val sample_probability : n:int -> eps:float -> float
+(** The per-node coin bias [5 ln n / (ε n)], clamped to [0, 1]. *)
 
 val sample : rng:Ds_util.Rng.t -> n:int -> eps:float -> int list
 (** Never empty: resamples in the unlikely all-tails case (the paper

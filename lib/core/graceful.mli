@@ -13,6 +13,7 @@ type sketch = {
 }
 
 val size_words : sketch -> int
+(** Sum of the per-level CDG sketch sizes. *)
 
 val query : sketch -> sketch -> int
 (** Minimum estimate over all slack levels. *)
@@ -27,6 +28,9 @@ val levels_for : int -> (int * float) list
 
 val build_distributed :
   ?pool:Ds_parallel.Pool.t -> rng:Ds_util.Rng.t -> Ds_graph.Graph.t -> result
+(** One {!Cdg.build_distributed} per slack level of {!levels_for};
+    [metrics] concatenates the per-level phase breakdowns. *)
 
 val build_centralized :
   rng:Ds_util.Rng.t -> Ds_graph.Graph.t -> sketch array
+(** Same construction from exact distances (oracle for tests). *)

@@ -13,6 +13,7 @@ type sketch = {
 }
 
 val size_words : sketch -> int
+(** Two words (net node ID, distance) per entry. *)
 
 val query : sketch -> sketch -> int
 (** [min_w (d(u,w) + d(w,v))]; infinity only if the nets differ. *)
@@ -26,6 +27,9 @@ type result = {
 val build_distributed :
   ?pool:Ds_parallel.Pool.t -> rng:Ds_util.Rng.t -> Ds_graph.Graph.t ->
   eps:float -> result
+(** Samples the ε-density net locally, then one multi-source
+    Bellman–Ford from the whole net; [metrics] is the full CONGEST
+    cost of that run. *)
 
 val build_centralized :
   Ds_graph.Graph.t -> net:int list -> sketch array

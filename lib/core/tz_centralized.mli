@@ -11,6 +11,9 @@ val pivot_tables : Ds_graph.Graph.t -> levels:Levels.t -> (int * int) array arra
     [Dist.none]. *)
 
 val build : Ds_graph.Graph.t -> levels:Levels.t -> Label.t array
+(** [build g ~levels] is the full Thorup–Zwick label of every node:
+    bunch entries from the restricted per-cluster Dijkstras plus the
+    pivot chain from {!pivot_tables}. *)
 
 val cluster : Ds_graph.Graph.t -> levels:Levels.t -> int -> (int * int) list
 (** [cluster g ~levels w] is the cluster [C(w)] (Section 3.2) as

@@ -1,8 +1,10 @@
 module Table = Ds_util.Table
+module Report = Ds_util.Report
 module Rng = Ds_util.Rng
 module Gen = Ds_graph.Gen
 module Props = Ds_graph.Props
 module Apsp = Ds_graph.Apsp
+module Metrics = Ds_congest.Metrics
 module Eval = Ds_core.Eval
 
 type workload = {
@@ -42,6 +44,17 @@ let stretch_cells r =
     Table.cell_float ~decimals:3 r.Eval.p99;
     Table.cell_int r.Eval.violations;
   ]
+
+let report_phases m =
+  List.map
+    (fun (p : Metrics.phase) ->
+      {
+        Report.name = p.Metrics.name;
+        rounds = p.Metrics.rounds;
+        messages = p.Metrics.messages;
+        words = p.Metrics.words;
+      })
+    (Metrics.phases m)
 
 let far_sample ~rng apsp ~eps ~count =
   let n = Apsp.n apsp in

@@ -11,6 +11,9 @@ type workload = {
 
 val make_workload :
   seed:int -> family:Ds_graph.Gen.family -> n:int -> workload
+(** Generate the graph, profile it and precompute exact APSP — the
+    fixture every experiment measures against. Deterministic in
+    [seed]. *)
 
 val standard_families : n:int -> (string * Ds_graph.Gen.family) list
 (** The families every multi-family experiment sweeps. *)
@@ -19,9 +22,14 @@ val log2i : int -> int
 (** [ceil (log2 n)], at least 1. *)
 
 val ln : int -> float
+(** [log (float n)] — the natural log the paper's whp bounds use. *)
 
 val stretch_cells : Ds_core.Eval.report -> string list
 (** [max; avg; p99; violations] rendered for a table row. *)
+
+val report_phases : Ds_congest.Metrics.t -> Ds_util.Report.phase list
+(** The execution's completed phases converted to the structured-report
+    representation, for the [phases] field of a {!Ds_util.Report.result}. *)
 
 val far_sample :
   rng:Ds_util.Rng.t -> Ds_graph.Apsp.t -> eps:float -> count:int ->

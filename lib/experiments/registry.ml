@@ -1,11 +1,23 @@
 module Table = Ds_util.Table
+module Report = Ds_util.Report
+module Json = Ds_util.Json
 module Pool = Ds_parallel.Pool
+
+type profile = Full | Quick
+
+let profile_name = function Full -> "full" | Quick -> "quick"
+
+let profile_of_string = function
+  | "full" -> Some Full
+  | "quick" -> Some Quick
+  | _ -> None
 
 type entry = {
   id : string;
   title : string;
+  claim_id : string;
   claim : string;
-  run : Pool.t -> Table.t list;
+  run : profile:profile -> Pool.t -> Report.result;
 }
 
 (* Experiments whose measurements are all centralized take the pool
@@ -13,95 +25,177 @@ type entry = {
 let all =
   [
     {
-      id = "e1";
-      title = "sketch size vs k";
-      claim = "Lemma 3.1 / Theorem 1.1: O(k n^{1/k}) words";
-      run = (fun _pool -> E1_size.run E1_size.default);
+      id = E1_size.id;
+      title = E1_size.title;
+      claim_id = E1_size.claim_id;
+      claim = E1_size.claim;
+      run =
+        (fun ~profile _pool ->
+          E1_size.run
+            (match profile with Full -> E1_size.default | Quick -> E1_size.quick));
     };
     {
-      id = "e2";
-      title = "stretch vs k";
-      claim = "Lemma 3.2: d <= estimate <= (2k-1) d";
-      run = (fun _pool -> E2_stretch.run E2_stretch.default);
+      id = E2_stretch.id;
+      title = E2_stretch.title;
+      claim_id = E2_stretch.claim_id;
+      claim = E2_stretch.claim;
+      run =
+        (fun ~profile _pool ->
+          E2_stretch.run
+            (match profile with
+            | Full -> E2_stretch.default
+            | Quick -> E2_stretch.quick));
     };
     {
-      id = "e3";
-      title = "construction rounds/messages";
-      claim = "Theorem 1.1: O(k n^{1/k} S log n) rounds";
-      run = (fun pool -> E3_complexity.run ~pool E3_complexity.default);
+      id = E3_complexity.id;
+      title = E3_complexity.title;
+      claim_id = E3_complexity.claim_id;
+      claim = E3_complexity.claim;
+      run =
+        (fun ~profile pool ->
+          E3_complexity.run ~pool
+            (match profile with
+            | Full -> E3_complexity.default
+            | Quick -> E3_complexity.quick));
     };
     {
-      id = "e4";
-      title = "termination-detection overhead";
-      claim = "Section 3.3: constant-factor overhead";
-      run = (fun pool -> E4_termination.run ~pool E4_termination.default);
+      id = E4_termination.id;
+      title = E4_termination.title;
+      claim_id = E4_termination.claim_id;
+      claim = E4_termination.claim;
+      run =
+        (fun ~profile pool ->
+          E4_termination.run ~pool
+            (match profile with
+            | Full -> E4_termination.default
+            | Quick -> E4_termination.quick));
     };
     {
-      id = "e5";
-      title = "density nets + stretch-3 slack sketches";
-      claim = "Lemma 4.2 + Theorem 4.3";
-      run = (fun pool -> E5_slack.run ~pool E5_slack.default);
+      id = E5_slack.id;
+      title = E5_slack.title;
+      claim_id = E5_slack.claim_id;
+      claim = E5_slack.claim;
+      run =
+        (fun ~profile pool ->
+          E5_slack.run ~pool
+            (match profile with
+            | Full -> E5_slack.default
+            | Quick -> E5_slack.quick));
     };
     {
-      id = "e6";
-      title = "(eps,k)-CDG sketches";
-      claim = "Theorems 1.2 / 4.6: stretch 8k-1 with eps-slack";
-      run = (fun pool -> E6_cdg.run ~pool E6_cdg.default);
+      id = E6_cdg.id;
+      title = E6_cdg.title;
+      claim_id = E6_cdg.claim_id;
+      claim = E6_cdg.claim;
+      run =
+        (fun ~profile pool ->
+          E6_cdg.run ~pool
+            (match profile with Full -> E6_cdg.default | Quick -> E6_cdg.quick));
     };
     {
-      id = "e7";
-      title = "gracefully degrading sketches";
-      claim = "Theorem 1.3: O(log n) stretch, O(1) average stretch";
-      run = (fun pool -> E7_graceful.run ~pool E7_graceful.default);
+      id = E7_graceful.id;
+      title = E7_graceful.title;
+      claim_id = E7_graceful.claim_id;
+      claim = E7_graceful.claim;
+      run =
+        (fun ~profile pool ->
+          E7_graceful.run ~pool
+            (match profile with
+            | Full -> E7_graceful.default
+            | Quick -> E7_graceful.quick));
     };
     {
-      id = "e8";
-      title = "query cost vs on-demand computation";
-      claim = "Section 2.1: O(D) vs Omega(S) per query";
-      run = (fun pool -> E8_query_cost.run ~pool E8_query_cost.default);
+      id = E8_query_cost.id;
+      title = E8_query_cost.title;
+      claim_id = E8_query_cost.claim_id;
+      claim = E8_query_cost.claim;
+      run =
+        (fun ~profile pool ->
+          E8_query_cost.run ~pool
+            (match profile with
+            | Full -> E8_query_cost.default
+            | Quick -> E8_query_cost.quick));
     };
     {
-      id = "e9";
-      title = "query ablations";
-      claim = "design choices (not a paper claim)";
-      run = (fun pool -> E9_ablation.run ~pool E9_ablation.default);
+      id = E9_ablation.id;
+      title = E9_ablation.title;
+      claim_id = E9_ablation.claim_id;
+      claim = E9_ablation.claim;
+      run =
+        (fun ~profile pool ->
+          E9_ablation.run ~pool
+            (match profile with
+            | Full -> E9_ablation.default
+            | Quick -> E9_ablation.quick));
     };
     {
-      id = "e10";
-      title = "echo TZ under bounded asynchrony";
-      claim = "extension: the paper's future-work model";
-      run = (fun pool -> E10_async.run ~pool E10_async.default);
+      id = E10_async.id;
+      title = E10_async.title;
+      claim_id = E10_async.claim_id;
+      claim = E10_async.claim;
+      run =
+        (fun ~profile pool ->
+          E10_async.run ~pool
+            (match profile with
+            | Full -> E10_async.default
+            | Quick -> E10_async.quick));
     };
     {
-      id = "e11";
-      title = "TZ spanner for free";
-      claim = "extension: (2k-1)-spanner with O(k n^{1+1/k}) edges";
-      run = (fun pool -> E11_spanner.run ~pool E11_spanner.default);
+      id = E11_spanner.id;
+      title = E11_spanner.title;
+      claim_id = E11_spanner.claim_id;
+      claim = E11_spanner.claim;
+      run =
+        (fun ~profile pool ->
+          E11_spanner.run ~pool
+            (match profile with
+            | Full -> E11_spanner.default
+            | Quick -> E11_spanner.quick));
     };
     {
-      id = "e12";
-      title = "Vivaldi coordinates vs TZ sketches";
-      claim = "Section 1: coordinate systems lack worst-case guarantees";
-      run = (fun _pool -> E12_vivaldi.run E12_vivaldi.default);
+      id = E12_vivaldi.id;
+      title = E12_vivaldi.title;
+      claim_id = E12_vivaldi.claim_id;
+      claim = E12_vivaldi.claim;
+      run =
+        (fun ~profile _pool ->
+          E12_vivaldi.run
+            (match profile with
+            | Full -> E12_vivaldi.default
+            | Quick -> E12_vivaldi.quick));
     };
     {
-      id = "e13";
-      title = "brute-force APSP vs sketches";
-      claim = "Section 1: quadratic storage is the strawman";
-      run = (fun pool -> E13_brute_force.run ~pool E13_brute_force.default);
+      id = E13_brute_force.id;
+      title = E13_brute_force.title;
+      claim_id = E13_brute_force.claim_id;
+      claim = E13_brute_force.claim;
+      run =
+        (fun ~profile pool ->
+          E13_brute_force.run ~pool
+            (match profile with
+            | Full -> E13_brute_force.default
+            | Quick -> E13_brute_force.quick));
     };
     {
-      id = "e14";
-      title = "scheduler backlog vs Lemma 3.7";
-      claim = "Lemma 3.7: pending queue <= bunch slice, O(n^{1/k} log n)";
-      run = (fun pool -> E14_backlog.run ~pool E14_backlog.default);
+      id = E14_backlog.id;
+      title = E14_backlog.title;
+      claim_id = E14_backlog.claim_id;
+      claim = E14_backlog.claim;
+      run =
+        (fun ~profile pool ->
+          E14_backlog.run ~pool
+            (match profile with
+            | Full -> E14_backlog.default
+            | Quick -> E14_backlog.quick));
     };
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all
 
-let run_one ?(pool = Pool.sequential) ?csv_dir e =
-  Printf.printf "### %s — %s\n    reproduces: %s\n\n" e.id e.title e.claim;
+let run_one ?(profile = Full) ?(pool = Pool.sequential) ?csv_dir e =
+  Printf.printf "### %s — %s\n    reproduces: %s (%s)\n\n" e.id e.title e.claim
+    e.claim_id;
+  let r = e.run ~profile pool in
   List.iter
     (fun t ->
       Table.print t;
@@ -111,6 +205,118 @@ let run_one ?(pool = Pool.sequential) ?csv_dir e =
         Printf.printf "(csv: %s)\n" path
       | None -> ());
       print_newline ())
-    (e.run pool)
+    r.Report.tables;
+  List.iter
+    (fun (c : Report.check) ->
+      Printf.printf "  [%s] %s = %s%s\n"
+        (if c.Report.ok then "ok" else "FAIL")
+        c.Report.label
+        (Printf.sprintf "%.4g" c.Report.measured)
+        (match c.Report.bound with
+        | Some b -> Printf.sprintf " (bound %.4g)" b
+        | None -> ""))
+    r.Report.checks;
+  Printf.printf "  verdict: %s\n\n" (Report.verdict_name r.Report.verdict);
+  r
 
-let run_all ?pool ?csv_dir () = List.iter (run_one ?pool ?csv_dir) all
+let run_all ?profile ?pool ?csv_dir () =
+  List.map (run_one ?profile ?pool ?csv_dir) all
+
+let results ?(profile = Full) ?(pool = Pool.sequential) () =
+  List.map (fun e -> e.run ~profile pool) all
+
+(* Hand-written header of EXPERIMENTS.md. Everything after it is
+   emitted from a run by {!Ds_util.Report.markdown}. *)
+let preamble =
+  "# EXPERIMENTS — paper claims vs. measurements\n\n\
+   The paper (\"Efficient Computation of Distance Sketches in Distributed\n\
+   Networks\", Das Sarma–Dinitz–Pandurangan, SPAA 2012) is a theory paper\n\
+   with **no tables or figures**; its artifacts are theorem statements.\n\
+   Each experiment below reproduces one claim on the CONGEST simulator.\n\n\
+   This file is generated: the prose is hand-written in\n\
+   `lib/experiments/e*.ml`, and every number, table and verdict is\n\
+   emitted from a run. `EXPERIMENTS.json` is the same result set in a\n\
+   schema-stable JSON form for machine diffing. Regenerate both with:\n\n\
+   ```\n\
+   dune exec bin/distsketch_cli.exe -- report           # rewrite in place\n\
+   dune exec bin/distsketch_cli.exe -- report --check   # drift check (CI)\n\
+   ```\n\n\
+   Numbers are from a representative run (seeds fixed in\n\
+   `lib/experiments/e*.ml`, single machine); they are deterministic given\n\
+   the seeds. \"Bound\" columns evaluate the paper's asymptotic expression\n\
+   with constant 1 — measured/bound ratios being below 1 and stable across\n\
+   a sweep is the reproduced *shape*; absolute constants are not claims.\n"
+
+let md_file = "EXPERIMENTS.md"
+let json_file = "EXPERIMENTS.json"
+
+let render ?(profile = Full) ?(pool = Pool.sequential) () =
+  let rs = List.map (fun e -> e.run ~profile pool) all in
+  let md = Report.markdown ~preamble rs in
+  let json =
+    Json.to_string (Report.to_json ~profile:(profile_name profile) rs)
+  in
+  (md, json)
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let write_files ?profile ?pool ~dir () =
+  let md, json = render ?profile ?pool () in
+  let md_path = Filename.concat dir md_file in
+  let json_path = Filename.concat dir json_file in
+  write_file md_path md;
+  write_file json_path json;
+  [ md_path; json_path ]
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let first_diff ~expected ~actual =
+  let el = String.split_on_char '\n' expected in
+  let al = String.split_on_char '\n' actual in
+  let rec go i el al =
+    match (el, al) with
+    | [], [] -> None
+    | e :: _, [] -> Some (i, e, "<end of file>")
+    | [], a :: _ -> Some (i, "<end of file>", a)
+    | e :: es, a :: as_ ->
+      if String.equal e a then go (i + 1) es as_ else Some (i, e, a)
+  in
+  go 1 el al
+
+let check_one ~path ~fresh =
+  if not (Sys.file_exists path) then
+    Error (Printf.sprintf "%s: missing (run `report` to generate it)" path)
+  else
+    let committed = read_file path in
+    if String.equal committed fresh then Ok ()
+    else
+      match first_diff ~expected:fresh ~actual:committed with
+      | None -> Ok ()
+      | Some (line, want, got) ->
+        Error
+          (Printf.sprintf
+             "%s: line %d differs from a fresh run\n  fresh:     %s\n\
+             \  committed: %s"
+             path line want got)
+
+let check_files ?profile ?pool ~dir () =
+  let md, json = render ?profile ?pool () in
+  let results =
+    [
+      check_one ~path:(Filename.concat dir md_file) ~fresh:md;
+      check_one ~path:(Filename.concat dir json_file) ~fresh:json;
+    ]
+  in
+  match
+    List.filter_map (function Error e -> Some e | Ok () -> None) results
+  with
+  | [] -> Ok ()
+  | errs -> Error (String.concat "\n" errs)

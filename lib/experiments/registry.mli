@@ -1,22 +1,92 @@
-(** Experiment registry: id -> description + default run. *)
+(** Experiment registry: id -> description + typed run, plus the
+    report emitters that keep [EXPERIMENTS.md] / [EXPERIMENTS.json] in
+    sync with the code.
+
+    Every experiment module exposes [id]/[title]/[claim_id]/[claim]
+    strings, [default] and [quick] parameter records, and a [run] that
+    returns a {!Ds_util.Report.result} — measured values, constant-1
+    bound checks, tables, CONGEST phase breakdowns and a verdict. The
+    registry aggregates those into a result set and renders it. *)
+
+type profile =
+  | Full  (** the committed-artifact parameters (seconds per experiment) *)
+  | Quick  (** scaled-down parameters for unit tests (sub-second) *)
+
+val profile_name : profile -> string
+(** ["full"] / ["quick"] — the [profile] field of the JSON output. *)
+
+val profile_of_string : string -> profile option
 
 type entry = {
-  id : string;
+  id : string;  (** stable experiment id, ["e1"].. ["e14"] *)
   title : string;
-  claim : string;  (** which paper statement it reproduces *)
-  run : Ds_parallel.Pool.t -> Ds_util.Table.t list;
+  claim_id : string;  (** paper statement label, e.g. ["Lemma 3.2"] *)
+  claim : string;  (** one-sentence paraphrase of the claim *)
+  run : profile:profile -> Ds_parallel.Pool.t -> Ds_util.Report.result;
       (** Runs the experiment's engine phases on the given pool.
           Experiments with no distributed phase ignore it. *)
 }
 
 val all : entry list
+(** All experiments, in report order (e1..e14). *)
 
 val find : string -> entry option
 
-val run_one : ?pool:Ds_parallel.Pool.t -> ?csv_dir:string -> entry -> unit
-(** Run and print every table of the experiment; with [csv_dir] also
-    save each table as a CSV file there. [pool] (default
-    {!Ds_parallel.Pool.sequential}) is borrowed, not owned: the caller
-    shuts it down. *)
+val run_one :
+  ?profile:profile ->
+  ?pool:Ds_parallel.Pool.t ->
+  ?csv_dir:string ->
+  entry ->
+  Ds_util.Report.result
+(** Run one experiment and print its tables, checks and verdict to
+    stdout; with [csv_dir] also save each table as a CSV file there.
+    [pool] (default {!Ds_parallel.Pool.sequential}) is borrowed, not
+    owned: the caller shuts it down. *)
 
-val run_all : ?pool:Ds_parallel.Pool.t -> ?csv_dir:string -> unit -> unit
+val run_all :
+  ?profile:profile ->
+  ?pool:Ds_parallel.Pool.t ->
+  ?csv_dir:string ->
+  unit ->
+  Ds_util.Report.result list
+(** {!run_one} over {!all}, in order. *)
+
+val results :
+  ?profile:profile -> ?pool:Ds_parallel.Pool.t -> unit -> Ds_util.Report.result list
+(** Run every experiment silently and return the result set. *)
+
+val preamble : string
+(** Hand-written header of [EXPERIMENTS.md]; everything after it is
+    generated. *)
+
+val md_file : string
+(** ["EXPERIMENTS.md"] *)
+
+val json_file : string
+(** ["EXPERIMENTS.json"] *)
+
+val render :
+  ?profile:profile -> ?pool:Ds_parallel.Pool.t -> unit -> string * string
+(** Run every experiment and render [(markdown, json)] — the exact
+    byte contents of {!md_file} and {!json_file}. Deterministic for a
+    given profile: experiments fix their seeds and the emitters use
+    fixed numeric formats, so two runs produce identical bytes. *)
+
+val write_files :
+  ?profile:profile ->
+  ?pool:Ds_parallel.Pool.t ->
+  dir:string ->
+  unit ->
+  string list
+(** Regenerate {!md_file} and {!json_file} inside [dir]; returns the
+    paths written. *)
+
+val check_files :
+  ?profile:profile ->
+  ?pool:Ds_parallel.Pool.t ->
+  dir:string ->
+  unit ->
+  (unit, string) result
+(** Drift check: re-render in memory and byte-compare against the
+    committed files in [dir]. [Error msg] names the first differing
+    line of each stale or missing file. *)

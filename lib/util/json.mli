@@ -1,0 +1,33 @@
+(** Minimal JSON document tree with a deterministic serializer.
+
+    This is an emitter, not a parser: the report harness only ever
+    writes JSON ([EXPERIMENTS.json], bench output) and checks drift by
+    byte comparison, so no reading side is needed. Keys keep the order
+    in which they are listed, floats render via a fixed format, and the
+    output ends with a newline — the same value always serializes to
+    the same bytes, which is what makes committed artifacts diffable
+    in CI. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Render with 2-space indentation and a trailing newline. Non-finite
+    floats become [null]; integral floats keep one decimal ("49.0") so
+    they parse back as floats. *)
+
+val float_repr : float -> string
+(** The fixed float rendering [to_string] uses: NaN/infinity -> "null",
+    integral values below 1e15 -> one decimal, everything else
+    [%.12g]. Exposed so tests can pin the format the drift check
+    depends on. *)
+
+val escape : string -> string
+(** JSON string-body escaping (quotes, backslash, control chars);
+    no surrounding quotes. *)

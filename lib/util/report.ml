@@ -1,0 +1,209 @@
+type phase = { name : string; rounds : int; messages : int; words : int }
+
+type check = {
+  label : string;
+  measured : float;
+  bound : float option;
+  ok : bool;
+}
+
+type verdict =
+  | Reproduced
+  | Reproduced_with_caveat of string
+  | Validated
+  | Informational
+
+type result = {
+  id : string;
+  title : string;
+  claim_id : string;
+  claim : string;
+  bound_expr : string;
+  prose : string;
+  checks : check list;
+  tables : Table.t list;
+  phases : (string * phase list) list;
+  verdict : verdict;
+}
+
+let check ?bound ~ok label measured = { label; measured; bound; ok }
+
+let ratio c =
+  match c.bound with
+  | Some b when b <> 0.0 -> Some (c.measured /. b)
+  | _ -> None
+
+let all_ok r = List.for_all (fun c -> c.ok) r.checks
+
+let verdict_name = function
+  | Reproduced -> "reproduced"
+  | Reproduced_with_caveat _ -> "reproduced-with-caveat"
+  | Validated -> "validated"
+  | Informational -> "informational"
+
+let caveat = function Reproduced_with_caveat c -> Some c | _ -> None
+
+(* ---- JSON ---- *)
+
+let schema_version = 1
+
+(* Fixed-format numbers: the emitted artifacts are byte-compared by
+   [report --check], so every numeric rendering must be deterministic. *)
+let num f = Printf.sprintf "%.4g" f
+
+let json_of_check c =
+  Json.Obj
+    [
+      ("label", Json.String c.label);
+      ("measured", Json.Float c.measured);
+      ( "bound",
+        match c.bound with None -> Json.Null | Some b -> Json.Float b );
+      ( "ratio",
+        match ratio c with None -> Json.Null | Some r -> Json.Float r );
+      ("ok", Json.Bool c.ok);
+    ]
+
+let json_of_table t =
+  Json.Obj
+    [
+      ("title", Json.String (Table.title t));
+      ("headers", Json.List (List.map (fun h -> Json.String h) (Table.headers t)));
+      ( "rows",
+        Json.List
+          (List.map
+             (fun row -> Json.List (List.map (fun c -> Json.String c) row))
+             (Table.rows t)) );
+    ]
+
+let json_of_phase (p : phase) =
+  Json.Obj
+    [
+      ("name", Json.String p.name);
+      ("rounds", Json.Int p.rounds);
+      ("messages", Json.Int p.messages);
+      ("words", Json.Int p.words);
+    ]
+
+let json_of_result r =
+  Json.Obj
+    [
+      ("id", Json.String r.id);
+      ("title", Json.String r.title);
+      ("claim_id", Json.String r.claim_id);
+      ("claim", Json.String r.claim);
+      ("bound_expr", Json.String r.bound_expr);
+      ("verdict", Json.String (verdict_name r.verdict));
+      ( "caveat",
+        match caveat r.verdict with
+        | None -> Json.Null
+        | Some c -> Json.String c );
+      ("all_ok", Json.Bool (all_ok r));
+      ("checks", Json.List (List.map json_of_check r.checks));
+      ("tables", Json.List (List.map json_of_table r.tables));
+      ( "phases",
+        Json.List
+          (List.map
+             (fun (run, ps) ->
+               Json.Obj
+                 [
+                   ("run", Json.String run);
+                   ("phases", Json.List (List.map json_of_phase ps));
+                 ])
+             r.phases) );
+    ]
+
+let to_json ~profile results =
+  Json.Obj
+    [
+      ("schema_version", Json.Int schema_version);
+      ("generator", Json.String "distsketch report");
+      ("profile", Json.String profile);
+      ("experiments", Json.List (List.map json_of_result results));
+    ]
+
+(* ---- Markdown ---- *)
+
+let checks_table checks =
+  let t =
+    Table.create ~title:"checks"
+      ~headers:[ "measurement"; "measured"; "bound (c=1)"; "measured/bound"; "ok" ]
+  in
+  List.iter
+    (fun c ->
+      Table.add_row t
+        [
+          c.label;
+          num c.measured;
+          (match c.bound with None -> "—" | Some b -> num b);
+          (match ratio c with None -> "—" | Some r -> Printf.sprintf "%.3f" r);
+          (if c.ok then "yes" else "NO");
+        ])
+    checks;
+  Table.to_markdown t
+
+let verdict_line r =
+  let failed = List.filter (fun c -> not c.ok) r.checks in
+  if failed <> [] then
+    Printf.sprintf "**Verdict: NOT %s — %d check(s) failed.**"
+      (verdict_name r.verdict) (List.length failed)
+  else
+    match r.verdict with
+    | Reproduced -> "**Verdict: reproduced.**"
+    | Reproduced_with_caveat c -> Printf.sprintf "**Verdict: reproduced**, with a caveat: %s" c
+    | Validated -> "**Verdict: validated** (extension beyond the paper's theorems)."
+    | Informational -> "**Verdict: informational** (no pass/fail paper claim)."
+
+let result_markdown buf r =
+  Buffer.add_string buf (Printf.sprintf "## %s — %s\n\n" (String.uppercase_ascii r.id) r.title);
+  Buffer.add_string buf (Printf.sprintf "**Claim (%s).** %s\n\n" r.claim_id r.claim);
+  if r.bound_expr <> "" then
+    Buffer.add_string buf
+      (Printf.sprintf "**Constant-1 bound.** %s\n\n" r.bound_expr);
+  if String.trim r.prose <> "" then begin
+    Buffer.add_string buf (String.trim r.prose);
+    Buffer.add_string buf "\n\n"
+  end;
+  if r.checks <> [] then begin
+    Buffer.add_string buf (checks_table r.checks);
+    Buffer.add_char buf '\n'
+  end;
+  List.iter
+    (fun t ->
+      Buffer.add_string buf (Printf.sprintf "### %s\n\n" (Table.title t));
+      Buffer.add_string buf (Table.to_markdown t);
+      Buffer.add_char buf '\n')
+    r.tables;
+  List.iter
+    (fun (run, ps) ->
+      Buffer.add_string buf
+        (Printf.sprintf "### CONGEST phase breakdown — %s\n\n" run);
+      let t =
+        Table.create ~title:"phases"
+          ~headers:[ "phase"; "rounds"; "messages"; "words" ]
+      in
+      List.iter
+        (fun (p : phase) ->
+          Table.add_row t
+            [
+              p.name;
+              string_of_int p.rounds;
+              string_of_int p.messages;
+              string_of_int p.words;
+            ])
+        ps;
+      Buffer.add_string buf (Table.to_markdown t);
+      Buffer.add_char buf '\n')
+    r.phases;
+  Buffer.add_string buf (verdict_line r);
+  Buffer.add_string buf "\n"
+
+let markdown ~preamble results =
+  let buf = Buffer.create 16384 in
+  Buffer.add_string buf (String.trim preamble);
+  Buffer.add_string buf "\n";
+  List.iter
+    (fun r ->
+      Buffer.add_char buf '\n';
+      result_markdown buf r)
+    results;
+  Buffer.contents buf

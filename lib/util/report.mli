@@ -1,0 +1,86 @@
+(** Structured experiment results and the emitters that turn them into
+    the repository's committed artifacts.
+
+    Every experiment produces a {!result}: the paper claim it
+    reproduces, the constant-1 bound expression it evaluates, a list
+    of machine-checked {!check}s (measured value vs bound, pass/fail),
+    the data tables, optional per-phase CONGEST cost breakdowns, and a
+    {!verdict}. [EXPERIMENTS.md] and [EXPERIMENTS.json] are rendered
+    from these values by {!markdown} and {!to_json} — no number in
+    either file is hand-transcribed, which is what lets
+    [report --check] detect drift by byte comparison. *)
+
+type phase = { name : string; rounds : int; messages : int; words : int }
+(** One completed protocol phase of a CONGEST execution; mirrors
+    [Ds_congest.Metrics.phase] (duplicated here so the emitters do not
+    depend on the simulator). *)
+
+type check = {
+  label : string;  (** what was measured, with enough context to read alone *)
+  measured : float;  (** the measured value *)
+  bound : float option;
+      (** the paper bound evaluated with every hidden constant set to 1,
+          when the check has one; [None] for plain invariants *)
+  ok : bool;  (** the pass criterion, evaluated by the experiment *)
+}
+(** One machine-checked measurement. The reproduced "shape" of a
+    theorem is the measured/bound ratio staying below 1 and stable
+    across a sweep; [ok] encodes each experiment's precise criterion. *)
+
+(** How strongly the run supports the claim. [Validated] is for
+    extensions/conjectures beyond the paper's theorems;
+    [Informational] for motivation and ablation experiments with no
+    pass/fail claim. *)
+type verdict =
+  | Reproduced
+  | Reproduced_with_caveat of string  (** reproduced, honest footnote attached *)
+  | Validated
+  | Informational
+
+type result = {
+  id : string;  (** experiment id, e.g. ["e3"] *)
+  title : string;  (** short human title *)
+  claim_id : string;  (** paper statement, e.g. ["Theorem 1.1"] *)
+  claim : string;  (** the claim, stated in one sentence *)
+  bound_expr : string;  (** the constant-1 expression the checks evaluate *)
+  prose : string;
+      (** hand-written commentary; must not carry numbers — those
+          belong in checks/tables so they regenerate *)
+  checks : check list;
+  tables : Table.t list;  (** the experiment's data tables *)
+  phases : (string * phase list) list;
+      (** labelled per-run phase breakdowns, e.g.
+          [("echo build (n=512)", [...])] *)
+  verdict : verdict;
+}
+
+val check : ?bound:float -> ok:bool -> string -> float -> check
+(** [check ?bound ~ok label measured] — plain constructor. *)
+
+val ratio : check -> float option
+(** measured/bound, when a non-zero bound is present. *)
+
+val all_ok : result -> bool
+
+val verdict_name : verdict -> string
+(** Stable slug used in JSON: ["reproduced"],
+    ["reproduced-with-caveat"], ["validated"], ["informational"]. *)
+
+val caveat : verdict -> string option
+
+val schema_version : int
+(** Bumped whenever the JSON layout changes shape; CI diffs rely on
+    it. *)
+
+val to_json : profile:string -> result list -> Json.t
+(** The [EXPERIMENTS.json] document: schema version, generator,
+    profile name, then one object per experiment (checks with
+    measured/bound/ratio, tables as string grids, phase breakdowns).
+    Prose is deliberately excluded — it is documentation, not data. *)
+
+val markdown : preamble:string -> result list -> string
+(** The [EXPERIMENTS.md] document: the hand-written [preamble]
+    followed by one section per experiment (claim, constant-1 bound,
+    prose, checks table, data tables, phase breakdowns, verdict
+    line). A failed check turns the verdict line into
+    ["NOT <verdict> — n check(s) failed"]. *)

@@ -62,6 +62,27 @@ let print t = print_string (render t)
 
 let title t = t.title
 
+let headers t = t.headers
+
+let rows t = List.rev t.rows
+
+let to_markdown t =
+  let buf = Buffer.create 256 in
+  let cell c =
+    (* Pipes would break the GFM grid; nothing else needs escaping in
+       the cell vocabulary the experiments use. *)
+    String.concat "\\|" (String.split_on_char '|' c)
+  in
+  let row cells =
+    Buffer.add_string buf "| ";
+    Buffer.add_string buf (String.concat " | " (List.map cell cells));
+    Buffer.add_string buf " |\n"
+  in
+  row t.headers;
+  row (List.map (fun _ -> "---") t.headers);
+  List.iter row (List.rev t.rows);
+  Buffer.contents buf
+
 let csv_cell c =
   let needs_quote =
     String.exists (fun ch -> ch = ',' || ch = '"' || ch = '\n') c

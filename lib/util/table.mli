@@ -10,6 +10,16 @@ val print : t -> unit
 
 val title : t -> string
 
+val headers : t -> string list
+(** Column headers, in display order. *)
+
+val rows : t -> string list list
+(** Data rows in insertion order (headers excluded). *)
+
+val to_markdown : t -> string
+(** GitHub-flavoured pipe table (header, separator, data rows); the
+    title is {e not} included — callers place it as a heading. *)
+
 val to_csv : t -> string
 (** RFC-4180-ish CSV: header row then data rows; cells containing
     commas or quotes are quoted. *)

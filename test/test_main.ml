@@ -2,6 +2,7 @@ let () =
   Alcotest.run "distsketch"
     [
       ("util", Test_util.suite);
+      ("report", Test_report.suite);
       ("parallel", Test_parallel.suite);
       ("graph", Test_graph.suite);
       ("gen-extra", Test_gen_extra.suite);

@@ -51,6 +51,35 @@ let test_add () =
   Alcotest.(check (list string)) "phase order" [ "first"; "second" ]
     (List.map (fun p -> p.Metrics.name) (Metrics.phases c))
 
+(* Composed builds (Slack, CDG, graceful) stitch their phase
+   breakdowns together with [add]; each phase must keep its own
+   per-phase counters, not just the names. *)
+let test_add_phase_counts () =
+  let a = Metrics.create () and b = Metrics.create () in
+  Metrics.tick_round a;
+  Metrics.tick_round a;
+  Metrics.count_message a ~words:3;
+  Metrics.mark_phase a "setup";
+  Metrics.tick_round a;
+  Metrics.count_message a ~words:1;
+  Metrics.count_message a ~words:1;
+  Metrics.mark_phase a "multi-bf";
+  Metrics.tick_round b;
+  Metrics.count_message b ~words:7;
+  Metrics.mark_phase b "cell-cast";
+  let c = Metrics.add a b in
+  match Metrics.phases c with
+  | [ setup; bf; cast ] ->
+    Alcotest.(check (list string)) "names" [ "setup"; "multi-bf"; "cell-cast" ]
+      [ setup.Metrics.name; bf.Metrics.name; cast.Metrics.name ];
+    Alcotest.(check (list int)) "rounds per phase" [ 2; 1; 1 ]
+      [ setup.Metrics.rounds; bf.Metrics.rounds; cast.Metrics.rounds ];
+    Alcotest.(check (list int)) "messages per phase" [ 1; 2; 1 ]
+      [ setup.Metrics.messages; bf.Metrics.messages; cast.Metrics.messages ];
+    Alcotest.(check (list int)) "words per phase" [ 3; 2; 7 ]
+      [ setup.Metrics.words; bf.Metrics.words; cast.Metrics.words ]
+  | other -> Alcotest.failf "expected 3 phases, got %d" (List.length other)
+
 (* Words accounting across a full distributed run is consistent with
    the per-message sizes the protocol declares. *)
 let test_word_accounting_in_engine () =
@@ -102,6 +131,8 @@ let suite =
     Alcotest.test_case "counters" `Quick test_counters;
     Alcotest.test_case "phases" `Quick test_phases;
     Alcotest.test_case "add" `Quick test_add;
+    Alcotest.test_case "add preserves phase counts" `Quick
+      test_add_phase_counts;
     Alcotest.test_case "word accounting in engine" `Quick
       test_word_accounting_in_engine;
     Alcotest.test_case "backlog tracking" `Quick test_backlog_tracking;

@@ -1,0 +1,233 @@
+(* The report layer is what [report --check] byte-compares in CI, so
+   these tests pin the exact rendered bytes of a fixed result set
+   (golden tests) and the write -> check round trip on the quick
+   profile. *)
+
+module Table = Ds_util.Table
+module Report = Ds_util.Report
+module Json = Ds_util.Json
+module Registry = Ds_experiments.Registry
+
+let fixed_result () =
+  let t = Table.create ~title:"toy table" ~headers:[ "n"; "value" ] in
+  Table.add_row t [ "4"; "2.50" ];
+  Table.add_row t [ "8"; "3.00" ];
+  {
+    Report.id = "e99";
+    title = "toy experiment";
+    claim_id = "Lemma 0.0";
+    claim = "a toy claim";
+    bound_expr = "`n` words";
+    prose = "Hand-written prose.";
+    checks =
+      [
+        Report.check ~bound:4.0 ~ok:true "mean words" 2.5;
+        Report.check ~ok:true "violations" 0.0;
+      ];
+    tables = [ t ];
+    phases =
+      [
+        ( "toy run",
+          [ { Report.name = "setup"; rounds = 3; messages = 12; words = 24 } ]
+        );
+      ];
+    verdict = Report.Reproduced;
+  }
+
+let golden_markdown =
+  "# Header\n\n\
+   ## E99 — toy experiment\n\n\
+   **Claim (Lemma 0.0).** a toy claim\n\n\
+   **Constant-1 bound.** `n` words\n\n\
+   Hand-written prose.\n\n\
+   | measurement | measured | bound (c=1) | measured/bound | ok |\n\
+   | --- | --- | --- | --- | --- |\n\
+   | mean words | 2.5 | 4 | 0.625 | yes |\n\
+   | violations | 0 | — | — | yes |\n\n\
+   ### toy table\n\n\
+   | n | value |\n\
+   | --- | --- |\n\
+   | 4 | 2.50 |\n\
+   | 8 | 3.00 |\n\n\
+   ### CONGEST phase breakdown — toy run\n\n\
+   | phase | rounds | messages | words |\n\
+   | --- | --- | --- | --- |\n\
+   | setup | 3 | 12 | 24 |\n\n\
+   **Verdict: reproduced.**\n"
+
+let test_markdown_golden () =
+  let got = Report.markdown ~preamble:"# Header" [ fixed_result () ] in
+  Alcotest.(check string) "markdown bytes" golden_markdown got
+
+let golden_json =
+  "{\n\
+  \  \"schema_version\": 1,\n\
+  \  \"generator\": \"distsketch report\",\n\
+  \  \"profile\": \"test\",\n\
+  \  \"experiments\": [\n\
+  \    {\n\
+  \      \"id\": \"e99\",\n\
+  \      \"title\": \"toy experiment\",\n\
+  \      \"claim_id\": \"Lemma 0.0\",\n\
+  \      \"claim\": \"a toy claim\",\n\
+  \      \"bound_expr\": \"`n` words\",\n\
+  \      \"verdict\": \"reproduced\",\n\
+  \      \"caveat\": null,\n\
+  \      \"all_ok\": true,\n\
+  \      \"checks\": [\n\
+  \        {\n\
+  \          \"label\": \"mean words\",\n\
+  \          \"measured\": 2.5,\n\
+  \          \"bound\": 4.0,\n\
+  \          \"ratio\": 0.625,\n\
+  \          \"ok\": true\n\
+  \        },\n\
+  \        {\n\
+  \          \"label\": \"violations\",\n\
+  \          \"measured\": 0.0,\n\
+  \          \"bound\": null,\n\
+  \          \"ratio\": null,\n\
+  \          \"ok\": true\n\
+  \        }\n\
+  \      ],\n\
+  \      \"tables\": [\n\
+  \        {\n\
+  \          \"title\": \"toy table\",\n\
+  \          \"headers\": [\n\
+  \            \"n\",\n\
+  \            \"value\"\n\
+  \          ],\n\
+  \          \"rows\": [\n\
+  \            [\n\
+  \              \"4\",\n\
+  \              \"2.50\"\n\
+  \            ],\n\
+  \            [\n\
+  \              \"8\",\n\
+  \              \"3.00\"\n\
+  \            ]\n\
+  \          ]\n\
+  \        }\n\
+  \      ],\n\
+  \      \"phases\": [\n\
+  \        {\n\
+  \          \"run\": \"toy run\",\n\
+  \          \"phases\": [\n\
+  \            {\n\
+  \              \"name\": \"setup\",\n\
+  \              \"rounds\": 3,\n\
+  \              \"messages\": 12,\n\
+  \              \"words\": 24\n\
+  \            }\n\
+  \          ]\n\
+  \        }\n\
+  \      ]\n\
+  \    }\n\
+  \  ]\n\
+   }\n"
+
+let test_json_golden () =
+  let got =
+    Json.to_string (Report.to_json ~profile:"test" [ fixed_result () ])
+  in
+  Alcotest.(check string) "json bytes" golden_json got
+
+let test_json_float_repr () =
+  Alcotest.(check string) "integral" "3.0" (Json.float_repr 3.0);
+  Alcotest.(check string) "fraction" "0.625" (Json.float_repr 0.625);
+  Alcotest.(check string) "nan" "null" (Json.float_repr Float.nan);
+  Alcotest.(check string) "inf" "null" (Json.float_repr Float.infinity);
+  Alcotest.(check string) "escape" "a\\\"b\\nc" (Json.escape "a\"b\nc")
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    i + nn <= nh
+    && (String.equal (String.sub haystack i nn) needle || go (i + 1))
+  in
+  nn = 0 || go 0
+
+let test_failed_check_verdict () =
+  let r =
+    {
+      (fixed_result ()) with
+      Report.checks = [ Report.check ~ok:false "broken" 1.0 ];
+    }
+  in
+  let md = Report.markdown ~preamble:"x" [ r ] in
+  Alcotest.(check bool) "NOT verdict present" true
+    (contains md "**Verdict: NOT reproduced — 1 check(s) failed.**")
+
+(* Write the quick-profile artifacts to a temp dir, then check them:
+   the round trip must succeed byte-for-byte, and corrupting one
+   number must be reported with its line. *)
+let test_round_trip () =
+  let dir = Filename.temp_file "ds_report" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun f -> Sys.remove (Filename.concat dir f))
+        (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () ->
+      let paths = Registry.write_files ~profile:Registry.Quick ~dir () in
+      Alcotest.(check int) "two files" 2 (List.length paths);
+      (match Registry.check_files ~profile:Registry.Quick ~dir () with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "fresh round trip failed: %s" msg);
+      (* corrupt one digit of the markdown *)
+      let md_path = Filename.concat dir Registry.md_file in
+      let ic = open_in_bin md_path in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let i =
+        let rec find i =
+          if i >= String.length s then
+            Alcotest.fail "no digit found to corrupt"
+          else
+            match s.[i] with '0' .. '8' -> i | _ -> find (i + 1)
+        in
+        find 0
+      in
+      let corrupted =
+        String.mapi
+          (fun j c -> if j = i then Char.chr (Char.code c + 1) else c)
+          s
+      in
+      let oc = open_out_bin md_path in
+      output_string oc corrupted;
+      close_out oc;
+      match Registry.check_files ~profile:Registry.Quick ~dir () with
+      | Ok () -> Alcotest.fail "corruption not detected"
+      | Error msg ->
+        Alcotest.(check bool) "names the file" true
+          (contains msg Registry.md_file))
+
+let test_registry_metadata () =
+  Alcotest.(check int) "fourteen experiments" 14 (List.length Registry.all);
+  List.iter
+    (fun e ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s id well-formed" e.Registry.id)
+        true
+        (String.length e.Registry.id >= 2 && e.Registry.id.[0] = 'e');
+      Alcotest.(check bool)
+        (Printf.sprintf "%s has claim_id" e.Registry.id)
+        true
+        (String.length e.Registry.claim_id > 0))
+    Registry.all;
+  Alcotest.(check bool) "find e1" true (Registry.find "e1" <> None);
+  Alcotest.(check bool) "find bogus" true (Registry.find "e99" = None)
+
+let suite =
+  [
+    Alcotest.test_case "markdown golden" `Quick test_markdown_golden;
+    Alcotest.test_case "json golden" `Quick test_json_golden;
+    Alcotest.test_case "json float repr" `Quick test_json_float_repr;
+    Alcotest.test_case "failed check flips verdict" `Quick
+      test_failed_check_verdict;
+    Alcotest.test_case "registry metadata" `Quick test_registry_metadata;
+    Alcotest.test_case "write/check round trip (quick)" `Slow test_round_trip;
+  ]
