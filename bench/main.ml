@@ -6,7 +6,9 @@
    2. Bechamel wall-clock microbenchmarks (B1..B10): construction and
       query throughput of the library primitives.
 
-   Flags: --micro-only skips the experiment tables; DS_DOMAINS=<d> runs
+   Flags: --micro-only skips the experiment tables; --trace also runs
+   one traced multi-bf execution and writes BENCH_trace.rounds.jsonl /
+   BENCH_trace.json (Chrome trace-event format); DS_DOMAINS=<d> runs
    the engine phases of the experiments on a d-domain pool. Results are
    identical for every d; only wall-clock changes. *)
 
@@ -47,58 +49,79 @@ let bench_tests () =
   let levels = Levels.sample ~rng:(Rng.create 2) ~n ~k:3 in
   let labels = Ds_core.Tz_centralized.build g ~levels in
   let slack = Ds_core.Slack.build_distributed ~rng:(Rng.create 3) g ~eps:0.25 in
-  let pair_rng = Rng.create 4 in
+  (* Query pairs are drawn up front and cycled: drawing from the RNG
+     inside the measured closure made the per-run cost depend on the
+     RNG state, which showed up as poor r^2 on B4/B5. *)
+  let pairs =
+    let pair_rng = Rng.create 4 in
+    Array.init 64 (fun _ ->
+        let u = Rng.int pair_rng n in
+        let v = (u + 1 + Rng.int pair_rng (n - 1)) mod n in
+        (u, v))
+  in
+  let pair_idx = ref 0 in
   let pick () =
-    let u = Rng.int pair_rng n in
-    let v = (u + 1 + Rng.int pair_rng (n - 1)) mod n in
-    (u, v)
+    let p = pairs.(!pair_idx land 63) in
+    incr pair_idx;
+    p
   in
   let big_n = 4096 in
   let big_g = Gen.erdos_renyi ~rng:(Rng.create 6) ~n:big_n ~avg_degree:6.0 () in
-  [
-    Test.make ~name:"B1 tz-centralized build (n=256,k=3)"
-      (Staged.stage (fun () -> Ds_core.Tz_centralized.build g ~levels));
-    Test.make ~name:"B2 tz-distributed build (n=256,k=3)"
-      (Staged.stage (fun () -> Ds_core.Tz_distributed.build g ~levels));
-    Test.make ~name:"B3 tz-echo build (n=256,k=3)"
-      (Staged.stage (fun () -> Ds_core.Tz_echo.build g ~levels));
-    Test.make ~name:"B4 label query"
-      (Staged.stage (fun () ->
-           let u, v = pick () in
-           Label.query labels.(u) labels.(v)));
-    Test.make ~name:"B5 slack query (eps=0.25)"
-      (Staged.stage (fun () ->
-           let u, v = pick () in
-           Ds_core.Slack.query slack.Ds_core.Slack.sketches.(u)
-             slack.Ds_core.Slack.sketches.(v)));
-    Test.make ~name:"B6 dijkstra sssp (n=256)"
-      (Staged.stage (fun () -> Ds_graph.Dijkstra.sssp g ~src:0));
-    Test.make ~name:"B7 spanner extraction (n=256,k=3)"
-      (Staged.stage (fun () -> Ds_core.Spanner.of_levels g ~levels));
-    Test.make ~name:"B8 cdg build distributed (n=256,eps=.25,k=2)"
-      (Staged.stage (fun () ->
-           Ds_core.Cdg.build_distributed ~rng:(Rng.create 5) g ~eps:0.25 ~k:2));
-    (* A live multi-bf round. The protocol quiesces after ~30 rounds,
-       so the engine is rebuilt whenever it drains; samples therefore
-       measure busy rounds (plus an amortized create), never the empty
-       rounds a drained engine would serve. *)
-    Test.make ~name:"B9 engine round (multi-bf, n=256)"
-      (Staged.stage
-         (let make () =
-            Engine.create g
-              (Ds_congest.Multi_bf.protocol
-                 ~is_source:(fun u -> u < 8)
-                 ~bound:(fun _ -> Ds_graph.Dist.none))
-          in
-          let eng = ref (make ()) in
-          fun () ->
-            if Engine.quiescent !eng then eng := make ();
-            Engine.step !eng));
-    Test.make ~name:"B10 quiet engine round (ping-pong, n=4096)"
-      (Staged.stage
-         (let eng = Engine.create big_g ping_pong_protocol in
-          fun () -> Engine.step eng));
-  ]
+  (* Two groups with different sampling configs: the sub-microsecond
+     benchmarks need run counts to start high (so per-sample overhead
+     and GC stabilisation do not swamp the signal), while the
+     multi-millisecond builds need them to start at 1 (so the quota
+     still buys enough samples for the fit). *)
+  let slow =
+    [
+      Test.make ~name:"B1 tz-centralized build (n=256,k=3)"
+        (Staged.stage (fun () -> Ds_core.Tz_centralized.build g ~levels));
+      Test.make ~name:"B2 tz-distributed build (n=256,k=3)"
+        (Staged.stage (fun () -> Ds_core.Tz_distributed.build g ~levels));
+      Test.make ~name:"B3 tz-echo build (n=256,k=3)"
+        (Staged.stage (fun () -> Ds_core.Tz_echo.build g ~levels));
+      Test.make ~name:"B6 dijkstra sssp (n=256)"
+        (Staged.stage (fun () -> Ds_graph.Dijkstra.sssp g ~src:0));
+      Test.make ~name:"B7 spanner extraction (n=256,k=3)"
+        (Staged.stage (fun () -> Ds_core.Spanner.of_levels g ~levels));
+      Test.make ~name:"B8 cdg build distributed (n=256,eps=.25,k=2)"
+        (Staged.stage (fun () ->
+             Ds_core.Cdg.build_distributed ~rng:(Rng.create 5) g ~eps:0.25
+               ~k:2));
+      (* A full multi-bf execution per run (create + run to
+         quiescence): every sample is the same amount of protocol
+         work. The old rebuild-on-quiescence scheme mixed one-round
+         steps with occasional expensive rebuilds and tanked the OLS
+         fit. *)
+      Test.make ~name:"B9 engine multi-bf run (n=256)"
+        (Staged.stage (fun () ->
+             let eng =
+               Engine.create g
+                 (Ds_congest.Multi_bf.protocol
+                    ~is_source:(fun u -> u < 8)
+                    ~bound:(fun _ -> Ds_graph.Dist.none))
+             in
+             Engine.run eng));
+    ]
+  in
+  let fast =
+    [
+      Test.make ~name:"B4 label query"
+        (Staged.stage (fun () ->
+             let u, v = pick () in
+             Label.query labels.(u) labels.(v)));
+      Test.make ~name:"B5 slack query (eps=0.25)"
+        (Staged.stage (fun () ->
+             let u, v = pick () in
+             Ds_core.Slack.query slack.Ds_core.Slack.sketches.(u)
+               slack.Ds_core.Slack.sketches.(v)));
+      Test.make ~name:"B10 quiet engine round (ping-pong, n=4096)"
+        (Staged.stage
+           (let eng = Engine.create big_g ping_pong_protocol in
+            fun () -> Engine.step eng));
+    ]
+  in
+  (slow, fast)
 
 let json_escape s =
   let b = Buffer.create (String.length s + 8) in
@@ -131,15 +154,34 @@ let save_json ~path rows =
 
 let run_microbenches () =
   print_endline "### Microbenchmarks (Bechamel, monotonic clock)\n";
-  let tests = Test.make_grouped ~name:"distsketch" (bench_tests ()) in
-  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~kde:None () in
-  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let slow_tests, fast_tests = bench_tests () in
+  (* ~1.5 s of sampling per benchmark — the 0.5 s quota left too few
+     long samples for a stable OLS fit. The fast group additionally
+     starts run counts at 100 (warm start): per-sample measurement and
+     GC-stabilisation overhead swamps nanosecond-scale bodies when
+     samples begin at one run. *)
+  let slow_cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.5) ~stabilize:true
+      ~kde:None ()
+  in
+  let fast_cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.5) ~start:10
+      ~sampling:(`Geometric 1.05) ~stabilize:false ~kde:None ()
+  in
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
   in
-  let results = Analyze.all ols Instance.monotonic_clock raw in
-  let rows =
+  let analyze cfg tests =
+    let raw =
+      Benchmark.all cfg
+        Instance.[ monotonic_clock ]
+        (Test.make_grouped ~name:"distsketch" tests)
+    in
+    let results = Analyze.all ols Instance.monotonic_clock raw in
     Hashtbl.fold (fun name r acc -> (name, r) :: acc) results []
+  in
+  let rows =
+    analyze slow_cfg slow_tests @ analyze fast_cfg fast_tests
     |> List.sort compare
   in
   let t =
@@ -169,12 +211,42 @@ let run_microbenches () =
   Ds_util.Table.print t;
   save_json ~path:"BENCH_engine.json" json_rows
 
+(* --trace: one traced multi-bf execution, exported as the round log
+   and a Chrome trace file next to BENCH_engine.json. *)
+let run_traced () =
+  let n = 256 in
+  let g = Gen.erdos_renyi ~rng:(Rng.create 1) ~n ~avg_degree:6.0 () in
+  let tracer = Ds_congest.Trace.create () in
+  let _, m =
+    Ds_congest.Multi_bf.run ~tracer g
+      ~sources:(List.init 8 Fun.id)
+      ~bound:(fun _ -> Ds_graph.Dist.none)
+  in
+  let write path contents =
+    let oc = open_out_bin path in
+    output_string oc contents;
+    close_out oc;
+    Printf.printf "(trace: %s)\n" path
+  in
+  write "BENCH_trace.rounds.jsonl" (Ds_congest.Trace.jsonl tracer);
+  write "BENCH_trace.json"
+    (Ds_congest.Trace.chrome ~phases:(Ds_congest.Metrics.phases m) tracer);
+  let p = Ds_congest.Trace.profile tracer in
+  Printf.printf
+    "traced multi-bf (n=%d): %d rounds, peak %d msgs/round at round %d, \
+     peak backlog %d\n"
+    n p.Ds_congest.Trace.rounds p.Ds_congest.Trace.peak_delivered
+    p.Ds_congest.Trace.peak_delivered_round p.Ds_congest.Trace.max_link_backlog
+
 let () =
   let micro_only =
     Array.exists (fun a -> a = "--micro-only") Sys.argv
   in
   let report =
     Array.exists (fun a -> a = "--report") Sys.argv
+  in
+  let trace =
+    Array.exists (fun a -> a = "--trace") Sys.argv
   in
   print_endline
     "Reproduction harness: 'Efficient Computation of Distance Sketches in \
@@ -194,4 +266,5 @@ let () =
             (Printf.printf "wrote %s\n")
             (Registry.write_files ~pool ~dir:"." ()))
   end;
+  if trace then run_traced ();
   run_microbenches ()

@@ -197,13 +197,7 @@ let build_cmd =
       Format.printf "sizes (words): %a@." Ds_util.Stats.pp_summary sizes;
       match metrics with
       | None -> ()
-      | Some m ->
-        Format.printf "cost: %a@." Metrics.pp m;
-        List.iter
-          (fun p ->
-            Format.printf "  %-10s rounds=%6d messages=%9d@."
-              p.Metrics.name p.Metrics.rounds p.Metrics.messages)
-          (Metrics.phases m)
+      | Some m -> Format.printf "cost: %a@." Metrics.pp m
     in
     match mode with
     | `Central -> describe (Ds_core.Tz_centralized.build g ~levels) None
@@ -223,6 +217,143 @@ let build_cmd =
     Term.(
       const run $ family_arg $ n_arg $ seed_arg $ k_arg $ mode_arg
       $ domains_arg)
+
+(* ---- trace ---- *)
+
+let trace_protocol_conv =
+  Arg.enum
+    [
+      ("setup", `Setup);
+      ("multi-bf", `Multi_bf);
+      ("super-bf", `Super_bf);
+      ("tz", `Tz);
+      ("tz-echo", `Tz_echo);
+    ]
+
+let trace_cmd =
+  let protocol_arg =
+    Arg.(
+      value & opt trace_protocol_conv `Multi_bf
+      & info [ "protocol" ] ~docv:"PROTO"
+          ~doc:
+            "Execution to trace: setup, multi-bf, super-bf, tz (known-S \
+             build), tz-echo (self-terminating build).")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "trace-out"
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:"Output directory (created if missing).")
+  in
+  let top_k_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "top-k" ] ~docv:"K" ~doc:"Hotspot nodes to print.")
+  in
+  let max_delay_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "max-delay" ] ~docv:"R"
+          ~doc:"Bounded link asynchrony: extra 0..$(docv) rounds per message.")
+  in
+  let sources_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "sources" ] ~docv:"S"
+          ~doc:"Source count for multi-bf / super-bf.")
+  in
+  let deterministic_arg =
+    Arg.(
+      value & flag
+      & info [ "deterministic" ]
+          ~doc:
+            "Emit only the schema-deterministic fields: the JSONL drops the \
+             wall-clock and pool columns, the Chrome trace uses virtual \
+             round time. Output is then byte-identical for any --domains.")
+  in
+  let run family n seed k domains protocol out top_k max_delay sources det =
+    with_domains domains @@ fun pool ->
+    let g = make_graph family n seed in
+    let gn = Graph.n g in
+    let jitter =
+      if max_delay <= 0 then None
+      else
+        Some
+          {
+            Ds_congest.Engine.rng = Rng.create (seed + 17);
+            max_delay;
+          }
+    in
+    let tracer = Ds_congest.Trace.create () in
+    let srcs =
+      let s = max 1 (min sources gn) in
+      List.init s (fun i -> i * gn / s)
+    in
+    let name, metrics =
+      match protocol with
+      | `Setup ->
+        let _, m = Ds_congest.Setup.run ~pool ?jitter ~tracer g in
+        ("setup", m)
+      | `Multi_bf ->
+        if jitter <> None then begin
+          Printf.eprintf "multi-bf does not support --max-delay\n";
+          exit 1
+        end;
+        let _, m =
+          Ds_congest.Multi_bf.run ~pool ~tracer g ~sources:srcs
+            ~bound:(fun _ -> Ds_graph.Dist.none)
+        in
+        ("multi-bf", m)
+      | `Super_bf ->
+        let _, m = Ds_congest.Super_bf.run ~pool ?jitter ~tracer g ~sources:srcs in
+        ("super-bf", m)
+      | `Tz ->
+        if jitter <> None then begin
+          Printf.eprintf "tz does not support --max-delay (use tz-echo)\n";
+          exit 1
+        end;
+        let levels = Levels.sample ~rng:(Rng.create (seed + 1)) ~n:gn ~k in
+        let r = Ds_core.Tz_distributed.build ~pool ~tracer g ~levels in
+        ("tz", r.Ds_core.Tz_distributed.metrics)
+      | `Tz_echo ->
+        let levels = Levels.sample ~rng:(Rng.create (seed + 1)) ~n:gn ~k in
+        let r = Ds_core.Tz_echo.build ~pool ?jitter ~tracer g ~levels in
+        ( "tz-echo",
+          Metrics.add r.Ds_core.Tz_echo.setup_metrics
+            r.Ds_core.Tz_echo.metrics )
+    in
+    if not (Sys.file_exists out) then Sys.mkdir out 0o755;
+    let timing = not det in
+    let write file contents =
+      let path = Filename.concat out file in
+      let oc = open_out_bin path in
+      output_string oc contents;
+      close_out oc;
+      Printf.printf "wrote %s\n" path
+    in
+    write
+      (Printf.sprintf "%s.rounds.jsonl" name)
+      (Ds_congest.Trace.jsonl ~timing tracer);
+    write
+      (Printf.sprintf "%s.trace.json" name)
+      (Ds_congest.Trace.chrome
+         ~clock:(if det then `Rounds else `Wall)
+         ~phases:(Metrics.phases metrics) tracer);
+    Format.printf "cost: %a@." Metrics.pp metrics;
+    Format.printf "%s@."
+      (Ds_util.Json.to_string
+         (Ds_congest.Trace.summary ~top_k ~timing tracer))
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a protocol with per-round telemetry and export the round log \
+          (JSONL) and a Chrome trace-event file (load in Perfetto or \
+          about:tracing).")
+    Term.(
+      const run $ family_arg $ n_arg $ seed_arg $ k_arg $ domains_arg
+      $ protocol_arg $ out_arg $ top_k_arg $ max_delay_arg $ sources_arg
+      $ deterministic_arg)
 
 (* ---- spanner ---- *)
 
@@ -326,7 +457,7 @@ let main =
   Cmd.group
     (Cmd.info "distsketch" ~version:"1.0.0"
        ~doc:"Distributed distance sketches (Das Sarma-Dinitz-Pandurangan).")
-    [ list_cmd; run_cmd; report_cmd; profile_cmd; build_cmd; spanner_cmd;
-      query_cmd; route_cmd ]
+    [ list_cmd; run_cmd; report_cmd; profile_cmd; build_cmd; trace_cmd;
+      spanner_cmd; query_cmd; route_cmd ]
 
 let () = exit (Cmd.eval main)

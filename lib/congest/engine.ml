@@ -118,6 +118,7 @@ type ('state, 'msg) t = {
   mutable in_now : Bytes.t;
   mutable in_next : Bytes.t;
   metrics : Metrics.t;
+  tracer : Trace.t option;
   mutable round : int;
   mutable in_flight : int; (* total queued messages *)
   mutable sent_last_round : int;
@@ -147,7 +148,7 @@ let schedule_now t u =
     Ivec.push t.run_now u
   end
 
-let create ?(pool = Pool.sequential) ?jitter g protocol =
+let create ?(pool = Pool.sequential) ?jitter ?tracer g protocol =
   let n = Graph.n g in
   let nbrs = Array.init n (fun u -> Graph.neighbors g u) in
   let offsets = Array.make (n + 1) 0 in
@@ -188,6 +189,7 @@ let create ?(pool = Pool.sequential) ?jitter g protocol =
       in_now = Bytes.make n '\000';
       in_next = Bytes.make n '\000';
       metrics = Metrics.create ();
+      tracer;
       round = 0;
       in_flight = 0;
       sent_last_round = 0;
@@ -224,12 +226,18 @@ let create ?(pool = Pool.sequential) ?jitter g protocol =
       round = (fun () -> t.round);
     }
   in
+  (match tracer with
+  | Some tr -> Trace.attach tr ~n ~domains:(Pool.domains pool)
+  | None -> ());
   t.apis <- Array.init n make_api;
   t.node_states <- Array.init n (fun u -> protocol.init t.apis.(u));
   (* Absorb init-phase sends: count them, activate their links, and
      schedule the senders for round 1. *)
   for u = 0 to n - 1 do
     if t.enqueued.(u) > 0 then begin
+      (match tracer with
+      | Some tr -> Trace.count_send tr u t.enqueued.(u)
+      | None -> ());
       t.in_flight <- t.in_flight + t.enqueued.(u);
       t.enqueued.(u) <- 0;
       Metrics.observe_backlog t.metrics t.push_backlog.(u);
@@ -279,24 +287,57 @@ let step t =
     for u = 0 to Graph.n t.graph - 1 do
       schedule_now t u
     done;
+  (* Telemetry pre-reads. All of it is gated on [t.tracer], an
+     immutable field set at creation: an untraced engine pays only
+     these branches — no clock reads, no allocation. *)
+  let trc = t.tracer in
+  let active_links =
+    match trc with Some _ -> Ivec.length t.active | None -> 0
+  in
+  let pre_msgs =
+    match trc with Some _ -> Metrics.messages t.metrics | None -> 0
+  in
+  let pre_words =
+    match trc with Some _ -> Metrics.words t.metrics | None -> 0
+  in
+  let t0 = match trc with Some _ -> Trace.now_ns () | None -> 0 in
   deliver t;
+  let t1 = match trc with Some _ -> Trace.now_ns () | None -> 0 in
   t.round <- t.round + 1;
   Metrics.tick_round t.metrics;
   let rl = t.run_now in
+  (match trc with
+  | Some tr ->
+    (* Per-node receive counts, read off the inboxes before the
+       computation phase clears them. *)
+    Ivec.iter
+      (fun u ->
+        let len = Inbox.length t.inboxes.(u) in
+        if len > 0 then Trace.count_recv tr u len)
+      rl
+  | None -> ());
   Pool.parallel_for t.pool ~lo:0 ~hi:(Ivec.length rl) (fun idx ->
       let u = Ivec.get rl idx in
       let inbox = t.inboxes.(u) in
       t.protocol.on_round t.apis.(u) t.node_states.(u) inbox;
       Inbox.clear inbox);
+  let ran = Ivec.length rl in
   (* Sequentially absorb the round's sends from the per-node scratch:
      O(nodes that ran + links activated), independent of pool size and
      of node execution order, so parallel runs stay deterministic. *)
   let total = ref 0 in
+  let round_backlog = ref 0 in
   Ivec.iter
     (fun u ->
       Bytes.set t.in_now u '\000';
       if t.enqueued.(u) > 0 then begin
         total := !total + t.enqueued.(u);
+        (match trc with
+        | Some tr ->
+          Trace.count_send tr u t.enqueued.(u);
+          if t.push_backlog.(u) > !round_backlog then
+            round_backlog := t.push_backlog.(u)
+        | None -> ());
         t.enqueued.(u) <- 0;
         Metrics.observe_backlog t.metrics t.push_backlog.(u);
         t.push_backlog.(u) <- 0;
@@ -317,7 +358,24 @@ let step t =
   t.run_next <- tmp;
   let tmpf = t.in_now in
   t.in_now <- t.in_next;
-  t.in_next <- tmpf
+  t.in_next <- tmpf;
+  match trc with
+  | None -> ()
+  | Some tr ->
+    let t2 = Trace.now_ns () in
+    Trace.record_round tr
+      {
+        Trace.round = t.round;
+        active_nodes = ran;
+        active_links;
+        delivered = Metrics.messages t.metrics - pre_msgs;
+        words = Metrics.words t.metrics - pre_words;
+        in_flight = t.in_flight;
+        link_backlog = !round_backlog;
+        delivery_ns = t1 - t0;
+        compute_ns = t2 - t1;
+        busy_domains = Pool.chunks_for t.pool ran;
+      }
 
 let quiescent t = t.in_flight = 0
 
@@ -337,6 +395,9 @@ let run ?(max_rounds = 10_000_000) t =
            new messages: the system is quiescent. The probe round did
            no work, so it is not charged. *)
         Metrics.untick_round t.metrics;
+        (match t.tracer with
+        | Some tr -> Trace.drop_last tr
+        | None -> ());
         t.round <- t.round - 1;
         if all_halted t then All_halted else Quiescent
       end

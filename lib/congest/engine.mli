@@ -83,10 +83,13 @@ type jitter = { rng : Ds_util.Rng.t; max_delay : int }
     reproducible under any pool size. *)
 
 val create :
-  ?pool:Ds_parallel.Pool.t -> ?jitter:jitter -> Ds_graph.Graph.t ->
-  ('state, 'msg) protocol -> ('state, 'msg) t
+  ?pool:Ds_parallel.Pool.t -> ?jitter:jitter -> ?tracer:Trace.t ->
+  Ds_graph.Graph.t -> ('state, 'msg) protocol -> ('state, 'msg) t
 (** The engine borrows [pool] (default {!Ds_parallel.Pool.sequential});
-    the caller owns its lifecycle and may share it across engines. *)
+    the caller owns its lifecycle and may share it across engines.
+    [tracer] turns on per-round telemetry (see {!Trace}); one tracer
+    may be shared by consecutive engines to trace a composed run.
+    Without it the engine takes no timestamps and records nothing. *)
 
 val graph : ('state, 'msg) t -> Ds_graph.Graph.t
 val metrics : ('state, 'msg) t -> Metrics.t

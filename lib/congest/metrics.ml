@@ -72,5 +72,11 @@ let add a b =
   }
 
 let pp ppf t =
-  Format.fprintf ppf "rounds=%d messages=%d words=%d" t.rounds t.messages
-    t.words
+  Format.fprintf ppf
+    "rounds=%d messages=%d words=%d max_msg_words=%d max_link_backlog=%d"
+    t.rounds t.messages t.words t.max_msg_words t.max_link_backlog;
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "@\n  %-12s rounds=%6d messages=%9d words=%9d" p.name
+        p.rounds p.messages p.words)
+    (phases t)

@@ -34,3 +34,6 @@ val add : t -> t -> t
 (** Pointwise sum (phases concatenated); for composing protocol runs. *)
 
 val pp : Format.formatter -> t -> unit
+(** Totals on one line — rounds, messages, words, [max_msg_words] and
+    [max_link_backlog] (the Lemma 3.7 quantity) — followed by one
+    indented line per completed phase. *)

@@ -90,11 +90,14 @@ let found_with_parents st =
 
 let max_pending st = st.max_pending
 
-let run ?pool g ~sources ~bound =
+let run ?pool ?tracer g ~sources ~bound =
   let n = Graph.n g in
   let src_set = Array.make n false in
   List.iter (fun s -> src_set.(s) <- true) sources;
-  let eng = Engine.create ?pool g (protocol ~is_source:(fun u -> src_set.(u)) ~bound) in
+  let eng =
+    Engine.create ?pool ?tracer g
+      (protocol ~is_source:(fun u -> src_set.(u)) ~bound)
+  in
   (match Engine.run eng with
   | Engine.Quiescent | Engine.All_halted -> ()
   | Engine.Round_limit -> failwith "Multi_bf: round limit hit");

@@ -43,6 +43,7 @@ val max_pending : state -> int
     bounds by [O(n^{1/k} log n)]). *)
 
 val run :
-  ?pool:Ds_parallel.Pool.t -> Ds_graph.Graph.t -> sources:int list ->
-  bound:(int -> int * int) -> (int * int) list array * Metrics.t
+  ?pool:Ds_parallel.Pool.t -> ?tracer:Trace.t -> Ds_graph.Graph.t ->
+  sources:int list -> bound:(int -> int * int) ->
+  (int * int) list array * Metrics.t
 (** One-shot convenience wrapper. *)

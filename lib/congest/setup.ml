@@ -119,8 +119,8 @@ type result = {
   children : int list array;
 }
 
-let run ?pool ?jitter g =
-  let eng = Engine.create ?pool ?jitter g (protocol ()) in
+let run ?pool ?jitter ?tracer g =
+  let eng = Engine.create ?pool ?jitter ?tracer g (protocol ()) in
   (match Engine.run eng with
   | Engine.All_halted | Engine.Quiescent -> ()
   | Engine.Round_limit -> failwith "Setup: round limit hit");

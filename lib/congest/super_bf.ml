@@ -69,12 +69,13 @@ type result = {
   children : int list array;
 }
 
-let run ?pool ?jitter g ~sources =
+let run ?pool ?jitter ?tracer g ~sources =
   let n = Graph.n g in
   let src_set = Array.make n false in
   List.iter (fun s -> src_set.(s) <- true) sources;
   let eng =
-    Engine.create ?pool ?jitter g (protocol ~is_source:(fun u -> src_set.(u)))
+    Engine.create ?pool ?jitter ?tracer g
+      (protocol ~is_source:(fun u -> src_set.(u)))
   in
   (match Engine.run eng with
   | Engine.Quiescent | Engine.All_halted -> ()

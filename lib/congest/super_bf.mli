@@ -18,8 +18,8 @@ type result = {
 }
 
 val run :
-  ?pool:Ds_parallel.Pool.t -> ?jitter:Engine.jitter -> Ds_graph.Graph.t ->
-  sources:int list -> result * Metrics.t
+  ?pool:Ds_parallel.Pool.t -> ?jitter:Engine.jitter -> ?tracer:Trace.t ->
+  Ds_graph.Graph.t -> sources:int list -> result * Metrics.t
 (** Bellman–Ford is self-stabilising to link delays, so the result is
     exact under [jitter] too. *)
 

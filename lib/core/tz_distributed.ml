@@ -10,7 +10,7 @@ type result = {
   max_pending : int;
 }
 
-let build ?pool g ~levels =
+let build ?pool ?tracer g ~levels =
   let n = Graph.n g in
   let k = Levels.k levels in
   let labels = Array.init n (fun u -> Label.create ~owner:u ~k) in
@@ -25,7 +25,7 @@ let build ?pool g ~levels =
         ~is_source:(fun u -> Levels.level levels u = i)
         ~bound:(fun u -> pivot.(u))
     in
-    let eng = Engine.create ?pool g proto in
+    let eng = Engine.create ?pool ?tracer g proto in
     (match Engine.run eng with
     | Engine.Quiescent | Engine.All_halted -> ()
     | Engine.Round_limit -> failwith "Tz_distributed: round limit hit");

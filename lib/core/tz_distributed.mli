@@ -19,4 +19,7 @@ type result = {
 }
 
 val build :
-  ?pool:Ds_parallel.Pool.t -> Ds_graph.Graph.t -> levels:Levels.t -> result
+  ?pool:Ds_parallel.Pool.t -> ?tracer:Ds_congest.Trace.t ->
+  Ds_graph.Graph.t -> levels:Levels.t -> result
+(** [tracer] is threaded through every phase engine, so its rows line
+    up with the combined per-phase metrics. *)

@@ -283,11 +283,11 @@ type result = {
   leader : int;
 }
 
-let build ?pool ?jitter g ~levels =
+let build ?pool ?jitter ?tracer g ~levels =
   let n = Graph.n g in
   let k = Levels.k levels in
-  let tree, setup_metrics = Setup.run ?pool ?jitter g in
-  let eng = Engine.create ?pool ?jitter g (protocol ~levels ~tree) in
+  let tree, setup_metrics = Setup.run ?pool ?jitter ?tracer g in
+  let eng = Engine.create ?pool ?jitter ?tracer g (protocol ~levels ~tree) in
   (match Engine.run eng with
   | Engine.All_halted | Engine.Quiescent -> ()
   | Engine.Round_limit -> failwith "Tz_echo: round limit hit");

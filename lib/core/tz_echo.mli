@@ -28,7 +28,8 @@ type result = {
 
 val build :
   ?pool:Ds_parallel.Pool.t -> ?jitter:Ds_congest.Engine.jitter ->
-  Ds_graph.Graph.t -> levels:Levels.t -> result
+  ?tracer:Ds_congest.Trace.t -> Ds_graph.Graph.t -> levels:Levels.t ->
+  result
 (** With [jitter] the protocol runs under bounded link asynchrony (the
     paper's stated future-work model). Announcements, echoes and
     COMPLETEs are phase-tagged, and a node that sees a phase-[i]

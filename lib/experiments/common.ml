@@ -56,6 +56,19 @@ let report_phases m =
       })
     (Metrics.phases m)
 
+let round_profile tr =
+  let p = Ds_congest.Trace.profile tr in
+  {
+    Report.rounds = p.Ds_congest.Trace.rounds;
+    peak_messages = p.Ds_congest.Trace.peak_delivered;
+    peak_messages_round = p.Ds_congest.Trace.peak_delivered_round;
+    peak_active_links = p.Ds_congest.Trace.peak_active_links;
+    peak_active_links_round = p.Ds_congest.Trace.peak_active_links_round;
+    peak_in_flight = p.Ds_congest.Trace.peak_in_flight;
+    peak_in_flight_round = p.Ds_congest.Trace.peak_in_flight_round;
+    max_link_backlog = p.Ds_congest.Trace.max_link_backlog;
+  }
+
 let far_sample ~rng apsp ~eps ~count =
   let n = Apsp.n apsp in
   let acc = ref [] in

@@ -31,6 +31,11 @@ val report_phases : Ds_congest.Metrics.t -> Ds_util.Report.phase list
 (** The execution's completed phases converted to the structured-report
     representation, for the [phases] field of a {!Ds_util.Report.result}. *)
 
+val round_profile : Ds_congest.Trace.t -> Ds_util.Report.round_profile
+(** A trace's peak-congestion summary converted to the
+    structured-report representation, for the [round_profiles] field
+    of a {!Ds_util.Report.result}. *)
+
 val far_sample :
   rng:Ds_util.Rng.t -> Ds_graph.Apsp.t -> eps:float -> count:int ->
   (int * int * int) array

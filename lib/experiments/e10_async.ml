@@ -113,5 +113,6 @@ let run ?pool { seed; n; k; delays } =
     checks;
     tables = [ t ];
     phases = [];
+    round_profiles = [];
     verdict = Report.Validated;
   }

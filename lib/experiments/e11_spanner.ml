@@ -114,5 +114,6 @@ let run ?pool { seed; n; ks } =
     checks;
     tables = [ t ];
     phases = [];
+    round_profiles = [];
     verdict = Report.Validated;
   }

@@ -130,5 +130,6 @@ let run { seed; n; k; dim } =
     checks;
     tables = [ t ];
     phases = [];
+    round_profiles = [];
     verdict = Report.Informational;
   }

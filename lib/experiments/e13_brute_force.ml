@@ -130,5 +130,6 @@ let run ?pool { seed; ns; k } =
             n_max k,
           Common.report_phases tz.Tz_distributed.metrics );
       ];
+    round_profiles = [];
     verdict = Report.Informational;
   }

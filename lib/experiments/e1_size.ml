@@ -104,5 +104,6 @@ let run { n; seed; ks } =
     checks = List.rev !checks;
     tables = [ t ];
     phases = [];
+    round_profiles = [];
     verdict = Report.Reproduced;
   }

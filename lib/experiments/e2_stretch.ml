@@ -104,5 +104,6 @@ let run { n; seed; ks; families } =
     checks = List.rev !checks;
     tables;
     phases = [];
+    round_profiles = [];
     verdict = Report.Reproduced;
   }

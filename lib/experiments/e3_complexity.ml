@@ -66,12 +66,12 @@ let bound_messages ~n ~k ~s ~m = bound_rounds ~n ~k ~s *. float_of_int m
 
 type point = { r_ratio : float; m_ratio : float; metrics : Metrics.t }
 
-let row ?pool w ~seed ~k =
+let row ?pool ?tracer w ~seed ~k =
   let p = w.Common.profile in
   let n = p.Ds_graph.Props.n and s = p.Ds_graph.Props.s in
   let m = p.Ds_graph.Props.m in
   let levels = Levels.sample ~rng:(Rng.create (seed + k)) ~n ~k in
-  let r = Tz_distributed.build ?pool w.Common.graph ~levels in
+  let r = Tz_distributed.build ?pool ?tracer w.Common.graph ~levels in
   let rounds = Metrics.rounds r.Tz_distributed.metrics in
   let msgs = Metrics.messages r.Tz_distributed.metrics in
   let br = bound_rounds ~n ~k ~s and bm = bound_messages ~n ~k ~s ~m in
@@ -110,6 +110,10 @@ let run ?pool { seed; ns; k_of_n; k_sweep; k_sweep_n } =
          Theorem 1.1"
       ~headers
   in
+  (* Trace the largest run of the sweep: its per-round congestion
+     profile is attached to the report alongside the phase totals. *)
+  let n_last = List.nth ns (List.length ns - 1) in
+  let tracer = Ds_congest.Trace.create () in
   let sweep =
     List.map
       (fun n ->
@@ -118,7 +122,8 @@ let run ?pool { seed; ns; k_of_n; k_sweep; k_sweep_n } =
             ~family:(Ds_graph.Gen.Erdos_renyi { avg_degree = 6.0 })
             ~n
         in
-        let cells, pt = row ?pool w ~seed ~k:(k_of_n n) in
+        let tr = if n = n_last then Some tracer else None in
+        let cells, pt = row ?pool ?tracer:tr w ~seed ~k:(k_of_n n) in
         Table.add_row t1 cells;
         (n, pt))
       ns
@@ -183,6 +188,12 @@ let run ?pool { seed; ns; k_of_n; k_sweep; k_sweep_n } =
         ( Printf.sprintf "known-S build (erdos-renyi, n=%d, k=%d)" n_max
             (k_of_n n_max),
           Common.report_phases last.metrics );
+      ];
+    round_profiles =
+      [
+        ( Printf.sprintf "known-S build (erdos-renyi, n=%d, k=%d)" n_max
+            (k_of_n n_max),
+          Common.round_profile tracer );
       ];
     verdict = Report.Reproduced;
   }

@@ -66,14 +66,22 @@ let run ?pool { seed; n; k } =
   let n_equal = ref 0 in
   let worst_r = ref 0.0 and worst_m = ref 0.0 in
   let er_phases = ref [] in
+  let er_profiles = ref [] in
   let families = Common.standard_families ~n in
   List.iter
     (fun (fname, family) ->
       let w = Common.make_workload ~seed ~family ~n in
       let gn = Ds_graph.Graph.n w.Common.graph in
       let levels = Levels.sample ~rng:(Rng.create (seed + 7)) ~n:gn ~k in
-      let ideal = Tz_distributed.build ?pool w.Common.graph ~levels in
-      let echo = Tz_echo.build ?pool w.Common.graph ~levels in
+      (* Trace both modes on the reported family so the per-round
+         congestion of the echo machinery can be compared directly. *)
+      let traced = fname = "erdos-renyi" in
+      let tr_ideal = if traced then Some (Ds_congest.Trace.create ()) else None in
+      let tr_echo = if traced then Some (Ds_congest.Trace.create ()) else None in
+      let ideal =
+        Tz_distributed.build ?pool ?tracer:tr_ideal w.Common.graph ~levels
+      in
+      let echo = Tz_echo.build ?pool ?tracer:tr_echo w.Common.graph ~levels in
       let ri = Metrics.rounds ideal.Tz_distributed.metrics in
       let re = Metrics.rounds echo.Tz_echo.metrics in
       let mi = Metrics.messages ideal.Tz_distributed.metrics in
@@ -85,7 +93,7 @@ let run ?pool { seed; n; k } =
       if equal then incr n_equal else all_equal := false;
       worst_r := max !worst_r (float_of_int re /. float_of_int ri);
       worst_m := max !worst_m (float_of_int me /. float_of_int mi);
-      if fname = "erdos-renyi" then
+      if traced then begin
         er_phases :=
           [
             ( Printf.sprintf "known-S build (erdos-renyi, n=%d)" n,
@@ -95,6 +103,16 @@ let run ?pool { seed; n; k } =
                 (Metrics.add echo.Tz_echo.setup_metrics
                    echo.Tz_echo.metrics) );
           ];
+        er_profiles :=
+          List.filter_map
+            (fun (label, tr) ->
+              Option.map (fun tr -> (label, Common.round_profile tr)) tr)
+            [
+              ( Printf.sprintf "known-S build (erdos-renyi, n=%d)" n,
+                tr_ideal );
+              (Printf.sprintf "echo build (erdos-renyi, n=%d)" n, tr_echo);
+            ]
+      end;
       Table.add_row t
         [
           fname;
@@ -132,5 +150,6 @@ let run ?pool { seed; n; k } =
     checks;
     tables = [ t ];
     phases = !er_phases;
+    round_profiles = !er_profiles;
     verdict = Report.Reproduced_with_caveat caveat;
   }

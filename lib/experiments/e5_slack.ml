@@ -143,5 +143,6 @@ let run ?pool { seed; n; epss } =
     checks;
     tables = [ t1; t2 ];
     phases = !phases;
+    round_profiles = [];
     verdict = Report.Reproduced;
   }

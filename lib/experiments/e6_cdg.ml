@@ -146,5 +146,6 @@ let run ?pool { seed; n; grid } =
     checks;
     tables = [ t ];
     phases = !phases;
+    round_profiles = [];
     verdict = Report.Reproduced;
   }

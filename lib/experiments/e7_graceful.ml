@@ -126,5 +126,6 @@ let run ?pool { seed; ns } =
         ( Printf.sprintf "graceful build (erdos-renyi, n=%d)" n_max,
           Common.report_phases last_metrics );
       ];
+    round_profiles = [];
     verdict = Report.Reproduced;
   }

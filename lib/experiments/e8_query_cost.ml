@@ -145,5 +145,6 @@ let run ?pool { seed; ns; k } =
     checks;
     tables = [ t ];
     phases = [];
+    round_profiles = [];
     verdict = Report.Reproduced;
   }

@@ -138,5 +138,6 @@ let run ?pool { seed; n; ks; eps } =
     checks = List.rev !checks;
     tables = [ t1; t2 ];
     phases = [];
+    round_profiles = [];
     verdict = Report.Informational;
   }

@@ -86,6 +86,15 @@ let create ?domains () =
 
 let domains t = t.size
 
+(* Mirrors the dispatch logic of [parallel_for]: how many domains a
+   range of [n] indices actually occupies. Exposed so the engine's
+   tracer can report pool occupancy without instrumenting the
+   workers. *)
+let chunks_for t n =
+  if n <= 0 then 0
+  else if Array.length t.workers = 0 then 1
+  else max 1 (min t.size n)
+
 let shutdown t =
   if Array.length t.workers > 0 then begin
     Mutex.lock t.mutex;

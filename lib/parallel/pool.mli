@@ -24,6 +24,14 @@ val create : ?domains:int -> unit -> t
 
 val domains : t -> int
 
+val chunks_for : t -> int -> int
+(** [chunks_for t n] is the number of domains a {!parallel_for} over
+    [n] indices occupies: [0] when [n = 0], [1] when the pool has no
+    workers (sequential, or shut down), otherwise [min (domains t) n]
+    — the caller plus every worker that receives a chunk. Per-round
+    pool-occupancy telemetry uses this instead of instrumenting the
+    workers, which would put a timestamp in the job hot path. *)
+
 val parallel_for : t -> lo:int -> hi:int -> (int -> unit) -> unit
 (** [parallel_for t ~lo ~hi f] runs [f i] for [lo <= i < hi], split
     into one contiguous chunk per domain. [f] must be safe to run

@@ -34,6 +34,44 @@ let float_repr f =
     Printf.sprintf "%.1f" f
   else Printf.sprintf "%.12g" f
 
+(* Single-line rendering, no trailing newline: the JSONL trace log
+   needs one complete document per line, and the Chrome trace file is
+   large enough that indentation would triple its size. *)
+let to_string_compact v =
+  let b = Buffer.create 256 in
+  let rec go v =
+    match v with
+    | Null -> Buffer.add_string b "null"
+    | Bool x -> Buffer.add_string b (if x then "true" else "false")
+    | Int i -> Buffer.add_string b (string_of_int i)
+    | Float f -> Buffer.add_string b (float_repr f)
+    | String s ->
+      Buffer.add_char b '"';
+      Buffer.add_string b (escape s);
+      Buffer.add_char b '"'
+    | List items ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char b ',';
+          go item)
+        items;
+      Buffer.add_char b ']'
+    | Obj fields ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (key, value) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_char b '"';
+          Buffer.add_string b (escape key);
+          Buffer.add_string b "\":";
+          go value)
+        fields;
+      Buffer.add_char b '}'
+  in
+  go v;
+  Buffer.contents b
+
 let to_string v =
   let b = Buffer.create 4096 in
   let pad n = Buffer.add_string b (String.make n ' ') in

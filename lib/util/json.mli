@@ -22,6 +22,13 @@ val to_string : t -> string
     floats become [null]; integral floats keep one decimal ("49.0") so
     they parse back as floats. *)
 
+val to_string_compact : t -> string
+(** Render on a single line with no whitespace and no trailing
+    newline, same numeric formats as {!to_string}. One call emits one
+    complete document — the building block of JSONL logs (one value
+    per line) and of the Chrome trace file, where indentation would
+    dominate the size. *)
+
 val float_repr : float -> string
 (** The fixed float rendering [to_string] uses: NaN/infinity -> "null",
     integral values below 1e15 -> one decimal, everything else

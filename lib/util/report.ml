@@ -1,5 +1,16 @@
 type phase = { name : string; rounds : int; messages : int; words : int }
 
+type round_profile = {
+  rounds : int;
+  peak_messages : int;
+  peak_messages_round : int;
+  peak_active_links : int;
+  peak_active_links_round : int;
+  peak_in_flight : int;
+  peak_in_flight_round : int;
+  max_link_backlog : int;
+}
+
 type check = {
   label : string;
   measured : float;
@@ -23,6 +34,7 @@ type result = {
   checks : check list;
   tables : Table.t list;
   phases : (string * phase list) list;
+  round_profiles : (string * round_profile) list;
   verdict : verdict;
 }
 
@@ -45,7 +57,8 @@ let caveat = function Reproduced_with_caveat c -> Some c | _ -> None
 
 (* ---- JSON ---- *)
 
-let schema_version = 1
+(* 2: added per-run "round_profiles" to each experiment object. *)
+let schema_version = 2
 
 (* Fixed-format numbers: the emitted artifacts are byte-compared by
    [report --check], so every numeric rendering must be deterministic. *)
@@ -84,6 +97,19 @@ let json_of_phase (p : phase) =
       ("words", Json.Int p.words);
     ]
 
+let json_of_round_profile (p : round_profile) =
+  Json.Obj
+    [
+      ("rounds", Json.Int p.rounds);
+      ("peak_messages", Json.Int p.peak_messages);
+      ("peak_messages_round", Json.Int p.peak_messages_round);
+      ("peak_active_links", Json.Int p.peak_active_links);
+      ("peak_active_links_round", Json.Int p.peak_active_links_round);
+      ("peak_in_flight", Json.Int p.peak_in_flight);
+      ("peak_in_flight_round", Json.Int p.peak_in_flight_round);
+      ("max_link_backlog", Json.Int p.max_link_backlog);
+    ]
+
 let json_of_result r =
   Json.Obj
     [
@@ -110,6 +136,16 @@ let json_of_result r =
                    ("phases", Json.List (List.map json_of_phase ps));
                  ])
              r.phases) );
+      ( "round_profiles",
+        Json.List
+          (List.map
+             (fun (run, p) ->
+               Json.Obj
+                 [
+                   ("run", Json.String run);
+                   ("profile", json_of_round_profile p);
+                 ])
+             r.round_profiles) );
     ]
 
 let to_json ~profile results =
@@ -194,6 +230,38 @@ let result_markdown buf r =
       Buffer.add_string buf (Table.to_markdown t);
       Buffer.add_char buf '\n')
     r.phases;
+  List.iter
+    (fun (run, (p : round_profile)) ->
+      Buffer.add_string buf
+        (Printf.sprintf "### Per-round congestion profile — %s\n\n" run);
+      let t =
+        Table.create ~title:"round profile"
+          ~headers:[ "congestion measure"; "peak"; "at round (of total)" ]
+      in
+      let at r = Printf.sprintf "%d / %d" r p.rounds in
+      Table.add_row t
+        [
+          "messages delivered / round";
+          string_of_int p.peak_messages;
+          at p.peak_messages_round;
+        ];
+      Table.add_row t
+        [
+          "active links";
+          string_of_int p.peak_active_links;
+          at p.peak_active_links_round;
+        ];
+      Table.add_row t
+        [
+          "messages in flight";
+          string_of_int p.peak_in_flight;
+          at p.peak_in_flight_round;
+        ];
+      Table.add_row t
+        [ "max link backlog"; string_of_int p.max_link_backlog; "—" ];
+      Buffer.add_string buf (Table.to_markdown t);
+      Buffer.add_char buf '\n')
+    r.round_profiles;
   Buffer.add_string buf (verdict_line r);
   Buffer.add_string buf "\n"
 

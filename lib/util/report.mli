@@ -15,6 +15,20 @@ type phase = { name : string; rounds : int; messages : int; words : int }
     [Ds_congest.Metrics.phase] (duplicated here so the emitters do not
     depend on the simulator). *)
 
+type round_profile = {
+  rounds : int;
+  peak_messages : int;  (** largest per-round delivery count *)
+  peak_messages_round : int;  (** 1-based round of that peak *)
+  peak_active_links : int;
+  peak_active_links_round : int;
+  peak_in_flight : int;
+  peak_in_flight_round : int;
+  max_link_backlog : int;
+}
+(** Where in an execution each congestion measure peaks — the
+    deterministic summary of a [Ds_congest.Trace] (mirrored here like
+    {!phase}, so the emitters stay simulator-free). *)
+
 type check = {
   label : string;  (** what was measured, with enough context to read alone *)
   measured : float;  (** the measured value *)
@@ -51,6 +65,8 @@ type result = {
   phases : (string * phase list) list;
       (** labelled per-run phase breakdowns, e.g.
           [("echo build (n=512)", [...])] *)
+  round_profiles : (string * round_profile) list;
+      (** labelled per-run peak-congestion profiles, from traced runs *)
   verdict : verdict;
 }
 

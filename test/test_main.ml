@@ -10,6 +10,7 @@ let () =
       ("metrics", Test_metrics.suite);
       ("engine-extra", Test_engine_extra.suite);
       ("determinism", Test_determinism.suite);
+      ("trace", Test_trace.suite);
       ("tz", Test_tz.suite);
       ("slack", Test_slack.suite);
       ("async", Test_async.suite);

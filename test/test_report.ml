@@ -31,6 +31,20 @@ let fixed_result () =
           [ { Report.name = "setup"; rounds = 3; messages = 12; words = 24 } ]
         );
       ];
+    round_profiles =
+      [
+        ( "toy run",
+          {
+            Report.rounds = 3;
+            peak_messages = 7;
+            peak_messages_round = 2;
+            peak_active_links = 5;
+            peak_active_links_round = 1;
+            peak_in_flight = 6;
+            peak_in_flight_round = 2;
+            max_link_backlog = 2;
+          } );
+      ];
     verdict = Report.Reproduced;
   }
 
@@ -53,6 +67,13 @@ let golden_markdown =
    | phase | rounds | messages | words |\n\
    | --- | --- | --- | --- |\n\
    | setup | 3 | 12 | 24 |\n\n\
+   ### Per-round congestion profile — toy run\n\n\
+   | congestion measure | peak | at round (of total) |\n\
+   | --- | --- | --- |\n\
+   | messages delivered / round | 7 | 2 / 3 |\n\
+   | active links | 5 | 1 / 3 |\n\
+   | messages in flight | 6 | 2 / 3 |\n\
+   | max link backlog | 2 | — |\n\n\
    **Verdict: reproduced.**\n"
 
 let test_markdown_golden () =
@@ -61,7 +82,7 @@ let test_markdown_golden () =
 
 let golden_json =
   "{\n\
-  \  \"schema_version\": 1,\n\
+  \  \"schema_version\": 2,\n\
   \  \"generator\": \"distsketch report\",\n\
   \  \"profile\": \"test\",\n\
   \  \"experiments\": [\n\
@@ -120,6 +141,21 @@ let golden_json =
   \              \"words\": 24\n\
   \            }\n\
   \          ]\n\
+  \        }\n\
+  \      ],\n\
+  \      \"round_profiles\": [\n\
+  \        {\n\
+  \          \"run\": \"toy run\",\n\
+  \          \"profile\": {\n\
+  \            \"rounds\": 3,\n\
+  \            \"peak_messages\": 7,\n\
+  \            \"peak_messages_round\": 2,\n\
+  \            \"peak_active_links\": 5,\n\
+  \            \"peak_active_links_round\": 1,\n\
+  \            \"peak_in_flight\": 6,\n\
+  \            \"peak_in_flight_round\": 2,\n\
+  \            \"max_link_backlog\": 2\n\
+  \          }\n\
   \        }\n\
   \      ]\n\
   \    }\n\

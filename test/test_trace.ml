@@ -1,0 +1,196 @@
+(* The tracer's contract: the timing-excluded exports are a pure
+   function of (graph, protocol, jitter seed) — byte-identical across
+   pool sizes and under link jitter — and the deterministic fields
+   reconcile exactly with the Metrics totals the engine already
+   charges. *)
+
+module Rng = Ds_util.Rng
+module Graph = Ds_graph.Graph
+module Engine = Ds_congest.Engine
+module Metrics = Ds_congest.Metrics
+module Trace = Ds_congest.Trace
+module Multi_bf = Ds_congest.Multi_bf
+module Super_bf = Ds_congest.Super_bf
+module Setup = Ds_congest.Setup
+module Pool = Ds_parallel.Pool
+
+let traced_multi_bf ?pool g =
+  let tracer = Trace.create () in
+  let n = Graph.n g in
+  let sources = [ 0; n / 3; n / 2 ] in
+  let _, m =
+    Multi_bf.run ?pool ~tracer g ~sources ~bound:(fun _ -> Ds_graph.Dist.none)
+  in
+  (tracer, m)
+
+(* Determinism by schema: the timing-excluded JSONL and the
+   round-clock Chrome trace are byte-identical under pool 1 vs N. *)
+let test_jsonl_pool_invariant () =
+  Pool.with_pool ~domains:4 @@ fun pool ->
+  let g = Helpers.random_graph ~seed:81 90 in
+  let seq, ms = traced_multi_bf ~pool:Pool.sequential g in
+  let par, mp = traced_multi_bf ~pool g in
+  Alcotest.(check string) "jsonl bytes"
+    (Trace.jsonl ~timing:false seq)
+    (Trace.jsonl ~timing:false par);
+  Alcotest.(check string) "chrome bytes"
+    (Trace.chrome ~clock:`Rounds ~phases:(Metrics.phases ms) seq)
+    (Trace.chrome ~clock:`Rounds ~phases:(Metrics.phases mp) par)
+
+(* Same under bounded link asynchrony: jitter delays are a pure hash
+   of the seed, so a jittered trace is still pool-independent. *)
+let test_jsonl_jitter_invariant () =
+  Pool.with_pool ~domains:3 @@ fun pool ->
+  let g = Helpers.random_graph ~seed:82 70 in
+  let run pool =
+    let tracer = Trace.create () in
+    let jitter = { Engine.rng = Rng.create 905; max_delay = 3 } in
+    let _, _ = Super_bf.run ~pool ~jitter ~tracer g ~sources:[ 0; 9 ] in
+    tracer
+  in
+  let seq = run Pool.sequential and par = run pool in
+  Alcotest.(check string) "jittered jsonl bytes"
+    (Trace.jsonl ~timing:false seq)
+    (Trace.jsonl ~timing:false par);
+  Alcotest.(check string) "jittered chrome bytes"
+    (Trace.chrome ~clock:`Rounds seq)
+    (Trace.chrome ~clock:`Rounds par)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    i + nn <= nh
+    && (String.equal (String.sub haystack i nn) needle || go (i + 1))
+  in
+  nn = 0 || go 0
+
+(* The split is enforced by schema, not by fuzzy comparison: without
+   timing the wall-clock keys do not exist at all. *)
+let test_jsonl_schema () =
+  let g = Helpers.random_graph ~seed:83 40 in
+  let tracer, _ = traced_multi_bf g in
+  let det = Trace.jsonl ~timing:false tracer in
+  let timed = Trace.jsonl tracer in
+  Alcotest.(check bool) "no delivery_ns" false (contains det "delivery_ns");
+  Alcotest.(check bool) "no compute_ns" false (contains det "compute_ns");
+  Alcotest.(check bool) "no busy_domains" false (contains det "busy_domains");
+  Alcotest.(check bool) "no pool_domains" false (contains det "pool_domains");
+  Alcotest.(check bool) "timed has delivery_ns" true
+    (contains timed "delivery_ns");
+  Alcotest.(check bool) "header" true
+    (contains det "\"schema\":\"distsketch.trace.rounds\"");
+  (* one header + one line per logged round *)
+  let lines = String.split_on_char '\n' (String.trim det) in
+  Alcotest.(check int) "line count"
+    (Trace.rounds_logged tracer + 1)
+    (List.length lines)
+
+(* The rows must reconcile with the engine's own accounting: as many
+   rows as charged rounds (the final probe round is dropped from
+   both), per-round deliveries summing to total messages, and the
+   cumulative per-node counters summing to total messages on each
+   side. *)
+let test_totals_match_metrics () =
+  let g = Helpers.random_graph ~seed:84 60 in
+  let tracer, m = traced_multi_bf g in
+  let p = Trace.profile tracer in
+  Alcotest.(check int) "rounds" (Metrics.rounds m) p.Trace.rounds;
+  Alcotest.(check int) "messages" (Metrics.messages m) p.Trace.messages;
+  Alcotest.(check int) "words" (Metrics.words m) p.Trace.total_words;
+  let n = Graph.n g in
+  let sum f = List.fold_left (fun acc u -> acc + f tracer u) 0 (List.init n Fun.id) in
+  Alcotest.(check int) "sent total" (Metrics.messages m) (sum Trace.sent);
+  Alcotest.(check int) "received total" (Metrics.messages m)
+    (sum Trace.received);
+  Alcotest.(check int) "backlog peak"
+    (Metrics.max_link_backlog m)
+    p.Trace.max_link_backlog
+
+let test_profile_peaks () =
+  let g = Helpers.random_graph ~seed:85 50 in
+  let tracer, _ = traced_multi_bf g in
+  let rows = Trace.rows tracer in
+  let p = Trace.profile tracer in
+  let max_of f = List.fold_left (fun acc r -> max acc (f r)) 0 rows in
+  Alcotest.(check int) "peak delivered"
+    (max_of (fun r -> r.Trace.delivered))
+    p.Trace.peak_delivered;
+  Alcotest.(check int) "peak active links"
+    (max_of (fun r -> r.Trace.active_links))
+    p.Trace.peak_active_links;
+  Alcotest.(check int) "peak in flight"
+    (max_of (fun r -> r.Trace.in_flight))
+    p.Trace.peak_in_flight;
+  let nth = List.nth rows (p.Trace.peak_delivered_round - 1) in
+  Alcotest.(check int) "peak round points at the peak" p.Trace.peak_delivered
+    nth.Trace.delivered
+
+let test_hotspots () =
+  let g = Helpers.random_graph ~seed:86 50 in
+  let tracer, _ = traced_multi_bf g in
+  let hs = Trace.hotspots ~k:5 tracer in
+  Alcotest.(check int) "k respected" 5 (List.length hs);
+  let traffic (_, s, r) = s + r in
+  let rec sorted = function
+    | a :: (b :: _ as tl) -> traffic a >= traffic b && sorted tl
+    | _ -> true
+  in
+  Alcotest.(check bool) "busiest first" true (sorted hs);
+  List.iter
+    (fun (u, s, r) ->
+      Alcotest.(check int) (Printf.sprintf "sent at %d" u) (Trace.sent tracer u) s;
+      Alcotest.(check int)
+        (Printf.sprintf "received at %d" u)
+        (Trace.received tracer u) r)
+    hs
+
+(* A tracer threaded through a composed run (setup then super-bf)
+   appends rows; its total lines up with the combined metrics. *)
+let test_composed_runs_append () =
+  let g = Helpers.random_graph ~seed:87 40 in
+  let tracer = Trace.create () in
+  let _, m1 = Setup.run ~tracer g in
+  let after_setup = Trace.rounds_logged tracer in
+  Alcotest.(check int) "setup rounds" (Metrics.rounds m1) after_setup;
+  let _, m2 = Super_bf.run ~tracer g ~sources:[ 0 ] in
+  Alcotest.(check int) "combined rounds"
+    (Metrics.rounds m1 + Metrics.rounds m2)
+    (Trace.rounds_logged tracer)
+
+let test_chrome_structure () =
+  let g = Helpers.random_graph ~seed:88 40 in
+  let tracer, m = traced_multi_bf g in
+  let s = Trace.chrome ~clock:`Rounds ~phases:(Metrics.phases m) tracer in
+  Alcotest.(check bool) "traceEvents" true (contains s "\"traceEvents\":[");
+  Alcotest.(check bool) "complete spans" true (contains s "\"ph\":\"X\"");
+  Alcotest.(check bool) "counters" true (contains s "\"ph\":\"C\"");
+  Alcotest.(check bool) "delivery span" true
+    (contains s "\"name\":\"delivery\"");
+  Alcotest.(check bool) "phase span" true (contains s "\"name\":\"multi-bf\"");
+  Alcotest.(check bool) "rounds clock omits busy_domains" false
+    (contains s "busy_domains")
+
+let test_empty_trace () =
+  let tracer = Trace.create () in
+  let p = Trace.profile tracer in
+  Alcotest.(check int) "rounds" 0 p.Trace.rounds;
+  Alcotest.(check int) "peak" 0 p.Trace.peak_delivered;
+  Alcotest.(check (list (triple int int int))) "hotspots" []
+    (Trace.hotspots tracer);
+  let lines = String.split_on_char '\n' (String.trim (Trace.jsonl tracer)) in
+  Alcotest.(check int) "header only" 1 (List.length lines)
+
+let suite =
+  [
+    Alcotest.test_case "jsonl/chrome pool-invariant" `Quick
+      test_jsonl_pool_invariant;
+    Alcotest.test_case "jsonl/chrome jitter pool-invariant" `Quick
+      test_jsonl_jitter_invariant;
+    Alcotest.test_case "timing excluded by schema" `Quick test_jsonl_schema;
+    Alcotest.test_case "totals match metrics" `Quick test_totals_match_metrics;
+    Alcotest.test_case "profile peaks" `Quick test_profile_peaks;
+    Alcotest.test_case "hotspots ordered and consistent" `Quick test_hotspots;
+    Alcotest.test_case "composed runs append" `Quick test_composed_runs_append;
+    Alcotest.test_case "chrome trace structure" `Quick test_chrome_structure;
+    Alcotest.test_case "empty trace" `Quick test_empty_trace;
+  ]
