@@ -20,6 +20,8 @@ module Levels = Ds_core.Levels
 module Label = Ds_core.Label
 module Registry = Ds_experiments.Registry
 module Pool = Ds_parallel.Pool
+module Oracle = Ds_oracle.Oracle
+module Workload = Ds_oracle.Workload
 
 open Bechamel
 open Toolkit
@@ -104,12 +106,20 @@ let bench_tests () =
              Engine.run eng));
     ]
   in
+  let oracle = Oracle.of_labels labels in
   let fast =
     [
       Test.make ~name:"B4 label query"
         (Staged.stage (fun () ->
              let u, v = pick () in
              Label.query labels.(u) labels.(v)));
+      (* Same pairs, same labels as B4, flat-array oracle instead of
+         per-node hashtables: the table in BENCH_engine.json is the
+         hashtbl-vs-compact comparison. *)
+      Test.make ~name:"B11 oracle compact query (vs B4 hashtbl)"
+        (Staged.stage (fun () ->
+             let u, v = pick () in
+             Oracle.query oracle u v));
       Test.make ~name:"B5 slack query (eps=0.25)"
         (Staged.stage (fun () ->
              let u, v = pick () in
@@ -152,6 +162,33 @@ let save_json ~path rows =
   close_out oc;
   Printf.printf "(json: %s)\n" path
 
+(* B12: batched oracle queries fanned out over the worker pool, one
+   row per pool size. Not a bechamel fit — the quantity of interest is
+   bulk throughput (ns per query over a 200k-pair batch), measured
+   directly with the monotonic clock after a warm-up pass. On a
+   multi-core host the ns/query figure drops as domains grow; answers
+   are bit-identical for every pool size (pinned by the test suite). *)
+let oracle_batch_rows () =
+  let n = 1024 and pairs_count = 200_000 in
+  let g = Gen.erdos_renyi ~rng:(Rng.create 7) ~n ~avg_degree:6.0 () in
+  let levels = Levels.sample ~rng:(Rng.create 8) ~n ~k:3 in
+  let oracle = Oracle.of_labels (Ds_core.Tz_centralized.build g ~levels) in
+  let pairs =
+    Workload.pairs ~rng:(Rng.create 9) Workload.Uniform ~n ~count:pairs_count
+  in
+  List.map
+    (fun domains ->
+      Pool.with_pool ~domains (fun pool ->
+          ignore (Oracle.query_batch ~pool oracle pairs);
+          let _, stats =
+            Oracle.run_batch ~pool ~latency_sample:0 oracle pairs
+          in
+          ( Printf.sprintf "B12 oracle batch query (n=1024, 200k pairs, domains=%d)"
+              domains,
+            stats.Oracle.elapsed_ns /. float_of_int pairs_count,
+            None )))
+    [ 1; 2; 4; 8 ]
+
 let run_microbenches () =
   print_endline "### Microbenchmarks (Bechamel, monotonic clock)\n";
   let slow_tests, fast_tests = bench_tests () in
@@ -188,28 +225,33 @@ let run_microbenches () =
     Ds_util.Table.create ~title:"wall-clock per run"
       ~headers:[ "benchmark"; "time/run"; "r^2" ]
   in
+  let pretty_ns est =
+    if est > 1e9 then Printf.sprintf "%.3f s" (est /. 1e9)
+    else if est > 1e6 then Printf.sprintf "%.3f ms" (est /. 1e6)
+    else if est > 1e3 then Printf.sprintf "%.3f us" (est /. 1e3)
+    else Printf.sprintf "%.1f ns" est
+  in
   let json_rows =
     List.map
       (fun (name, r) ->
         let est =
           match Analyze.OLS.estimates r with Some (e :: _) -> e | _ -> nan
         in
-        let pretty =
-          if est > 1e9 then Printf.sprintf "%.3f s" (est /. 1e9)
-          else if est > 1e6 then Printf.sprintf "%.3f ms" (est /. 1e6)
-          else if est > 1e3 then Printf.sprintf "%.3f us" (est /. 1e3)
-          else Printf.sprintf "%.1f ns" est
-        in
         let r2 = Analyze.OLS.r_square r in
         let r2s =
           match r2 with Some v -> Printf.sprintf "%.4f" v | None -> "-"
         in
-        Ds_util.Table.add_row t [ name; pretty; r2s ];
+        Ds_util.Table.add_row t [ name; pretty_ns est; r2s ];
         (name, est, r2))
       rows
   in
+  let batch_rows = oracle_batch_rows () in
+  List.iter
+    (fun (name, est, _) ->
+      Ds_util.Table.add_row t [ name; pretty_ns est; "-" ])
+    batch_rows;
   Ds_util.Table.print t;
-  save_json ~path:"BENCH_engine.json" json_rows
+  save_json ~path:"BENCH_engine.json" (json_rows @ batch_rows)
 
 (* --trace: one traced multi-bf execution, exported as the round log
    and a Chrome trace file next to BENCH_engine.json. *)

@@ -12,6 +12,10 @@ module Label = Ds_core.Label
 module Eval = Ds_core.Eval
 module Registry = Ds_experiments.Registry
 module Pool = Ds_parallel.Pool
+module Store = Ds_oracle.Sketch_store
+module Oracle = Ds_oracle.Oracle
+module Workload = Ds_oracle.Workload
+module Json = Ds_util.Json
 
 open Cmdliner
 
@@ -70,6 +74,29 @@ let with_domains domains f =
 let make_graph family n seed =
   let rng = Rng.create seed in
   Gen.build ~rng family ~n
+
+(* Exact distances for a pair stream, one memoized Dijkstra per
+   distinct source. *)
+let exact_triples g pairs =
+  let cache = Hashtbl.create 64 in
+  Array.map
+    (fun (u, v) ->
+      let dist =
+        match Hashtbl.find_opt cache u with
+        | Some d -> d
+        | None ->
+          let d = Ds_graph.Dijkstra.sssp g ~src:u in
+          Hashtbl.add cache u d;
+          d
+      in
+      (u, v, dist.(v)))
+    pairs
+
+(* Deterministic fingerprint of a batch's answers, for replay checks. *)
+let answers_fnv answers =
+  let b = Buffer.create (8 * Array.length answers) in
+  Array.iter (fun d -> Buffer.add_int64_le b (Int64.of_int d)) answers;
+  Printf.sprintf "%016Lx" (Store.fnv1a64 (Buffer.contents b))
 
 (* ---- experiments ---- *)
 
@@ -186,7 +213,17 @@ let build_cmd =
       & info [ "mode" ] ~docv:"MODE"
           ~doc:"Construction: central, dist (known-S), echo (self-terminating).")
   in
-  let run family n seed k mode domains =
+  let save_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save" ] ~docv:"FILE"
+          ~doc:
+            "Persist the built labels as a snapshot (versioned, \
+             checksummed); `oracle --load $(docv)' then serves them \
+             without rebuilding.")
+  in
+  let run family n seed k mode domains save =
     with_domains domains @@ fun pool ->
     let g = make_graph family n seed in
     let gn = Graph.n g in
@@ -195,9 +232,18 @@ let build_cmd =
       let sizes = Eval.size_summary Label.size_words labels in
       Format.printf "labels built: %d nodes, k=%d@." gn k;
       Format.printf "sizes (words): %a@." Ds_util.Stats.pp_summary sizes;
-      match metrics with
+      (match metrics with
       | None -> ()
-      | Some m -> Format.printf "cost: %a@." Metrics.pp m
+      | Some m -> Format.printf "cost: %a@." Metrics.pp m);
+      match save with
+      | None -> ()
+      | Some path ->
+        let store =
+          Store.v ~seed ~family:(Gen.family_name family) labels
+        in
+        Store.save path store;
+        Format.printf "snapshot: wrote %s (%d bytes)@." path
+          (String.length (Store.to_bytes store))
     in
     match mode with
     | `Central -> describe (Ds_core.Tz_centralized.build g ~levels) None
@@ -216,7 +262,7 @@ let build_cmd =
              sizes and CONGEST cost.")
     Term.(
       const run $ family_arg $ n_arg $ seed_arg $ k_arg $ mode_arg
-      $ domains_arg)
+      $ domains_arg $ save_arg)
 
 (* ---- trace ---- *)
 
@@ -378,6 +424,168 @@ let spanner_cmd =
        ~doc:"Extract the (2k-1)-spanner from the distributed construction.")
     Term.(const run $ family_arg $ n_arg $ seed_arg $ k_arg $ domains_arg)
 
+(* ---- oracle ---- *)
+
+let workload_conv =
+  let parse s = Result.map_error (fun m -> `Msg m) (Workload.kind_of_string s) in
+  Arg.conv (parse, fun ppf w -> Format.pp_print_string ppf (Workload.name w))
+
+let oracle_cmd =
+  let load_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "load" ] ~docv:"FILE"
+          ~doc:
+            "Serve from a saved snapshot instead of building; the graph \
+             arguments are ignored (the snapshot's own family/seed are \
+             used to regenerate the graph for the exact-stretch check).")
+  in
+  let save_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save" ] ~docv:"FILE" ~doc:"Also persist the labels served.")
+  in
+  let workload_arg =
+    Arg.(
+      value & opt workload_conv Workload.Uniform
+      & info [ "workload" ] ~docv:"W"
+          ~doc:
+            "Query-pair stream: $(b,uniform) or $(b,zipf)[:alpha] (skewed \
+             hotspot traffic, default alpha 1.2).")
+  in
+  let pairs_arg =
+    Arg.(
+      value & opt int 10_000
+      & info [ "pairs" ] ~docv:"P" ~doc:"Number of query pairs in the batch.")
+  in
+  let qseed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "qseed" ] ~docv:"Q" ~doc:"Workload (pair-stream) seed.")
+  in
+  let skip_exact_arg =
+    Arg.(
+      value & flag
+      & info [ "skip-exact" ]
+          ~doc:
+            "Skip the exact-distance comparison (one Dijkstra per distinct \
+             source); the summary then reports null stretch.")
+  in
+  let run family n seed k domains load save workload pairs qseed skip_exact =
+    with_domains domains @@ fun pool ->
+    let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt in
+    let store, source =
+      match load with
+      | Some path -> (
+        (try Store.load path with
+        | Store.Error msg -> fail "cannot load %s: %s" path msg
+        | Sys_error msg -> fail "cannot load %s: %s" path msg),
+        "snapshot:" ^ path )
+      | None ->
+        let g = make_graph family n seed in
+        let gn = Graph.n g in
+        let levels = Levels.sample ~rng:(Rng.create (seed + 1)) ~n:gn ~k in
+        let built = Ds_core.Tz_distributed.build ~pool g ~levels in
+        ( Store.v ~seed ~family:(Gen.family_name family)
+            built.Ds_core.Tz_distributed.labels,
+          "built" )
+    in
+    (match save with
+    | None -> ()
+    | Some path ->
+      Store.save path store;
+      Printf.eprintf "wrote %s (%d bytes)\n" path
+        (String.length (Store.to_bytes store)));
+    let meta = store.Store.meta in
+    let oracle = Oracle.of_store store in
+    if pairs < 1 then fail "--pairs must be >= 1";
+    if meta.Store.n < 2 then fail "need at least 2 nodes to query";
+    let stream =
+      Workload.pairs ~rng:(Rng.create qseed) workload ~n:meta.Store.n
+        ~count:pairs
+    in
+    let answers, stats = Oracle.run_batch ~pool oracle stream in
+    (* Exact stretch needs the graph. A snapshot records its generation
+       recipe (family name + seed), so regenerate when possible; give
+       up gracefully when the family is unknown or the node count
+       disagrees (approximate families like grids). *)
+    let graph_for_stretch =
+      if skip_exact then None
+      else
+        match load with
+        | None -> Some (make_graph family n seed)
+        | Some _ -> (
+          match
+            Arg.conv_parser family_conv
+              (if meta.Store.family = "" then "?" else meta.Store.family)
+          with
+          | Error _ -> None
+          | Ok fam ->
+            let g = make_graph fam meta.Store.n meta.Store.seed in
+            if Graph.n g = meta.Store.n then Some g else None)
+    in
+    let stretch_json =
+      match graph_for_stretch with
+      | None -> Json.Null
+      | Some g ->
+        let report =
+          Eval.on_pairs ~query:(Oracle.query oracle) (exact_triples g stream)
+        in
+        Json.Obj
+          [
+            ("max", Json.Float report.Eval.max_stretch);
+            ("avg", Json.Float report.Eval.avg_stretch);
+            ("p99", Json.Float report.Eval.p99);
+            ("violations", Json.Int report.Eval.violations);
+            ("unreachable", Json.Int report.Eval.unreachable);
+            ("bound", Json.Int ((2 * meta.Store.k) - 1));
+          ]
+    in
+    let lat = stats.Oracle.latency_ns in
+    let summary =
+      Json.Obj
+        [
+          ("schema", Json.String "oracle-summary/1");
+          ("source", Json.String source);
+          ("n", Json.Int meta.Store.n);
+          ("k", Json.Int meta.Store.k);
+          ("family", Json.String meta.Store.family);
+          ("seed", Json.Int meta.Store.seed);
+          ("size_words", Json.Int (Oracle.size_words oracle));
+          ("workload", Json.String (Workload.name workload));
+          ("pairs", Json.Int stats.Oracle.pairs);
+          ("domains", Json.Int domains);
+          ("qps", Json.Float stats.Oracle.qps);
+          ("elapsed_ns", Json.Float stats.Oracle.elapsed_ns);
+          ( "latency_ns",
+            Json.Obj
+              [
+                ("mean", Json.Float lat.Ds_util.Stats.mean);
+                ("p50", Json.Float lat.Ds_util.Stats.p50);
+                ("p90", Json.Float lat.Ds_util.Stats.p90);
+                ("p99", Json.Float lat.Ds_util.Stats.p99);
+                ("max", Json.Float lat.Ds_util.Stats.max);
+              ] );
+          ("stretch", stretch_json);
+          ("results_fnv", Json.String (answers_fnv answers));
+        ]
+    in
+    print_string (Json.to_string summary)
+  in
+  Cmd.v
+    (Cmd.info "oracle"
+       ~doc:
+         "Serve a batch of distance queries from the compact local oracle \
+          (built fresh or loaded from a $(b,build --save) snapshot) and \
+          print a JSON summary: throughput, latency percentiles, stretch \
+          vs exact distances.")
+    Term.(
+      const run $ family_arg $ n_arg $ seed_arg $ k_arg $ domains_arg
+      $ load_arg $ save_arg $ workload_arg $ pairs_arg $ qseed_arg
+      $ skip_exact_arg)
+
 (* ---- query ---- *)
 
 let query_cmd =
@@ -387,35 +595,79 @@ let query_cmd =
   let v_arg =
     Arg.(value & opt int 1 & info [ "v"; "to" ] ~docv:"V" ~doc:"Query endpoint v.")
   in
-  let run family n seed k u v domains =
+  let pairs_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "pairs" ] ~docv:"P"
+          ~doc:
+            "Batch mode: answer $(docv) random uniform pairs from the \
+             compact local oracle instead of one in-network exchange \
+             (pair stream seeded by --seed).")
+  in
+  let run family n seed k u v domains pairs =
     with_domains domains @@ fun pool ->
     let g = make_graph family n seed in
     let gn = Graph.n g in
-    if u < 0 || u >= gn || v < 0 || v >= gn then begin
-      Printf.eprintf "endpoints must be in [0, %d)\n" gn;
-      exit 1
-    end;
     let levels = Levels.sample ~rng:(Rng.create (seed + 1)) ~n:gn ~k in
     let built = Ds_core.Tz_distributed.build ~pool g ~levels in
-    let tree, _ = Ds_congest.Setup.run ~pool g in
-    let r =
-      Ds_core.Query_protocol.query ~pool g ~tree
-        ~labels:built.Ds_core.Tz_distributed.labels ~u ~v
-    in
-    let exact = Ds_graph.Dijkstra.sssp g ~src:u in
-    Format.printf
-      "estimate d(%d,%d) = %d (exact %d, stretch %.2f), exchanged in %d \
-       rounds / %d messages@."
-      u v r.Ds_core.Query_protocol.estimate exact.(v)
-      (float_of_int r.Ds_core.Query_protocol.estimate /. float_of_int exact.(v))
-      r.Ds_core.Query_protocol.rounds r.Ds_core.Query_protocol.messages
+    if pairs > 0 then begin
+      (* Batch mode: sketches answer locally through the oracle; no
+         further network exchange. *)
+      let oracle =
+        Oracle.of_labels built.Ds_core.Tz_distributed.labels
+      in
+      let stream =
+        Workload.pairs ~rng:(Rng.create (seed + 9001)) Workload.Uniform ~n:gn
+          ~count:pairs
+      in
+      let answers, stats = Oracle.run_batch ~pool oracle stream in
+      let report =
+        Eval.on_pairs ~query:(Oracle.query oracle) (exact_triples g stream)
+      in
+      Format.printf
+        "batch: %d uniform pairs answered by the local oracle (n=%d, k=%d)@."
+        pairs gn k;
+      Format.printf "throughput: %.0f queries/s (%.1f ms total)@."
+        stats.Oracle.qps
+        (stats.Oracle.elapsed_ns /. 1e6);
+      Format.printf "latency ns: p50 %.0f  p99 %.0f@."
+        stats.Oracle.latency_ns.Ds_util.Stats.p50
+        stats.Oracle.latency_ns.Ds_util.Stats.p99;
+      Format.printf
+        "stretch: max %.3f avg %.3f (bound %d), %d violations@."
+        report.Eval.max_stretch report.Eval.avg_stretch
+        ((2 * k) - 1)
+        report.Eval.violations;
+      Format.printf "answers fingerprint: %s@." (answers_fnv answers)
+    end
+    else begin
+      if u < 0 || u >= gn || v < 0 || v >= gn then begin
+        Printf.eprintf "endpoints must be in [0, %d)\n" gn;
+        exit 1
+      end;
+      let tree, _ = Ds_congest.Setup.run ~pool g in
+      let r =
+        Ds_core.Query_protocol.query ~pool g ~tree
+          ~labels:built.Ds_core.Tz_distributed.labels ~u ~v
+      in
+      let exact = Ds_graph.Dijkstra.sssp g ~src:u in
+      Format.printf
+        "estimate d(%d,%d) = %d (exact %d, stretch %.2f), exchanged in %d \
+         rounds / %d messages@."
+        u v r.Ds_core.Query_protocol.estimate exact.(v)
+        (float_of_int r.Ds_core.Query_protocol.estimate
+        /. float_of_int exact.(v))
+        r.Ds_core.Query_protocol.rounds r.Ds_core.Query_protocol.messages
+    end
   in
   Cmd.v
     (Cmd.info "query"
-       ~doc:"Answer one distance query by in-network sketch exchange.")
+       ~doc:
+         "Answer one distance query by in-network sketch exchange, or — \
+          with $(b,--pairs) — a batch from the compact local oracle.")
     Term.(
       const run $ family_arg $ n_arg $ seed_arg $ k_arg $ u_arg $ v_arg
-      $ domains_arg)
+      $ domains_arg $ pairs_arg)
 
 (* ---- route ---- *)
 
@@ -458,6 +710,6 @@ let main =
     (Cmd.info "distsketch" ~version:"1.0.0"
        ~doc:"Distributed distance sketches (Das Sarma-Dinitz-Pandurangan).")
     [ list_cmd; run_cmd; report_cmd; profile_cmd; build_cmd; trace_cmd;
-      spanner_cmd; query_cmd; route_cmd ]
+      spanner_cmd; oracle_cmd; query_cmd; route_cmd ]
 
 let () = exit (Cmd.eval main)

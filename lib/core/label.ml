@@ -86,6 +86,12 @@ let equal a b =
        a.bunch true
 
 let to_words t =
+  (* Canonical wire order: bunch entries sorted by node id. Hashtbl
+     iteration order is unspecified, so sorting here is what makes
+     equal labels serialize to identical arrays — the invariant the
+     snapshot format's byte-determinism rests on. [bunch_nodes] sorts
+     by node id (keys are unique, so the triple sort is a node-id
+     sort). *)
   let bunch = bunch_nodes t in
   let out = Array.make (1 + t.k + List.length bunch) (0, 0) in
   out.(0) <- (t.owner, t.k);
@@ -96,14 +102,16 @@ let to_words t =
 let of_words words =
   if Array.length words < 1 then invalid_arg "Label.of_words: empty";
   let owner, k = words.(0) in
-  if k < 1 || Array.length words < 1 + k then
-    invalid_arg "Label.of_words: truncated";
+  if k < 1 then invalid_arg "Label.of_words: bad k";
+  if Array.length words < 1 + k then invalid_arg "Label.of_words: truncated";
   let t = create ~owner ~k in
   for i = 0 to k - 1 do
     t.pivots.(i) <- words.(1 + i)
   done;
   for i = 1 + k to Array.length words - 1 do
     let w, d = words.(i) in
+    if Hashtbl.mem t.bunch w then
+      invalid_arg "Label.of_words: duplicate bunch node";
     add_bunch t ~node:w ~dist:d ~level:(-1)
   done;
   t

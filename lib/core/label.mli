@@ -23,7 +23,7 @@ val set_pivot : t -> level:int -> dist:int -> node:int -> unit
 val bunch_dist : t -> int -> int option
 val bunch_size : t -> int
 val bunch_nodes : t -> (int * int * int) list
-(** [(node, dist, level)] triples. *)
+(** [(node, dist, level)] triples, sorted by node id (ascending). *)
 
 val size_words : t -> int
 (** Sketch size in the paper's units: two words per pivot (ID and
@@ -48,10 +48,18 @@ val to_words : t -> (int * int) array
 (** Wire format, one pair = two words per array cell:
     [(owner, k); pivot_0; …; pivot_{k-1}; (node, dist); …]. Length is
     [size_words t / 2 + 1]. Bunch levels are analysis metadata and are
-    not shipped. *)
+    not shipped.
+
+    {b Canonical order invariant}: bunch entries appear sorted by node
+    id, independent of insertion order — labels that are {!equal}
+    produce identical arrays, so the wire format (and everything
+    layered on it, e.g. [Ds_oracle.Sketch_store] snapshots) is
+    byte-deterministic. *)
 
 val of_words : (int * int) array -> t
-(** Inverse of {!to_words} (bunch levels come back as [-1]).
-    Raises [Invalid_argument] on malformed input. *)
+(** Inverse of {!to_words} (bunch levels come back as [-1]). Raises
+    [Invalid_argument] on malformed input: an empty array, [k < 1], a
+    pivot section shorter than [k], or a duplicate bunch node. Accepts
+    bunch entries in any order; {!to_words} re-canonicalizes. *)
 
 val pp : Format.formatter -> t -> unit

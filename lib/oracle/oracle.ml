@@ -1,0 +1,212 @@
+module Dist = Ds_graph.Dist
+module Label = Ds_core.Label
+module Pool = Ds_parallel.Pool
+module Stats = Ds_util.Stats
+
+type t = {
+  n : int;
+  k : int;
+  pivot_dist : int array;
+  pivot_node : int array;
+  bunch_off : int array;
+  bunch_node : int array;
+  bunch_dist : int array;
+}
+
+let of_labels labels =
+  let n = Array.length labels in
+  if n = 0 then invalid_arg "Oracle.of_labels: empty label set";
+  let k = labels.(0).Label.k in
+  Array.iteri
+    (fun i l ->
+      if l.Label.owner <> i then
+        invalid_arg
+          (Printf.sprintf "Oracle.of_labels: labels.(%d) has owner %d" i
+             l.Label.owner);
+      if l.Label.k <> k then
+        invalid_arg
+          (Printf.sprintf "Oracle.of_labels: labels.(%d) has k=%d, expected %d"
+             i l.Label.k k))
+    labels;
+  let pivot_dist = Array.make (n * k) Dist.infinity in
+  let pivot_node = Array.make (n * k) max_int in
+  let bunch_off = Array.make (n + 1) 0 in
+  for u = 0 to n - 1 do
+    bunch_off.(u + 1) <- bunch_off.(u) + Label.bunch_size labels.(u)
+  done;
+  let total = bunch_off.(n) in
+  let bunch_node = Array.make (max 1 total) 0 in
+  let bunch_dist = Array.make (max 1 total) 0 in
+  Array.iteri
+    (fun u l ->
+      Array.iteri
+        (fun i (d, p) ->
+          pivot_dist.((u * k) + i) <- d;
+          pivot_node.((u * k) + i) <- p)
+        l.Label.pivots;
+      (* bunch_nodes is sorted by node id — the slice stays strictly
+         increasing, which is what the binary search needs. *)
+      List.iteri
+        (fun j (w, d, _) ->
+          bunch_node.(bunch_off.(u) + j) <- w;
+          bunch_dist.(bunch_off.(u) + j) <- d)
+        (Label.bunch_nodes l))
+    labels;
+  { n; k; pivot_dist; pivot_node; bunch_off; bunch_node; bunch_dist }
+
+let of_store (s : Sketch_store.t) = of_labels s.Sketch_store.labels
+
+let n t = t.n
+let k t = t.k
+
+let size_words t = (2 * t.n * t.k) + (2 * t.bunch_off.(t.n))
+
+(* Binary search for [w] in the node-[u] slice; [Dist.infinity] when
+   absent. *)
+let find t u w =
+  let lo = ref t.bunch_off.(u) and hi = ref t.bunch_off.(u + 1) in
+  let res = ref Dist.infinity in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    let x = t.bunch_node.(mid) in
+    if x = w then begin
+      res := t.bunch_dist.(mid);
+      lo := !hi
+    end
+    else if x < w then lo := mid + 1
+    else hi := mid
+  done;
+  !res
+
+let bunch_dist t u w =
+  let d = find t u w in
+  if Dist.is_finite d then Some d else None
+
+let check_pair t u v name =
+  if u < 0 || u >= t.n || v < 0 || v >= t.n then
+    invalid_arg
+      (Printf.sprintf "Oracle.%s: pair (%d, %d) out of range [0, %d)" name u v
+         t.n)
+
+let query t u v =
+  check_pair t u v "query";
+  let k = t.k in
+  let rec go i =
+    if i >= k then Dist.infinity
+    else begin
+      let du = t.pivot_dist.((u * k) + i)
+      and pu = t.pivot_node.((u * k) + i)
+      and dv = t.pivot_dist.((v * k) + i)
+      and pv = t.pivot_node.((v * k) + i) in
+      let via_pu =
+        if Dist.is_finite du then Dist.add du (find t v pu) else Dist.infinity
+      in
+      let via_pv =
+        if Dist.is_finite dv then Dist.add dv (find t u pv) else Dist.infinity
+      in
+      let est = min via_pu via_pv in
+      if Dist.is_finite est then est else go (i + 1)
+    end
+  in
+  go 0
+
+let query_bidirectional t u v =
+  check_pair t u v "query_bidirectional";
+  let k = t.k in
+  let best = ref Dist.infinity in
+  for i = 0 to k - 1 do
+    let du = t.pivot_dist.((u * k) + i)
+    and pu = t.pivot_node.((u * k) + i)
+    and dv = t.pivot_dist.((v * k) + i)
+    and pv = t.pivot_node.((v * k) + i) in
+    if Dist.is_finite du then best := min !best (Dist.add du (find t v pu));
+    if Dist.is_finite dv then best := min !best (Dist.add dv (find t u pv))
+  done;
+  !best
+
+let find_probed t u w probes =
+  let lo = ref t.bunch_off.(u) and hi = ref t.bunch_off.(u + 1) in
+  let res = ref Dist.infinity in
+  while !lo < !hi do
+    incr probes;
+    let mid = (!lo + !hi) / 2 in
+    let x = t.bunch_node.(mid) in
+    if x = w then begin
+      res := t.bunch_dist.(mid);
+      lo := !hi
+    end
+    else if x < w then lo := mid + 1
+    else hi := mid
+  done;
+  !res
+
+let query_probes t u v =
+  check_pair t u v "query_probes";
+  let k = t.k in
+  let probes = ref 0 in
+  let rec go i =
+    if i >= k then Dist.infinity
+    else begin
+      (* Two pivot-pair loads per level. *)
+      probes := !probes + 2;
+      let du = t.pivot_dist.((u * k) + i)
+      and pu = t.pivot_node.((u * k) + i)
+      and dv = t.pivot_dist.((v * k) + i)
+      and pv = t.pivot_node.((v * k) + i) in
+      let via_pu =
+        if Dist.is_finite du then Dist.add du (find_probed t v pu probes)
+        else Dist.infinity
+      in
+      let via_pv =
+        if Dist.is_finite dv then Dist.add dv (find_probed t u pv probes)
+        else Dist.infinity
+      in
+      let est = min via_pu via_pv in
+      if Dist.is_finite est then est else go (i + 1)
+    end
+  in
+  let est = go 0 in
+  (est, !probes)
+
+let query_batch ?(pool = Pool.sequential) t pairs =
+  let m = Array.length pairs in
+  let out = Array.make m 0 in
+  Pool.parallel_for pool ~lo:0 ~hi:m (fun i ->
+      let u, v = pairs.(i) in
+      out.(i) <- query t u v);
+  out
+
+type batch_stats = {
+  pairs : int;
+  elapsed_ns : float;
+  qps : float;
+  latency_ns : Stats.summary;
+}
+
+let now_ns () = Int64.to_float (Monotonic_clock.now ())
+
+let run_batch ?pool ?(latency_sample = 1024) t pairs =
+  let m = Array.length pairs in
+  let t0 = now_ns () in
+  let out = query_batch ?pool t pairs in
+  let t1 = now_ns () in
+  let elapsed_ns = max 1.0 (t1 -. t0) in
+  let sample = min latency_sample m in
+  let lat =
+    Array.init sample (fun i ->
+        (* Stride across the batch so the sample sees its whole mix. *)
+        let u, v = pairs.(i * m / max 1 sample) in
+        let s0 = now_ns () in
+        ignore (query t u v);
+        now_ns () -. s0)
+  in
+  let stats =
+    {
+      pairs = m;
+      elapsed_ns;
+      qps = float_of_int m /. (elapsed_ns /. 1e9);
+      latency_ns =
+        Stats.summarize (if sample = 0 then [| 0.0 |] else lat);
+    }
+  in
+  (out, stats)

@@ -1,0 +1,83 @@
+(** Compact immutable distance oracle compiled from a built label set.
+
+    The serving-side counterpart of {!Ds_core.Label}: the per-node
+    hashtables are flattened into five plain int arrays — pivots
+    node-major, bunches concatenated in node-id-sorted order behind a
+    per-node offset table — so a query is [O(k log |B|)] binary
+    searches over contiguous memory with no hashing, no boxing and no
+    per-query allocation. {!query} is query-equivalent to
+    {!Ds_core.Label.query} (same level scan, same tie behaviour, pinned
+    by test), and {!query_batch} fans a pair array out across a
+    {!Ds_parallel.Pool} with one result slot per index, so answers are
+    bit-identical under any pool size. *)
+
+type t = private {
+  n : int;
+  k : int;
+  pivot_dist : int array;  (** [n·k], node-major: [d(u, A_i)] at [u·k + i] *)
+  pivot_node : int array;  (** [n·k], node-major: [p_i(u)] at [u·k + i] *)
+  bunch_off : int array;  (** [n+1] cumulative bunch sizes *)
+  bunch_node : int array;
+      (** bunch members, strictly increasing within each node's slice
+          [bunch_off.(u) .. bunch_off.(u+1) - 1] *)
+  bunch_dist : int array;  (** distances aligned with [bunch_node] *)
+}
+
+val of_labels : Ds_core.Label.t array -> t
+(** Compile a label set. Requires [labels.(i).owner = i] and a uniform
+    [k]; raises [Invalid_argument] otherwise. *)
+
+val of_store : Sketch_store.t -> t
+
+val n : t -> int
+val k : t -> int
+
+val size_words : t -> int
+(** Total size in the paper's units: the sum of
+    {!Ds_core.Label.size_words} over all nodes. *)
+
+val bunch_dist : t -> int -> int -> int option
+(** [bunch_dist t u w] is [d(u,w)] when [w ∈ B(u)] — one binary
+    search. *)
+
+val query : t -> int -> int -> int
+(** [query t u v] = [Label.query labels.(u) labels.(v)] on the labels
+    the oracle was compiled from: scan levels upward, return the first
+    finite triangle estimate (the smaller of the two directions). *)
+
+val query_bidirectional : t -> int -> int -> int
+(** [= Label.query_bidirectional labels.(u) labels.(v)]: minimum over
+    every level and both directions. *)
+
+val query_probes : t -> int -> int -> int * int
+(** [(estimate, probes)] where [probes] counts the array lookups the
+    query performed (pivot-pair loads plus binary-search comparisons) —
+    a deterministic per-query work measure, used by experiment E8 to
+    put the local oracle next to the in-network exchange without a
+    wall clock. *)
+
+val query_batch : ?pool:Ds_parallel.Pool.t -> t -> (int * int) array -> int array
+(** Answer every pair, fanning out across the pool (default
+    sequential). Result slot [i] depends only on pair [i], so the
+    output is identical for every pool size. *)
+
+type batch_stats = {
+  pairs : int;
+  elapsed_ns : float;  (** wall-clock of the parallel batch *)
+  qps : float;  (** pairs / elapsed seconds *)
+  latency_ns : Ds_util.Stats.summary;
+      (** distribution of single-query latencies, measured over a
+          sequential sample of the batch (timing inside the parallel
+          loop would perturb it) *)
+}
+
+val run_batch :
+  ?pool:Ds_parallel.Pool.t ->
+  ?latency_sample:int ->
+  t ->
+  (int * int) array ->
+  int array * batch_stats
+(** {!query_batch} plus timing: the whole batch is timed once for
+    throughput, then up to [latency_sample] (default 1024) queries are
+    re-run sequentially one-by-one for the latency distribution. The
+    returned answers are those of the parallel run. *)

@@ -1,0 +1,160 @@
+module Label = Ds_core.Label
+
+type meta = { n : int; k : int; seed : int; family : string }
+type t = { meta : meta; labels : Label.t array }
+
+exception Error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+let magic = "DSKETCH1"
+let version = 1
+
+let v ?(seed = 0) ?(family = "") labels =
+  let n = Array.length labels in
+  if n = 0 then invalid_arg "Sketch_store.v: empty label set";
+  let k = labels.(0).Label.k in
+  Array.iteri
+    (fun i l ->
+      if l.Label.owner <> i then
+        invalid_arg
+          (Printf.sprintf "Sketch_store.v: labels.(%d) has owner %d" i
+             l.Label.owner);
+      if l.Label.k <> k then
+        invalid_arg
+          (Printf.sprintf "Sketch_store.v: labels.(%d) has k=%d, expected %d"
+             i l.Label.k k))
+    labels;
+  { meta = { n; k; seed; family }; labels }
+
+(* FNV-1a, 64-bit. *)
+let fnv1a64 s =
+  let prime = 0x100000001b3L in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h prime)
+    s;
+  !h
+
+let pad8 len = (8 - (len land 7)) land 7
+
+let to_bytes t =
+  let { n; k; seed; family } = t.meta in
+  let b = Buffer.create 4096 in
+  let word i = Buffer.add_int64_le b (Int64.of_int i) in
+  Buffer.add_string b magic;
+  word version;
+  word n;
+  word k;
+  word seed;
+  word (String.length family);
+  Buffer.add_string b family;
+  Buffer.add_string b (String.make (pad8 (String.length family)) '\000');
+  (* Bunch entries in the canonical to_words order: sorted by node id. *)
+  let bunches =
+    Array.map
+      (fun l ->
+        Label.bunch_nodes l |> List.map (fun (w, d, _) -> (w, d)))
+      t.labels
+  in
+  let off = ref 0 in
+  word 0;
+  Array.iter
+    (fun entries ->
+      off := !off + List.length entries;
+      word !off)
+    bunches;
+  Array.iter
+    (fun l ->
+      Array.iter
+        (fun (d, p) ->
+          word d;
+          word p)
+        l.Label.pivots)
+    t.labels;
+  Array.iter
+    (List.iter (fun (w, d) ->
+         word w;
+         word d))
+    bunches;
+  let payload = Buffer.contents b in
+  Buffer.add_int64_le b (fnv1a64 payload);
+  Buffer.contents b
+
+let of_bytes s =
+  let len = String.length s in
+  if len < 16 then error "truncated snapshot: %d bytes, no header" len;
+  if String.sub s 0 8 <> magic then
+    error "bad magic %S: not a distsketch snapshot" (String.sub s 0 8);
+  let word off = Int64.to_int (String.get_int64_le s off) in
+  let ver = word 8 in
+  if ver <> version then
+    error "unsupported snapshot version %d (this reader expects %d)" ver
+      version;
+  if len < 48 then error "truncated snapshot header: %d bytes" len;
+  let n = word 16 and k = word 24 and seed = word 32 in
+  let family_len = word 40 in
+  if n < 1 || k < 1 then error "bad snapshot header: n=%d k=%d" n k;
+  if family_len < 0 || family_len > len - 48 then
+    error "bad snapshot header: family length %d" family_len;
+  let family = String.sub s 48 family_len in
+  let body = 48 + family_len + pad8 family_len in
+  (* bunch_off needs n+1 words; check before reading the total. *)
+  if len < body + (8 * (n + 1)) then
+    error "truncated snapshot: offset table cut short (%d bytes)" len;
+  let bunch_off = Array.init (n + 1) (fun i -> word (body + (8 * i))) in
+  if bunch_off.(0) <> 0 then error "corrupt bunch offsets: first is %d" bunch_off.(0);
+  for i = 0 to n - 1 do
+    if bunch_off.(i + 1) < bunch_off.(i) then
+      error "corrupt bunch offsets: not monotone at node %d" i
+  done;
+  let total = bunch_off.(n) in
+  let pivots_at = body + (8 * (n + 1)) in
+  let bunch_at = pivots_at + (8 * 2 * n * k) in
+  let expected = bunch_at + (8 * 2 * total) + 8 in
+  if len <> expected then
+    error "truncated or oversized snapshot: expected %d bytes, got %d"
+      expected len;
+  let stored = String.get_int64_le s (len - 8) in
+  let computed = fnv1a64 (String.sub s 0 (len - 8)) in
+  if stored <> computed then
+    error "checksum mismatch: stored %Lx, computed %Lx — corrupt snapshot"
+      stored computed;
+  let labels =
+    Array.init n (fun u ->
+        let l = Label.create ~owner:u ~k in
+        for i = 0 to k - 1 do
+          let at = pivots_at + (8 * 2 * ((u * k) + i)) in
+          Label.set_pivot l ~level:i ~dist:(word at) ~node:(word (at + 8))
+        done;
+        let prev = ref (-1) in
+        for j = bunch_off.(u) to bunch_off.(u + 1) - 1 do
+          let at = bunch_at + (8 * 2 * j) in
+          let w = word at and d = word (at + 8) in
+          if w < 0 || w >= n then
+            error "corrupt bunch section: node %d out of range at entry %d" w j;
+          if w <= !prev then
+            error "corrupt bunch section: entries of node %d not sorted" u;
+          prev := w;
+          Label.add_bunch l ~node:w ~dist:d ~level:(-1)
+        done;
+        l)
+  in
+  { meta = { n; k; seed; family }; labels }
+
+let save path t =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_bytes t))
+
+let load path =
+  let ic = open_in_bin path in
+  let s =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  of_bytes s

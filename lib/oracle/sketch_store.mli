@@ -1,0 +1,78 @@
+(** Persistent snapshots of a built sketch set.
+
+    The build/serve split: construction (the CONGEST protocols) runs
+    once and saves its labels here; every later serving process loads
+    the snapshot and skips reconstruction entirely. The format is
+
+    - {b versioned}: an 8-byte magic plus a version word, so a stale
+      reader fails loudly instead of misparsing;
+    - {b checksummed}: the last 8 bytes are an FNV-1a64 digest of
+      everything before them, so truncation and bit rot are detected
+      on load;
+    - {b byte-deterministic}: equal stores serialize to equal bytes —
+      bunch entries are written in {!Ds_core.Label.to_words} canonical
+      order (sorted by node id) and every integer is a fixed-width
+      little-endian 64-bit word, so [save] ∘ [load] ∘ [save] is the
+      identity on bytes and snapshots diff cleanly in CI.
+
+    Byte layout (all integers u64 LE):
+    {v
+    0      magic "DSKETCH1"                  (8 bytes)
+    8      version                           (currently 1)
+    16     n  — number of labels
+    24     k  — hierarchy depth
+    32     seed — generation seed (0 if unknown)
+    40     family_len, then that many family-name bytes,
+           zero-padded to an 8-byte boundary
+    .      bunch_off: n+1 cumulative bunch-entry counts
+    .      pivots: per node, k (dist, node) pairs     (2·n·k words)
+    .      bunch:  per node, (node, dist) pairs sorted
+           by node id within each owner               (2·total words)
+    end-8  FNV-1a64 checksum of all preceding bytes
+    v}
+
+    Bunch levels are analysis metadata and are not persisted; they
+    come back as [-1], exactly like {!Ds_core.Label.of_words}. *)
+
+type meta = {
+  n : int;  (** number of nodes / labels *)
+  k : int;  (** hierarchy depth shared by every label *)
+  seed : int;  (** generation seed, [0] when unknown *)
+  family : string;  (** graph family name, [""] when unknown *)
+}
+
+type t = private { meta : meta; labels : Ds_core.Label.t array }
+
+exception Error of string
+(** Raised by {!of_bytes} / {!load} on malformed input, with a message
+    naming what is wrong (bad magic, unsupported version, truncation,
+    checksum mismatch, corrupt section). Never raised by well-formed
+    snapshots produced by {!to_bytes} / {!save}. *)
+
+val v : ?seed:int -> ?family:string -> Ds_core.Label.t array -> t
+(** Wrap a built label set. Validates that [labels.(i).owner = i] and
+    that every label shares the same [k]; raises [Invalid_argument]
+    otherwise. *)
+
+val magic : string
+val version : int
+
+val to_bytes : t -> string
+(** Serialize to the layout above. Deterministic: equal stores (in the
+    sense of {!Ds_core.Label.equal} per node) produce identical
+    bytes. *)
+
+val of_bytes : string -> t
+(** Inverse of {!to_bytes}; raises {!Error} on malformed input. *)
+
+val save : string -> t -> unit
+(** [save path t] writes [to_bytes t] atomically-ish (binary mode,
+    single write). *)
+
+val load : string -> t
+(** [load path] reads and {!of_bytes}. Raises {!Error} on malformed
+    contents and [Sys_error] if the file cannot be read. *)
+
+val fnv1a64 : string -> int64
+(** The checksum function (FNV-1a, 64-bit), exposed so tests can pin
+    the trailer and CI scripts can fingerprint payloads. *)

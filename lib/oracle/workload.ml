@@ -1,0 +1,57 @@
+module Rng = Ds_util.Rng
+
+type kind = Uniform | Zipf of { alpha : float }
+
+let name = function
+  | Uniform -> "uniform"
+  | Zipf { alpha } -> Printf.sprintf "zipf(%.2f)" alpha
+
+let kind_of_string s =
+  match String.lowercase_ascii s with
+  | "uniform" -> Ok Uniform
+  | "zipf" -> Ok (Zipf { alpha = 1.2 })
+  | s when String.length s > 5 && String.sub s 0 5 = "zipf:" -> (
+    match float_of_string_opt (String.sub s 5 (String.length s - 5)) with
+    | Some alpha when alpha > 0.0 -> Ok (Zipf { alpha })
+    | _ -> Error (Printf.sprintf "bad zipf alpha in %S" s))
+  | other -> Error (Printf.sprintf "unknown workload %S (uniform, zipf[:a])" other)
+
+(* Inverse-CDF sampler over ranks 0..n-1 with weight (r+1)^-alpha, the
+   ranks mapped through a seed-dependent permutation so the hot set is
+   not always the low node ids. *)
+let zipf_sampler ~rng ~n ~alpha =
+  let cum = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for r = 0 to n - 1 do
+    acc := !acc +. (float_of_int (r + 1) ** -.alpha);
+    cum.(r) <- !acc
+  done;
+  let total = !acc in
+  let perm = Array.init n Fun.id in
+  Rng.shuffle rng perm;
+  fun rng ->
+    let x = Rng.float rng total in
+    (* First rank whose cumulative weight exceeds x. *)
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if cum.(mid) > x then hi := mid else lo := mid + 1
+    done;
+    perm.(!lo)
+
+let pairs ~rng kind ~n ~count =
+  if n < 2 then invalid_arg "Workload.pairs: need n >= 2";
+  if count < 0 then invalid_arg "Workload.pairs: negative count";
+  let draw =
+    match kind with
+    | Uniform -> fun rng -> Rng.int rng n
+    | Zipf { alpha } -> zipf_sampler ~rng ~n ~alpha
+  in
+  Array.init count (fun _ ->
+      let u = draw rng in
+      let v0 = draw rng in
+      (* Skewed draws collide often; resolve collisions with a uniform
+         shift instead of a rejection loop, so one pair costs exactly
+         two or three draws. *)
+      let v = if v0 = u then (u + 1 + Rng.int rng (n - 1)) mod n else v0 in
+      (u, v))

@@ -1,0 +1,29 @@
+(** Synthetic query-pair streams for driving the oracle.
+
+    Deterministic in the {!Ds_util.Rng} they are given, so a batch
+    benchmark or a CI smoke run can be replayed exactly from a seed.
+    Two shapes:
+
+    - {b uniform}: both endpoints uniform over the node set — the
+      worst case for caching, every bunch equally hot;
+    - {b zipf}: endpoints drawn from a Zipf(α) popularity law over a
+      seed-shuffled node permutation — the skewed "hotspot" traffic a
+      deployed oracle actually sees, where a few popular nodes
+      dominate the stream. The permutation keeps the hot set
+      seed-dependent instead of always being the low node ids. *)
+
+type kind =
+  | Uniform
+  | Zipf of { alpha : float }
+      (** [alpha > 0]; 1.0–1.5 is the classic web-traffic range. *)
+
+val kind_of_string : string -> (kind, string) result
+(** ["uniform"] / ["zipf"] / ["zipf:<alpha>"]. *)
+
+val name : kind -> string
+
+val pairs :
+  rng:Ds_util.Rng.t -> kind -> n:int -> count:int -> (int * int) array
+(** [pairs ~rng kind ~n ~count] draws [count] query pairs [(u, v)]
+    with [0 <= u, v < n] and [u <> v]. Requires [n >= 2] and
+    [count >= 0]. *)

@@ -12,6 +12,7 @@ let () =
       ("determinism", Test_determinism.suite);
       ("trace", Test_trace.suite);
       ("tz", Test_tz.suite);
+      ("oracle", Test_oracle.suite);
       ("slack", Test_slack.suite);
       ("async", Test_async.suite);
       ("spanner", Test_spanner.suite);

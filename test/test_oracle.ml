@@ -1,0 +1,341 @@
+(* The serving subsystem: snapshot store byte-stability and error
+   handling, compact-oracle query equivalence against the hashtable
+   labels, batch determinism under every pool size, and the synthetic
+   workload generators. *)
+
+module Rng = Ds_util.Rng
+module Graph = Ds_graph.Graph
+module Levels = Ds_core.Levels
+module Label = Ds_core.Label
+module Tz_centralized = Ds_core.Tz_centralized
+module Store = Ds_oracle.Sketch_store
+module Oracle = Ds_oracle.Oracle
+module Workload = Ds_oracle.Workload
+module Pool = Ds_parallel.Pool
+
+let labels_for ?(seed = 7) g k =
+  let n = Graph.n g in
+  let levels = Levels.sample ~rng:(Rng.create seed) ~n ~k in
+  Tz_centralized.build g ~levels
+
+let suite_stores () =
+  List.map
+    (fun (name, g) ->
+      (name, g, Store.v ~seed:91 ~family:name (labels_for g 3)))
+    (Helpers.graph_suite 91)
+
+(* ---- snapshot store ---- *)
+
+let test_store_roundtrip_bytes () =
+  List.iter
+    (fun (name, _, store) ->
+      let b1 = Store.to_bytes store in
+      let reloaded = Store.of_bytes b1 in
+      let b2 = Store.to_bytes reloaded in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: save -> load -> save is byte-identical" name)
+        true (String.equal b1 b2);
+      Alcotest.(check int)
+        (Printf.sprintf "%s: meta n" name)
+        store.Store.meta.Store.n reloaded.Store.meta.Store.n;
+      Alcotest.(check int)
+        (Printf.sprintf "%s: meta k" name)
+        store.Store.meta.Store.k reloaded.Store.meta.Store.k;
+      Alcotest.(check int)
+        (Printf.sprintf "%s: meta seed" name)
+        store.Store.meta.Store.seed reloaded.Store.meta.Store.seed;
+      Alcotest.(check string)
+        (Printf.sprintf "%s: meta family" name)
+        store.Store.meta.Store.family reloaded.Store.meta.Store.family;
+      Array.iteri
+        (fun u l ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: label %d survives round-trip" name u)
+            true
+            (Label.equal l reloaded.Store.labels.(u)))
+        store.Store.labels)
+    (suite_stores ())
+
+let test_store_file_roundtrip () =
+  let _, _, store = List.hd (suite_stores ()) in
+  let path = Filename.temp_file "distsketch" ".dsk" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Store.save path store;
+      let reloaded = Store.load path in
+      Alcotest.(check bool)
+        "file round-trip is byte-identical" true
+        (String.equal (Store.to_bytes store) (Store.to_bytes reloaded)))
+
+let check_store_error ~name ~substring bytes =
+  match Store.of_bytes bytes with
+  | _ -> Alcotest.failf "%s: expected Sketch_store.Error" name
+  | exception Store.Error msg ->
+    let found =
+      let sl = String.length substring and ml = String.length msg in
+      let rec scan i = i + sl <= ml && (String.sub msg i sl = substring || scan (i + 1)) in
+      scan 0
+    in
+    if not found then
+      Alcotest.failf "%s: error %S does not mention %S" name msg substring
+
+let test_store_malformed () =
+  let _, _, store = List.hd (suite_stores ()) in
+  let good = Store.to_bytes store in
+  check_store_error ~name:"empty" ~substring:"truncated" "";
+  check_store_error ~name:"bad magic" ~substring:"magic"
+    ("NOTADSKS" ^ String.sub good 8 (String.length good - 8));
+  (let b = Bytes.of_string good in
+   Bytes.set_int64_le b 8 99L;
+   check_store_error ~name:"wrong version" ~substring:"version"
+     (Bytes.to_string b));
+  check_store_error ~name:"truncated body" ~substring:"truncated"
+    (String.sub good 0 (String.length good - 10));
+  check_store_error ~name:"truncated header" ~substring:"truncated"
+    (String.sub good 0 20);
+  (let b = Bytes.of_string good in
+   (* Flip one payload byte in the pivot section: the checksum must
+      catch it. *)
+   let at = String.length good / 2 in
+   Bytes.set b at (Char.chr (Char.code (Bytes.get b at) lxor 0xff));
+   check_store_error ~name:"flipped byte" ~substring:"checksum"
+     (Bytes.to_string b));
+  (let b = Bytes.of_string good in
+   (* Garbage appended: the declared sizes no longer match. *)
+   check_store_error ~name:"oversized" ~substring:"oversized"
+     (Bytes.to_string b ^ "trailing-garbage"))
+
+let test_store_validation () =
+  let g = Helpers.random_graph ~seed:5 20 in
+  let labels = labels_for g 2 in
+  Alcotest.check_raises "empty label set"
+    (Invalid_argument "Sketch_store.v: empty label set") (fun () ->
+      ignore (Store.v [||]));
+  let swapped = Array.copy labels in
+  swapped.(0) <- labels.(1);
+  (match Store.v swapped with
+  | _ -> Alcotest.fail "owner mismatch accepted"
+  | exception Invalid_argument _ -> ())
+
+(* ---- compact oracle ---- *)
+
+let test_oracle_matches_label_query () =
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun k ->
+          let labels = labels_for ~seed:(100 + k) g k in
+          let o = Oracle.of_labels labels in
+          let n = Graph.n g in
+          for u = 0 to n - 1 do
+            for v = u to n - 1 do
+              Alcotest.(check int)
+                (Printf.sprintf "%s k=%d query(%d,%d)" name k u v)
+                (Label.query labels.(u) labels.(v))
+                (Oracle.query o u v);
+              Alcotest.(check int)
+                (Printf.sprintf "%s k=%d bidir(%d,%d)" name k u v)
+                (Label.query_bidirectional labels.(u) labels.(v))
+                (Oracle.query_bidirectional o u v)
+            done
+          done)
+        [ 1; 2; 3 ])
+    (Helpers.graph_suite 97)
+
+let test_oracle_from_store_matches () =
+  let g = Helpers.random_graph ~seed:31 50 in
+  let labels = labels_for ~seed:32 g 3 in
+  let o1 = Oracle.of_labels labels in
+  let o2 =
+    Oracle.of_store (Store.of_bytes (Store.to_bytes (Store.v labels)))
+  in
+  for u = 0 to 49 do
+    for v = 0 to 49 do
+      Alcotest.(check int)
+        (Printf.sprintf "store-loaded oracle query(%d,%d)" u v)
+        (Oracle.query o1 u v) (Oracle.query o2 u v)
+    done
+  done
+
+let test_oracle_bunch_dist () =
+  let g = Helpers.random_graph ~seed:41 40 in
+  let labels = labels_for ~seed:42 g 3 in
+  let o = Oracle.of_labels labels in
+  for u = 0 to 39 do
+    for w = 0 to 39 do
+      Alcotest.(check (option int))
+        (Printf.sprintf "bunch_dist(%d,%d)" u w)
+        (Label.bunch_dist labels.(u) w)
+        (Oracle.bunch_dist o u w)
+    done
+  done
+
+let test_oracle_size_words () =
+  let g = Helpers.random_graph ~seed:43 40 in
+  let labels = labels_for ~seed:44 g 3 in
+  let o = Oracle.of_labels labels in
+  let total = Array.fold_left (fun a l -> a + Label.size_words l) 0 labels in
+  Alcotest.(check int) "oracle size = sum of label sizes" total
+    (Oracle.size_words o)
+
+let test_oracle_probes () =
+  let g = Helpers.random_graph ~seed:47 40 in
+  let labels = labels_for ~seed:48 g 3 in
+  let o = Oracle.of_labels labels in
+  for u = 0 to 39 do
+    for v = 0 to 39 do
+      let est, probes = Oracle.query_probes o u v in
+      Alcotest.(check int)
+        (Printf.sprintf "probed estimate (%d,%d)" u v)
+        (Oracle.query o u v) est;
+      Alcotest.(check bool) "positive probe count" true (probes > 0)
+    done
+  done
+
+let test_oracle_validation () =
+  let g = Helpers.random_graph ~seed:51 20 in
+  let labels = labels_for g 2 in
+  let o = Oracle.of_labels labels in
+  (match Oracle.query o 0 20 with
+  | _ -> Alcotest.fail "out-of-range query accepted"
+  | exception Invalid_argument _ -> ());
+  let mixed = Array.copy labels in
+  mixed.(3) <- Label.create ~owner:3 ~k:5;
+  match Oracle.of_labels mixed with
+  | _ -> Alcotest.fail "mixed k accepted"
+  | exception Invalid_argument _ -> ()
+
+(* ---- batched queries ---- *)
+
+let test_batch_pool_size_independent () =
+  let g = Helpers.random_graph ~seed:61 80 in
+  let labels = labels_for ~seed:62 g 3 in
+  let o = Oracle.of_labels labels in
+  let pairs =
+    Workload.pairs ~rng:(Rng.create 63) Workload.Uniform ~n:80 ~count:5000
+  in
+  let baseline = Array.map (fun (u, v) -> Oracle.query o u v) pairs in
+  Alcotest.(check (array int))
+    "sequential batch = one-by-one" baseline
+    (Oracle.query_batch o pairs);
+  List.iter
+    (fun domains ->
+      Pool.with_pool ~domains (fun pool ->
+          Alcotest.(check (array int))
+            (Printf.sprintf "batch identical on %d domains" domains)
+            baseline
+            (Oracle.query_batch ~pool o pairs)))
+    [ 1; 2; 3; 4 ]
+
+let test_run_batch_stats () =
+  let g = Helpers.random_graph ~seed:71 60 in
+  let labels = labels_for ~seed:72 g 3 in
+  let o = Oracle.of_labels labels in
+  let pairs =
+    Workload.pairs ~rng:(Rng.create 73)
+      (Workload.Zipf { alpha = 1.2 })
+      ~n:60 ~count:2000
+  in
+  let results, stats = Oracle.run_batch o pairs in
+  Alcotest.(check (array int))
+    "run_batch answers = query_batch" (Oracle.query_batch o pairs) results;
+  Alcotest.(check int) "stats pairs" 2000 stats.Oracle.pairs;
+  Alcotest.(check bool) "positive qps" true (stats.Oracle.qps > 0.0);
+  Alcotest.(check bool) "positive latency" true
+    (stats.Oracle.latency_ns.Ds_util.Stats.mean > 0.0)
+
+(* ---- workloads ---- *)
+
+let endpoint_counts n pairs =
+  let c = Array.make n 0 in
+  Array.iter
+    (fun (u, v) ->
+      c.(u) <- c.(u) + 1;
+      c.(v) <- c.(v) + 1)
+    pairs;
+  c
+
+let test_workload_uniform () =
+  let n = 50 and count = 4000 in
+  let p1 = Workload.pairs ~rng:(Rng.create 81) Workload.Uniform ~n ~count in
+  let p2 = Workload.pairs ~rng:(Rng.create 81) Workload.Uniform ~n ~count in
+  Alcotest.(check bool) "deterministic in the seed" true (p1 = p2);
+  Alcotest.(check int) "count" count (Array.length p1);
+  Array.iter
+    (fun (u, v) ->
+      Alcotest.(check bool) "in range, distinct endpoints" true
+        (u >= 0 && u < n && v >= 0 && v < n && u <> v))
+    p1;
+  (* Uniform: no endpoint should dominate. Expected 160 per node. *)
+  let c = endpoint_counts n p1 in
+  Alcotest.(check bool) "no hotspot" true
+    (Array.for_all (fun x -> x < 2 * 2 * count / n) c)
+
+let test_workload_zipf () =
+  let n = 50 and count = 4000 in
+  let kind = Workload.Zipf { alpha = 1.4 } in
+  let p1 = Workload.pairs ~rng:(Rng.create 83) kind ~n ~count in
+  let p2 = Workload.pairs ~rng:(Rng.create 83) kind ~n ~count in
+  Alcotest.(check bool) "deterministic in the seed" true (p1 = p2);
+  Array.iter
+    (fun (u, v) ->
+      Alcotest.(check bool) "in range, distinct endpoints" true
+        (u >= 0 && u < n && v >= 0 && v < n && u <> v))
+    p1;
+  let c = endpoint_counts n p1 in
+  let hottest = Array.fold_left max 0 c in
+  let mean = 2 * count / n in
+  Alcotest.(check bool)
+    (Printf.sprintf "skewed: hottest %d >= 4x mean %d" hottest mean)
+    true
+    (hottest >= 4 * mean);
+  (* Different seeds shuffle the hot set. *)
+  let p3 = Workload.pairs ~rng:(Rng.create 84) kind ~n ~count in
+  Alcotest.(check bool) "seed moves the hot set" true (p1 <> p3)
+
+let test_workload_kind_of_string () =
+  Alcotest.(check bool) "uniform parses" true
+    (Workload.kind_of_string "uniform" = Ok Workload.Uniform);
+  (match Workload.kind_of_string "zipf" with
+  | Ok (Workload.Zipf _) -> ()
+  | _ -> Alcotest.fail "zipf should parse");
+  (match Workload.kind_of_string "zipf:1.5" with
+  | Ok (Workload.Zipf { alpha }) ->
+    Alcotest.(check (float 1e-9)) "alpha" 1.5 alpha
+  | _ -> Alcotest.fail "zipf:1.5 should parse");
+  (match Workload.kind_of_string "nope" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad workload should not parse");
+  match Workload.kind_of_string "zipf:x" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad alpha should not parse"
+
+let suite =
+  [
+    Alcotest.test_case "store: save->load->save byte-identical" `Quick
+      test_store_roundtrip_bytes;
+    Alcotest.test_case "store: file round-trip" `Quick
+      test_store_file_roundtrip;
+    Alcotest.test_case "store: malformed inputs fail loudly" `Quick
+      test_store_malformed;
+    Alcotest.test_case "store: label-set validation" `Quick
+      test_store_validation;
+    Alcotest.test_case "oracle = Label.query, all families x k" `Slow
+      test_oracle_matches_label_query;
+    Alcotest.test_case "oracle from snapshot = oracle from labels" `Quick
+      test_oracle_from_store_matches;
+    Alcotest.test_case "oracle bunch_dist = label bunch_dist" `Quick
+      test_oracle_bunch_dist;
+    Alcotest.test_case "oracle size accounting" `Quick test_oracle_size_words;
+    Alcotest.test_case "probed query agrees, counts work" `Quick
+      test_oracle_probes;
+    Alcotest.test_case "oracle input validation" `Quick test_oracle_validation;
+    Alcotest.test_case "batch answers independent of pool size" `Quick
+      test_batch_pool_size_independent;
+    Alcotest.test_case "run_batch stats sane" `Quick test_run_batch_stats;
+    Alcotest.test_case "workload: uniform" `Quick test_workload_uniform;
+    Alcotest.test_case "workload: zipf hotspots" `Quick test_workload_zipf;
+    Alcotest.test_case "workload: kind parsing" `Quick
+      test_workload_kind_of_string;
+  ]

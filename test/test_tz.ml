@@ -238,16 +238,82 @@ let test_query_symmetric () =
   done
 
 let prop_label_words_roundtrip =
-  QCheck.Test.make ~name:"label to_words/of_words round-trip" ~count:30
+  QCheck.Test.make ~name:"label to_words/of_words round-trip" ~count:60
     QCheck.(pair (int_range 5 40) (int_range 0 100000))
     (fun (n, seed) ->
       let g = Helpers.random_graph ~seed n in
-      let k = 1 + (seed mod 3) in
+      let k = 1 + (seed mod 4) in
       let levels = Levels.sample ~rng:(Rng.create (seed + 1)) ~n ~k in
       let labels = Tz_centralized.build g ~levels in
       Array.for_all
-        (fun l -> Label.equal l (Label.of_words (Label.to_words l)))
+        (fun l ->
+          let words = Label.to_words l in
+          Label.equal l (Label.of_words words)
+          (* Serializing the round-tripped label reproduces the exact
+             words: the canonical order is a fixpoint. *)
+          && Label.to_words (Label.of_words words) = words)
         labels)
+
+(* Synthetic labels (random bunch contents, no graph) push the
+   round-trip through shapes a build never produces: empty bunches,
+   all-infinite pivots, large sparse node ids. *)
+let prop_label_words_roundtrip_synthetic =
+  QCheck.Test.make ~name:"synthetic label round-trip + canonical order"
+    ~count:100
+    QCheck.(triple (int_range 1 6) (int_range 0 30) (int_range 0 100000))
+    (fun (k, bunch_size, seed) ->
+      let rng = Rng.create seed in
+      let l = Label.create ~owner:(Rng.int rng 1000) ~k in
+      for level = 0 to k - 1 do
+        if Rng.bool rng 0.7 then
+          Label.set_pivot l ~level ~dist:(Rng.int rng 10000)
+            ~node:(Rng.int rng 1000)
+      done;
+      (* Distinct nodes, inserted in a random (shuffled) order. *)
+      let nodes = Rng.sample_without_replacement rng bunch_size 5000 in
+      Rng.shuffle rng nodes;
+      Array.iter
+        (fun w ->
+          Label.add_bunch l ~node:w ~dist:(Rng.int rng 10000)
+            ~level:(Rng.int rng k))
+        nodes;
+      let words = Label.to_words l in
+      (* Canonical-order invariant: the bunch region is sorted by node
+         id no matter the insertion order. *)
+      let bunch_region =
+        Array.to_list (Array.sub words (1 + k) (Array.length words - 1 - k))
+      in
+      let sorted =
+        List.sort (fun (a, _) (b, _) -> compare a b) bunch_region
+      in
+      bunch_region = sorted
+      && Label.equal l (Label.of_words words)
+      && Label.to_words (Label.of_words words) = words)
+
+let test_of_words_malformed () =
+  let raises name words =
+    match Label.of_words words with
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+    | exception Invalid_argument _ -> ()
+  in
+  raises "empty" [||];
+  raises "k = 0" [| (0, 0) |];
+  raises "k < 0" [| (0, -2) |];
+  raises "truncated pivots" [| (0, 3); (1, 2) |];
+  raises "duplicate bunch node" [| (0, 1); (0, 0); (5, 2); (5, 3) |]
+
+let test_to_words_insertion_order_independent () =
+  let build order =
+    let l = Label.create ~owner:7 ~k:2 in
+    Label.set_pivot l ~level:0 ~dist:0 ~node:7;
+    Label.set_pivot l ~level:1 ~dist:4 ~node:2;
+    List.iter (fun (w, d) -> Label.add_bunch l ~node:w ~dist:d ~level:0) order;
+    l
+  in
+  let a = build [ (9, 3); (1, 2); (5, 1) ] in
+  let b = build [ (5, 1); (9, 3); (1, 2) ] in
+  Alcotest.(check bool) "same words regardless of insertion order" true
+    (Label.to_words a = Label.to_words b)
 
 let test_label_size_words () =
   let l = Label.create ~owner:0 ~k:3 in
@@ -296,6 +362,11 @@ let suite =
       test_query_bidirectional_never_worse;
     Alcotest.test_case "query symmetric" `Quick test_query_symmetric;
     QCheck_alcotest.to_alcotest prop_label_words_roundtrip;
+    QCheck_alcotest.to_alcotest prop_label_words_roundtrip_synthetic;
+    Alcotest.test_case "of_words rejects malformed input" `Quick
+      test_of_words_malformed;
+    Alcotest.test_case "to_words canonical under insertion order" `Quick
+      test_to_words_insertion_order_independent;
     Alcotest.test_case "label size accounting" `Quick test_label_size_words;
     Alcotest.test_case "send-queue backlog <= bunch size" `Quick
       test_max_pending_bounded_by_bunch;
