@@ -6,11 +6,13 @@
    2. Bechamel wall-clock microbenchmarks (B1..B10): construction and
       query throughput of the library primitives.
 
-   Flags: --micro-only skips the experiment tables; --trace also runs
-   one traced multi-bf execution and writes BENCH_trace.rounds.jsonl /
-   BENCH_trace.json (Chrome trace-event format); DS_DOMAINS=<d> runs
-   the engine phases of the experiments on a d-domain pool. Results are
-   identical for every d; only wall-clock changes. *)
+   Flags: --micro-only skips the experiment tables; --quick shortens
+   the sampling quotas and the B12 batch (the CI profile — noisier
+   fits, same schema); --trace also runs one traced multi-bf execution
+   and writes BENCH_trace.rounds.jsonl / BENCH_trace.json (Chrome
+   trace-event format); DS_DOMAINS=<d> runs the engine phases of the
+   experiments on a d-domain pool. Results are identical for every d;
+   only wall-clock changes. *)
 
 module Rng = Ds_util.Rng
 module Graph = Ds_graph.Graph
@@ -41,7 +43,29 @@ let ping_pong_protocol : (unit, int) Engine.protocol =
       (fun api -> if api.Engine.id = 0 && api.Engine.degree > 0 then api.Engine.send 0 0);
     on_round =
       (fun api _ inbox ->
-        Engine.Inbox.iter (fun i m -> api.Engine.send i m) inbox);
+        (* Indexed loop, not [Inbox.iter]: the iter callback would
+           allocate a closure per round, and B10 is measuring the
+           engine's round overhead, not the harness protocol's. *)
+        for j = 0 to Engine.Inbox.length inbox - 1 do
+          api.Engine.send (Engine.Inbox.from inbox j) (Engine.Inbox.msg inbox j)
+        done);
+  }
+
+(* B13: the opposite extreme from B10 — every node broadcasts every
+   round, so every directed link delivers every round. On a complete
+   graph this is the worst case for the per-link queues (n(n-1)
+   deliveries and as many sends per step), which is exactly where the
+   boxed-record queues used to pay an allocation per message. *)
+let flood_protocol : (unit, int) Engine.protocol =
+  {
+    Engine.name = "flood";
+    max_msg_words = 1;
+    msg_words = (fun _ -> 1);
+    halted = (fun _ -> false);
+    init = (fun api -> api.Engine.broadcast 0);
+    on_round =
+      (fun api _ inbox ->
+        if Engine.Inbox.length inbox > 0 then api.Engine.broadcast 0);
   }
 
 let bench_tests () =
@@ -131,6 +155,19 @@ let bench_tests () =
             fun () -> Engine.step eng));
     ]
   in
+  let flood_g = Gen.complete ~rng:(Rng.create 10) ~n:128 () in
+  let slow =
+    slow
+    @ [
+        Test.make ~name:"B13 flood round (complete n=128, 16k links)"
+          (Staged.stage
+             (let eng = Engine.create flood_g flood_protocol in
+              (* one warm step so ring and inbox capacities reach
+                 their high-water mark before sampling starts *)
+              Engine.step eng;
+              fun () -> Engine.step eng));
+      ]
+  in
   (slow, fast)
 
 let json_escape s =
@@ -168,42 +205,54 @@ let save_json ~path rows =
    directly with the monotonic clock after a warm-up pass. On a
    multi-core host the ns/query figure drops as domains grow; answers
    are bit-identical for every pool size (pinned by the test suite). *)
-let oracle_batch_rows () =
-  let n = 1024 and pairs_count = 200_000 in
+let oracle_batch_rows ~quick () =
+  let n = 1024 and pairs_count = if quick then 50_000 else 200_000 in
   let g = Gen.erdos_renyi ~rng:(Rng.create 7) ~n ~avg_degree:6.0 () in
   let levels = Levels.sample ~rng:(Rng.create 8) ~n ~k:3 in
   let oracle = Oracle.of_labels (Ds_core.Tz_centralized.build g ~levels) in
   let pairs =
     Workload.pairs ~rng:(Rng.create 9) Workload.Uniform ~n ~count:pairs_count
   in
+  (* Best of [passes]: a single 50 ms batch is one scheduler quantum
+     draw, and on a busy host the row-to-row spread (±15%) swamps the
+     domain effect being measured. The minimum over several passes
+     estimates the intrinsic cost; each pass is a fresh full batch. *)
+  let passes = if quick then 3 else 5 in
   List.map
     (fun domains ->
       Pool.with_pool ~domains (fun pool ->
           ignore (Oracle.query_batch ~pool oracle pairs);
-          let _, stats =
-            Oracle.run_batch ~pool ~latency_sample:0 oracle pairs
-          in
-          ( Printf.sprintf "B12 oracle batch query (n=1024, 200k pairs, domains=%d)"
-              domains,
-            stats.Oracle.elapsed_ns /. float_of_int pairs_count,
+          let best = ref infinity in
+          for _ = 1 to passes do
+            let _, stats =
+              Oracle.run_batch ~pool ~latency_sample:0 oracle pairs
+            in
+            if stats.Oracle.elapsed_ns < !best then
+              best := stats.Oracle.elapsed_ns
+          done;
+          ( Printf.sprintf "B12 oracle batch query (n=1024, %dk pairs, domains=%d)"
+              (pairs_count / 1000) domains,
+            !best /. float_of_int pairs_count,
             None )))
     [ 1; 2; 4; 8 ]
 
-let run_microbenches () =
+let run_microbenches ~quick () =
   print_endline "### Microbenchmarks (Bechamel, monotonic clock)\n";
   let slow_tests, fast_tests = bench_tests () in
   (* ~1.5 s of sampling per benchmark — the 0.5 s quota left too few
      long samples for a stable OLS fit. The fast group additionally
      starts run counts at 100 (warm start): per-sample measurement and
      GC-stabilisation overhead swamps nanosecond-scale bodies when
-     samples begin at one run. *)
+     samples begin at one run. --quick (the CI smoke profile) cuts the
+     quota to 0.3 s: fits get noisier but the schema and coverage are
+     identical, so the uploaded JSON is still comparable run to run. *)
+  let quota = Time.second (if quick then 0.3 else 1.5) in
   let slow_cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.5) ~stabilize:true
-      ~kde:None ()
+    Benchmark.cfg ~limit:2000 ~quota ~stabilize:true ~kde:None ()
   in
   let fast_cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.5) ~start:10
-      ~sampling:(`Geometric 1.05) ~stabilize:false ~kde:None ()
+    Benchmark.cfg ~limit:2000 ~quota ~start:10 ~sampling:(`Geometric 1.05)
+      ~stabilize:false ~kde:None ()
   in
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
@@ -245,7 +294,7 @@ let run_microbenches () =
         (name, est, r2))
       rows
   in
-  let batch_rows = oracle_batch_rows () in
+  let batch_rows = oracle_batch_rows ~quick () in
   List.iter
     (fun (name, est, _) ->
       Ds_util.Table.add_row t [ name; pretty_ns est; "-" ])
@@ -290,6 +339,9 @@ let () =
   let trace =
     Array.exists (fun a -> a = "--trace") Sys.argv
   in
+  let quick =
+    Array.exists (fun a -> a = "--quick") Sys.argv
+  in
   print_endline
     "Reproduction harness: 'Efficient Computation of Distance Sketches in \
      Distributed Networks' (Das Sarma, Dinitz, Pandurangan; SPAA 2012).\n\
@@ -309,4 +361,4 @@ let () =
             (Registry.write_files ~pool ~dir:"." ()))
   end;
   if trace then run_traced ();
-  run_microbenches ()
+  run_microbenches ~quick ()

@@ -78,13 +78,25 @@ type ('state, 'msg) protocol = {
 
 type jitter = { rng : Rng.t; max_delay : int }
 
-(* A queued message and the earliest round at which its link may
-   deliver it (links are FIFO, so a delayed head blocks the rest). *)
-type 'msg in_transit = { msg : 'msg; ready_at : int }
-
 (* Links are flattened: directed link [offsets.(u) + i] is u's i-th
-   outgoing edge. All per-link state lives in flat arrays indexed by
-   that id, so the delivery loop touches only the worklist. *)
+   outgoing edge. Each link's FIFO is a growable ring: a power-of-two
+   [q_msg.(l)] array with head/len cursors in flat int arrays. Without
+   jitter every message is deliverable exactly one round after the
+   push, and FIFO order means the head of a nonempty ring is always
+   the oldest message, so no per-message ready round is stored at all;
+   with jitter a parallel [q_ready.(l)] ring carries it. Either way a
+   steady-state send writes an array slot and bumps two ints — zero
+   minor words, where the previous plane allocated a queue cell and a
+   boxed record per message.
+
+   Delivery is sharded by destination node: node [u] belongs to chunk
+   [u / chunk_div], and [active.(c)] holds exactly the nonempty links
+   whose destination lies in chunk [c]. All of a node's incoming links
+   live in one bucket, so each inbox has a single writer and the phase
+   is race-free under any pool. Per-chunk scratch ([d_*], [recv_new])
+   is reduced sequentially in chunk order, and each chunk's receivers
+   are sorted before scheduling, so metrics and traces are
+   bit-identical for every pool size. *)
 type ('state, 'msg) t = {
   graph : Graph.t;
   protocol : ('state, 'msg) protocol;
@@ -94,17 +106,27 @@ type ('state, 'msg) t = {
   mutable apis : 'msg api array;
   mutable node_states : 'state array;
   offsets : int array; (* length n+1; prefix sums of out-degrees *)
-  link_q : 'msg in_transit Queue.t array;
+  q_msg : 'msg array array; (* per link: ring of queued payloads *)
+  q_ready : int array array; (* per link: ready rounds; jitter only *)
+  q_head : int array; (* per link: ring read position *)
+  q_len : int array; (* per link: queued message count *)
   link_dst : int array; (* destination node of each link *)
   link_rev : int array; (* index of the sender in dst's adjacency *)
+  link_chunk : int array; (* delivery chunk of each link's destination *)
   link_pushes : int array; (* messages ever pushed; jitter hash input *)
   inboxes : 'msg Inbox.t array;
-  (* Activity tracking. [active] holds exactly the links with nonempty
-     queues; delivery iterates it and compacts drained links away, so a
-     round never scans the full edge set. Per-node scratch below is
-     written only by its owner node, which keeps the computation phase
-     race-free under any pool. *)
-  active : Ivec.t;
+  (* Delivery sharding. [nchunks] equals the pool width; chunk [c]
+     owns nodes [c * chunk_div, (c+1) * chunk_div). The [d_*] arrays
+     are per-chunk counters written only by the chunk's owner during
+     delivery; [recv_new.(c)] collects the chunk's nodes that received
+     their first message this round. *)
+  nchunks : int;
+  chunk_div : int;
+  active : Ivec.t array; (* per chunk: links with nonempty rings *)
+  recv_new : Ivec.t array; (* per chunk: this round's receivers *)
+  d_delivered : int array;
+  d_words : int array;
+  d_maxw : int array;
   activated : Ivec.t array; (* per node: own links that went 0 -> 1 *)
   enqueued : int array; (* per node: messages pushed this round *)
   push_backlog : int array; (* per node: max own-queue length at push *)
@@ -117,17 +139,28 @@ type ('state, 'msg) t = {
   mutable run_next : Ivec.t;
   mutable in_now : Bytes.t;
   mutable in_next : Bytes.t;
+  (* Round bodies, preallocated once so the per-round loops close over
+     nothing: a steady-state round must not allocate even one closure. *)
+  mutable deliver_body : int -> int -> int -> unit;
+  mutable compute_body : int -> unit;
   metrics : Metrics.t;
   tracer : Trace.t option;
   mutable round : int;
   mutable in_flight : int; (* total queued messages *)
   mutable sent_last_round : int;
+  mutable round_backlog : int; (* traced: max link backlog this round *)
 }
 
 let graph t = t.graph
 let metrics t = t.metrics
 let states t = t.node_states
 let state t u = t.node_states.(u)
+
+(* Delivery goes parallel only past this many active links; below it
+   the bucket loop runs inline on the caller, so quiet rounds skip the
+   pool handshake entirely. Results are identical either way — the
+   same per-bucket code runs in the same reduction order. *)
+let par_threshold = 512
 
 (* Bounded-asynchrony delay for the [seq]-th message on link [l]:
    a pure hash of the run's base seed and the message's coordinates.
@@ -148,6 +181,104 @@ let schedule_now t u =
     Ivec.push t.run_now u
   end
 
+(* Append [m] (ready at [ready]) to link [l]'s ring, growing by
+   doubling when full — the copy-out restarts the ring at slot 0.
+   Returns the new queue length. Growth is amortised away: once a ring
+   reaches its high-water capacity, pushes write in place. *)
+let push_msg t l m ready =
+  let len = t.q_len.(l) in
+  let cap = Array.length t.q_msg.(l) in
+  if len = cap then begin
+    let ncap = if cap = 0 then 4 else 2 * cap in
+    let head = t.q_head.(l) in
+    let ring = t.q_msg.(l) in
+    let nring = Array.make ncap m in
+    for i = 0 to len - 1 do
+      nring.(i) <- ring.((head + i) land (cap - 1))
+    done;
+    t.q_msg.(l) <- nring;
+    (match t.jitter with
+    | Some _ ->
+      let rdy = t.q_ready.(l) in
+      let nrdy = Array.make ncap 0 in
+      for i = 0 to len - 1 do
+        nrdy.(i) <- rdy.((head + i) land (cap - 1))
+      done;
+      t.q_ready.(l) <- nrdy
+    | None -> ());
+    t.q_head.(l) <- 0
+  end;
+  let ring = t.q_msg.(l) in
+  let pos = (t.q_head.(l) + len) land (Array.length ring - 1) in
+  ring.(pos) <- m;
+  (match t.jitter with
+  | Some _ -> t.q_ready.(l).(pos) <- ready
+  | None -> ());
+  t.q_len.(l) <- len + 1;
+  len + 1
+
+(* Top-level recursion (not a local closure capturing [t]) so counting
+   the worklist in the per-round gate allocates nothing. *)
+let rec count_active_from t c acc =
+  if c >= t.nchunks then acc
+  else count_active_from t (c + 1) (acc + Ivec.length t.active.(c))
+
+let count_active t = count_active_from t 0 0
+
+(* Scan chunk [c]'s active links once: release each deliverable head
+   into its destination inbox and compact drained links away in place
+   (stable, so the relative order of any node's incoming links — and
+   hence its inbox interleaving — is preserved). [jit] hoists the
+   jitter test out of the loop; without jitter the head of a nonempty
+   FIFO ring is always deliverable, so no ready round is ever read.
+   Written as a tail-recursive loop over plain ints — a [ref]
+   accumulator would heap-allocate in every round. *)
+let rec scan_bucket t c act jit now idx nact kept =
+  if idx >= nact then kept
+  else begin
+    let l = Ivec.get act idx in
+    let head = t.q_head.(l) in
+    let len =
+      if jit && t.q_ready.(l).(head) > now then t.q_len.(l)
+      else begin
+        let ring = t.q_msg.(l) in
+        let m = ring.(head) in
+        t.q_head.(l) <- (head + 1) land (Array.length ring - 1);
+        let len = t.q_len.(l) - 1 in
+        t.q_len.(l) <- len;
+        let v = t.link_dst.(l) in
+        let inbox = t.inboxes.(v) in
+        if Inbox.length inbox = 0 then Ivec.push t.recv_new.(c) v;
+        Inbox.push inbox t.link_rev.(l) m;
+        t.d_delivered.(c) <- t.d_delivered.(c) + 1;
+        let w = t.protocol.msg_words m in
+        t.d_words.(c) <- t.d_words.(c) + w;
+        if w > t.d_maxw.(c) then t.d_maxw.(c) <- w;
+        len
+      end
+    in
+    let kept =
+      if len > 0 then begin
+        Ivec.set act kept l;
+        kept + 1
+      end
+      else kept
+    in
+    scan_bucket t c act jit now (idx + 1) nact kept
+  end
+
+let deliver_bucket t c =
+  t.d_delivered.(c) <- 0;
+  t.d_words.(c) <- 0;
+  t.d_maxw.(c) <- 0;
+  let act = t.active.(c) in
+  let nact = Ivec.length act in
+  if nact > 0 then begin
+    let jit = t.jitter <> None in
+    let kept = scan_bucket t c act jit (t.round + 1) 0 nact 0 in
+    Ivec.truncate act kept
+  end
+
 let create ?(pool = Pool.sequential) ?jitter ?tracer g protocol =
   let n = Graph.n g in
   let nbrs = Array.init n (fun u -> Graph.neighbors g u) in
@@ -156,12 +287,16 @@ let create ?(pool = Pool.sequential) ?jitter ?tracer g protocol =
     offsets.(u + 1) <- offsets.(u) + Array.length nbrs.(u)
   done;
   let m2 = offsets.(n) in
+  let nchunks = Pool.domains pool in
+  let chunk_div = max 1 ((n + nchunks - 1) / nchunks) in
   let link_dst = Array.make (max 1 m2) 0 and link_rev = Array.make (max 1 m2) 0 in
+  let link_chunk = Array.make (max 1 m2) 0 in
   for u = 0 to n - 1 do
     Array.iteri
       (fun i (v, _) ->
         link_dst.(offsets.(u) + i) <- v;
-        link_rev.(offsets.(u) + i) <- Graph.neighbor_index g v u)
+        link_rev.(offsets.(u) + i) <- Graph.neighbor_index g v u;
+        link_chunk.(offsets.(u) + i) <- v / chunk_div)
       nbrs.(u)
   done;
   let t =
@@ -175,12 +310,22 @@ let create ?(pool = Pool.sequential) ?jitter ?tracer g protocol =
       apis = [||];
       node_states = [||];
       offsets;
-      link_q = Array.init (max 1 m2) (fun _ -> Queue.create ());
+      q_msg = Array.make (max 1 m2) [||];
+      q_ready = Array.make (max 1 m2) [||];
+      q_head = Array.make (max 1 m2) 0;
+      q_len = Array.make (max 1 m2) 0;
       link_dst;
       link_rev;
+      link_chunk;
       link_pushes = Array.make (max 1 m2) 0;
       inboxes = Array.init n (fun _ -> Inbox.create ());
-      active = Ivec.create ();
+      nchunks;
+      chunk_div;
+      active = Array.init nchunks (fun _ -> Ivec.create ());
+      recv_new = Array.init nchunks (fun _ -> Ivec.create ());
+      d_delivered = Array.make nchunks 0;
+      d_words = Array.make nchunks 0;
+      d_maxw = Array.make nchunks 0;
       activated = Array.init n (fun _ -> Ivec.create ~capacity:4 ());
       enqueued = Array.make n 0;
       push_backlog = Array.make n 0;
@@ -188,13 +333,27 @@ let create ?(pool = Pool.sequential) ?jitter ?tracer g protocol =
       run_next = Ivec.create ();
       in_now = Bytes.make n '\000';
       in_next = Bytes.make n '\000';
+      deliver_body = (fun _ _ _ -> ());
+      compute_body = ignore;
       metrics = Metrics.create ();
       tracer;
       round = 0;
       in_flight = 0;
       sent_last_round = 0;
+      round_backlog = 0;
     }
   in
+  t.deliver_body <-
+    (fun _ lo hi ->
+      for c = lo to hi - 1 do
+        deliver_bucket t c
+      done);
+  t.compute_body <-
+    (fun idx ->
+      let u = Ivec.get t.run_now idx in
+      let inbox = t.inboxes.(u) in
+      t.protocol.on_round t.apis.(u) t.node_states.(u) inbox;
+      Inbox.clear inbox);
   let make_api u =
     let deg = Array.length nbrs.(u) in
     let send i m =
@@ -205,9 +364,7 @@ let create ?(pool = Pool.sequential) ?jitter ?tracer g protocol =
       let l = t.offsets.(u) + i in
       let seq = t.link_pushes.(l) in
       t.link_pushes.(l) <- seq + 1;
-      let q = t.link_q.(l) in
-      Queue.push { msg = m; ready_at = t.round + 1 + link_delay t l seq } q;
-      let len = Queue.length q in
+      let len = push_msg t l m (t.round + 1 + link_delay t l seq) in
       if len = 1 then Ivec.push t.activated.(u) l;
       if len > t.push_backlog.(u) then t.push_backlog.(u) <- len;
       t.enqueued.(u) <- t.enqueued.(u) + 1
@@ -242,39 +399,47 @@ let create ?(pool = Pool.sequential) ?jitter ?tracer g protocol =
       t.enqueued.(u) <- 0;
       Metrics.observe_backlog t.metrics t.push_backlog.(u);
       t.push_backlog.(u) <- 0;
-      Ivec.iter (fun l -> Ivec.push t.active l) t.activated.(u);
-      Ivec.clear t.activated.(u);
+      let av = t.activated.(u) in
+      for k = 0 to Ivec.length av - 1 do
+        let l = Ivec.get av k in
+        Ivec.push t.active.(t.link_chunk.(l)) l
+      done;
+      Ivec.clear av;
       schedule_now t u
     end
   done;
   t
 
-(* Delivery happens at the start of round (t.round + 1): a head message
-   is released once that round reaches its ready_at. Only the active
-   worklist is visited; drained links are compacted away in place. *)
+(* Delivery happens at the start of round (t.round + 1): each chunk's
+   bucket is scanned — on the pool when enough links are active,
+   inline otherwise — then the per-chunk scratch is reduced here,
+   sequentially and in chunk order. Sorting each chunk's receivers
+   makes the concatenation globally sorted (chunk [c] owns a node
+   range below chunk [c+1]'s), so the run list, and with it every
+   downstream order, is independent of how many chunks exist. *)
 let deliver t =
-  let now = t.round + 1 in
-  let delivered = ref 0 in
-  let kept = ref 0 in
-  for idx = 0 to Ivec.length t.active - 1 do
-    let l = Ivec.get t.active idx in
-    let q = t.link_q.(l) in
-    (match Queue.peek_opt q with
-    | Some { msg; ready_at } when ready_at <= now ->
-      ignore (Queue.pop q);
-      incr delivered;
-      let v = t.link_dst.(l) in
+  if t.nchunks > 1 && count_active t >= par_threshold then
+    ignore (Pool.parallel_chunks t.pool ~n:t.nchunks t.deliver_body)
+  else
+    for c = 0 to t.nchunks - 1 do
+      deliver_bucket t c
+    done;
+  let trc = t.tracer in
+  for c = 0 to t.nchunks - 1 do
+    let rn = t.recv_new.(c) in
+    if Ivec.length rn > 1 then Ivec.sort rn;
+    for i = 0 to Ivec.length rn - 1 do
+      let v = Ivec.get rn i in
       schedule_now t v;
-      Inbox.push t.inboxes.(v) t.link_rev.(l) msg;
-      Metrics.count_message t.metrics ~words:(t.protocol.msg_words msg)
-    | Some _ | None -> ());
-    if not (Queue.is_empty q) then begin
-      Ivec.set t.active !kept l;
-      incr kept
-    end
-  done;
-  Ivec.truncate t.active !kept;
-  t.in_flight <- t.in_flight - !delivered
+      match trc with
+      | Some tr -> Trace.count_recv tr v (Inbox.length t.inboxes.(v))
+      | None -> ()
+    done;
+    Ivec.clear rn;
+    Metrics.count_delivered t.metrics ~messages:t.d_delivered.(c)
+      ~words:t.d_words.(c) ~max_msg_words:t.d_maxw.(c);
+    t.in_flight <- t.in_flight - t.d_delivered.(c)
+  done
 
 let step t =
   (* With nothing in flight nobody can be woken by a message, so run
@@ -291,9 +456,7 @@ let step t =
      immutable field set at creation: an untraced engine pays only
      these branches — no clock reads, no allocation. *)
   let trc = t.tracer in
-  let active_links =
-    match trc with Some _ -> Ivec.length t.active | None -> 0
-  in
+  let active_links = match trc with Some _ -> count_active t | None -> 0 in
   let pre_msgs =
     match trc with Some _ -> Metrics.messages t.metrics | None -> 0
   in
@@ -306,52 +469,50 @@ let step t =
   t.round <- t.round + 1;
   Metrics.tick_round t.metrics;
   let rl = t.run_now in
-  (match trc with
-  | Some tr ->
-    (* Per-node receive counts, read off the inboxes before the
-       computation phase clears them. *)
-    Ivec.iter
-      (fun u ->
-        let len = Inbox.length t.inboxes.(u) in
-        if len > 0 then Trace.count_recv tr u len)
-      rl
-  | None -> ());
-  Pool.parallel_for t.pool ~lo:0 ~hi:(Ivec.length rl) (fun idx ->
+  (* Single-domain engines take the direct loop: same body, minus the
+     dispatch checks and the indirect call per node. *)
+  if t.nchunks = 1 then
+    for idx = 0 to Ivec.length rl - 1 do
       let u = Ivec.get rl idx in
       let inbox = t.inboxes.(u) in
       t.protocol.on_round t.apis.(u) t.node_states.(u) inbox;
-      Inbox.clear inbox);
+      Inbox.clear inbox
+    done
+  else Pool.parallel_for t.pool ~lo:0 ~hi:(Ivec.length rl) t.compute_body;
   let ran = Ivec.length rl in
   (* Sequentially absorb the round's sends from the per-node scratch:
      O(nodes that ran + links activated), independent of pool size and
      of node execution order, so parallel runs stay deterministic. *)
-  let total = ref 0 in
-  let round_backlog = ref 0 in
-  Ivec.iter
-    (fun u ->
-      Bytes.set t.in_now u '\000';
-      if t.enqueued.(u) > 0 then begin
-        total := !total + t.enqueued.(u);
-        (match trc with
-        | Some tr ->
-          Trace.count_send tr u t.enqueued.(u);
-          if t.push_backlog.(u) > !round_backlog then
-            round_backlog := t.push_backlog.(u)
-        | None -> ());
-        t.enqueued.(u) <- 0;
-        Metrics.observe_backlog t.metrics t.push_backlog.(u);
-        t.push_backlog.(u) <- 0;
-        Ivec.iter (fun l -> Ivec.push t.active l) t.activated.(u);
-        Ivec.clear t.activated.(u);
-        if Bytes.get t.in_next u = '\000' then begin
-          Bytes.set t.in_next u '\001';
-          Ivec.push t.run_next u
-        end
-      end)
-    rl;
+  t.sent_last_round <- 0;
+  t.round_backlog <- 0;
+  for i = 0 to Ivec.length rl - 1 do
+    let u = Ivec.get rl i in
+    Bytes.set t.in_now u '\000';
+    if t.enqueued.(u) > 0 then begin
+      t.sent_last_round <- t.sent_last_round + t.enqueued.(u);
+      (match trc with
+      | Some tr ->
+        Trace.count_send tr u t.enqueued.(u);
+        if t.push_backlog.(u) > t.round_backlog then
+          t.round_backlog <- t.push_backlog.(u)
+      | None -> ());
+      t.enqueued.(u) <- 0;
+      Metrics.observe_backlog t.metrics t.push_backlog.(u);
+      t.push_backlog.(u) <- 0;
+      let av = t.activated.(u) in
+      for k = 0 to Ivec.length av - 1 do
+        let l = Ivec.get av k in
+        Ivec.push t.active.(t.link_chunk.(l)) l
+      done;
+      Ivec.clear av;
+      if Bytes.get t.in_next u = '\000' then begin
+        Bytes.set t.in_next u '\001';
+        Ivec.push t.run_next u
+      end
+    end
+  done;
   Ivec.clear rl;
-  t.in_flight <- t.in_flight + !total;
-  t.sent_last_round <- !total;
+  t.in_flight <- t.in_flight + t.sent_last_round;
   (* This round's senders become (part of) next round's run list. *)
   let tmp = t.run_now in
   t.run_now <- t.run_next;
@@ -371,7 +532,7 @@ let step t =
         delivered = Metrics.messages t.metrics - pre_msgs;
         words = Metrics.words t.metrics - pre_words;
         in_flight = t.in_flight;
-        link_backlog = !round_backlog;
+        link_backlog = t.round_backlog;
         delivery_ns = t1 - t0;
         compute_ns = t2 - t1;
         busy_domains = Pool.chunks_for t.pool ran;

@@ -108,3 +108,10 @@ val run : ?max_rounds:int -> ('state, 'msg) t -> stop_reason
 
 val quiescent : ('state, 'msg) t -> bool
 (** No queued or in-flight messages. *)
+
+val par_threshold : int
+(** Active-link count above which delivery is fanned over the pool
+    (below it the bucket loop runs inline on the caller — quiet rounds
+    skip the pool handshake). Exposed so tests can build workloads
+    that provably exercise the parallel delivery path; results are
+    identical on either side of the gate. *)

@@ -39,6 +39,11 @@ let count_message t ~words =
   t.words <- t.words + words;
   if words > t.max_msg_words then t.max_msg_words <- words
 
+let count_delivered t ~messages ~words ~max_msg_words =
+  t.messages <- t.messages + messages;
+  t.words <- t.words + words;
+  if max_msg_words > t.max_msg_words then t.max_msg_words <- max_msg_words
+
 let observe_backlog t b =
   if b > t.max_link_backlog then t.max_link_backlog <- b
 

@@ -20,6 +20,14 @@ val tick_round : t -> unit
     quiescence-probe round in which nothing happened. *)
 val untick_round : t -> unit
 val count_message : t -> words:int -> unit
+
+val count_delivered : t -> messages:int -> words:int -> max_msg_words:int -> unit
+(** Batch form of {!count_message}: fold in a chunk of [messages]
+    deliveries totalling [words] words whose largest message was
+    [max_msg_words] words. The engine's sharded delivery accumulates
+    per-chunk counts and charges each chunk with one call, so the
+    totals are independent of how the chunks interleaved. *)
+
 val observe_backlog : t -> int -> unit
 
 type phase = { name : string; rounds : int; messages : int; words : int }

@@ -14,14 +14,14 @@ type workload = {
   apsp : Apsp.t;
 }
 
-let make_workload ~seed ~family ~n =
+let make_workload ?pool ~seed ~family ~n () =
   let rng = Rng.create seed in
   let graph = Gen.build ~rng family ~n in
   {
     name = Gen.family_name family;
     graph;
     profile = Props.profile graph;
-    apsp = Apsp.compute graph;
+    apsp = Apsp.compute ?pool graph;
   }
 
 let standard_families ~n =

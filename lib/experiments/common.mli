@@ -10,10 +10,12 @@ type workload = {
 }
 
 val make_workload :
-  seed:int -> family:Ds_graph.Gen.family -> n:int -> workload
+  ?pool:Ds_parallel.Pool.t ->
+  seed:int -> family:Ds_graph.Gen.family -> n:int -> unit -> workload
 (** Generate the graph, profile it and precompute exact APSP — the
     fixture every experiment measures against. Deterministic in
-    [seed]. *)
+    [seed]; [pool] only spreads the APSP rows across domains and does
+    not change the result. *)
 
 val standard_families : n:int -> (string * Ds_graph.Gen.family) list
 (** The families every multi-family experiment sweeps. *)

@@ -43,9 +43,9 @@ let prose =
 
 let run ?pool { seed; n; k; delays } =
   let w =
-    Common.make_workload ~seed
+    Common.make_workload ?pool ~seed
       ~family:(Ds_graph.Gen.Erdos_renyi { avg_degree = 6.0 })
-      ~n
+      ~n ()
   in
   let g = w.Common.graph in
   let levels = Levels.sample ~rng:(Rng.create (seed + 1)) ~n ~k in

@@ -61,9 +61,9 @@ let run ?pool { seed; ns; k } =
   List.iter
     (fun n ->
       let w =
-        Common.make_workload ~seed
+        Common.make_workload ?pool ~seed
           ~family:(Ds_graph.Gen.Erdos_renyi { avg_degree = 6.0 })
-          ~n
+          ~n ()
       in
       let g = w.Common.graph in
       let all = List.init n Fun.id in

@@ -59,9 +59,9 @@ let run ?pool { seed; ns; k } =
   List.iter
     (fun n ->
       let w =
-        Common.make_workload ~seed
+        Common.make_workload ?pool ~seed
           ~family:(Ds_graph.Gen.Erdos_renyi { avg_degree = 6.0 })
-          ~n
+          ~n ()
       in
       let levels = Levels.sample ~rng:(Rng.create (seed + n)) ~n ~k in
       let tr = if n = n_last then Some tracer else None in

@@ -34,7 +34,7 @@ let prose =
    vector (exactly 2(n+1) words), and the size curve flattens past \
    k ≈ log n, which is the shape the lemma predicts."
 
-let run { n; seed; ks } =
+let run ?pool { n; seed; ks } =
   let t =
     Table.create
       ~title:
@@ -48,7 +48,7 @@ let run { n; seed; ks } =
         ]
   in
   let w =
-    Common.make_workload ~seed ~family:(Gen.Erdos_renyi { avg_degree = 6.0 }) ~n
+    Common.make_workload ?pool ~seed ~family:(Gen.Erdos_renyi { avg_degree = 6.0 }) ~n ()
   in
   let checks = ref [] in
   List.iter

@@ -29,7 +29,7 @@ let prose =
    increasingly loose at larger k, as the worst-case analysis \
    predicts; average stretch stays a small constant at every k >= 2."
 
-let run { n; seed; ks; families } =
+let run ?pool { n; seed; ks; families } =
   let fams =
     if families then Common.standard_families ~n
     else [ List.hd (Common.standard_families ~n) ]
@@ -38,7 +38,7 @@ let run { n; seed; ks; families } =
   let tables =
     List.map
       (fun (fname, family) ->
-        let w = Common.make_workload ~seed ~family ~n in
+        let w = Common.make_workload ?pool ~seed ~family ~n () in
         let t =
           Table.create
             ~title:

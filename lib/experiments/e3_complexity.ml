@@ -118,9 +118,9 @@ let run ?pool { seed; ns; k_of_n; k_sweep; k_sweep_n } =
     List.map
       (fun n ->
         let w =
-          Common.make_workload ~seed
+          Common.make_workload ?pool ~seed
             ~family:(Ds_graph.Gen.Erdos_renyi { avg_degree = 6.0 })
-            ~n
+            ~n ()
         in
         let tr = if n = n_last then Some tracer else None in
         let cells, pt = row ?pool ?tracer:tr w ~seed ~k:(k_of_n n) in
@@ -137,9 +137,9 @@ let run ?pool { seed; ns; k_of_n; k_sweep; k_sweep_n } =
       ~headers
   in
   let w =
-    Common.make_workload ~seed
+    Common.make_workload ?pool ~seed
       ~family:(Ds_graph.Gen.Erdos_renyi { avg_degree = 6.0 })
-      ~n:k_sweep_n
+      ~n:k_sweep_n ()
   in
   List.iter
     (fun k -> Table.add_row t2 (fst (row ?pool w ~seed ~k)))
@@ -151,7 +151,7 @@ let run ?pool { seed; ns; k_of_n; k_sweep; k_sweep_n } =
   in
   List.iter
     (fun (_, family) ->
-      let w = Common.make_workload ~seed ~family ~n:k_sweep_n in
+      let w = Common.make_workload ?pool ~seed ~family ~n:k_sweep_n () in
       Table.add_row t3 (fst (row ?pool w ~seed ~k:3)))
     (Common.standard_families ~n:k_sweep_n);
   let n_max, last = List.nth sweep (List.length sweep - 1) in

@@ -70,7 +70,7 @@ let run ?pool { seed; n; k } =
   let families = Common.standard_families ~n in
   List.iter
     (fun (fname, family) ->
-      let w = Common.make_workload ~seed ~family ~n in
+      let w = Common.make_workload ?pool ~seed ~family ~n () in
       let gn = Ds_graph.Graph.n w.Common.graph in
       let levels = Levels.sample ~rng:(Rng.create (seed + 7)) ~n:gn ~k in
       (* Trace both modes on the reported family so the per-round

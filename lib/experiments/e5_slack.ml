@@ -41,9 +41,9 @@ let prose =
 
 let run ?pool { seed; n; epss } =
   let w =
-    Common.make_workload ~seed
+    Common.make_workload ?pool ~seed
       ~family:(Ds_graph.Gen.Erdos_renyi { avg_degree = 6.0 })
-      ~n
+      ~n ()
   in
   let s = w.Common.profile.Ds_graph.Props.s in
   let t1 =

@@ -48,9 +48,9 @@ let prose =
 
 let run ?pool { seed; n; grid } =
   let w =
-    Common.make_workload ~seed
+    Common.make_workload ?pool ~seed
       ~family:(Ds_graph.Gen.Erdos_renyi { avg_degree = 6.0 })
-      ~n
+      ~n ()
   in
   let t =
     Table.create

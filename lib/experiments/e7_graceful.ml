@@ -52,9 +52,9 @@ let run ?pool { seed; ns } =
   List.iter
     (fun n ->
       let w =
-        Common.make_workload ~seed
+        Common.make_workload ?pool ~seed
           ~family:(Ds_graph.Gen.Erdos_renyi { avg_degree = 6.0 })
-          ~n
+          ~n ()
       in
       let r = Graceful.build_distributed ?pool ~rng:(Rng.create (seed + n)) w.Common.graph in
       let report =

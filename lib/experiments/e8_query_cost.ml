@@ -73,9 +73,9 @@ let run ?pool { seed; ns; k } =
   List.iter
     (fun n ->
       let w =
-        Common.make_workload ~seed
+        Common.make_workload ?pool ~seed
           ~family:(Ds_graph.Gen.Star_ring { heavy_frac = 0.25 })
-          ~n
+          ~n ()
       in
       let g = w.Common.graph in
       let gn = Ds_graph.Graph.n g in

@@ -40,9 +40,9 @@ let prose =
 
 let run ?pool { seed; n; ks; eps } =
   let w =
-    Common.make_workload ~seed
+    Common.make_workload ?pool ~seed
       ~family:(Ds_graph.Gen.Erdos_renyi { avg_degree = 6.0 })
-      ~n
+      ~n ()
   in
   let checks = ref [] in
   let t1 =

@@ -30,8 +30,8 @@ let all =
       claim_id = E1_size.claim_id;
       claim = E1_size.claim;
       run =
-        (fun ~profile _pool ->
-          E1_size.run
+        (fun ~profile pool ->
+          E1_size.run ~pool
             (match profile with Full -> E1_size.default | Quick -> E1_size.quick));
     };
     {
@@ -40,8 +40,8 @@ let all =
       claim_id = E2_stretch.claim_id;
       claim = E2_stretch.claim;
       run =
-        (fun ~profile _pool ->
-          E2_stretch.run
+        (fun ~profile pool ->
+          E2_stretch.run ~pool
             (match profile with
             | Full -> E2_stretch.default
             | Quick -> E2_stretch.quick));

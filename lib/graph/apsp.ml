@@ -1,10 +1,20 @@
 module Rng = Ds_util.Rng
+module Pool = Ds_parallel.Pool
 
 type t = { n : int; rows : int array array }
 
-let compute g =
+let compute ?(pool = Pool.sequential) g =
   let n = Graph.n g in
-  { n; rows = Array.init n (fun src -> Dijkstra.sssp g ~src) }
+  if n = 0 then { n; rows = [||] }
+  else begin
+    (* One Dijkstra row per index: each task writes only its own slot,
+       and [Dijkstra.sssp g ~src] depends on nothing but [src], so the
+       rows are identical under any pool (pinned by a test). *)
+    let rows = Array.make n [||] in
+    Pool.parallel_for pool ~lo:0 ~hi:n (fun src ->
+        rows.(src) <- Dijkstra.sssp g ~src);
+    { n; rows }
+  end
 
 let dist t u v = t.rows.(u).(v)
 

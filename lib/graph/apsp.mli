@@ -2,8 +2,11 @@
 
 type t
 
-val compute : Graph.t -> t
-(** Dijkstra from every source; O(n m log n) time, O(n^2) space. *)
+val compute : ?pool:Ds_parallel.Pool.t -> Graph.t -> t
+(** Dijkstra from every source; O(n m log n) time, O(n^2) space. The
+    rows are independent, so they are fanned over [pool] (default
+    sequential) one source per task; the result is identical for every
+    pool size. *)
 
 val dist : t -> int -> int -> int
 

@@ -62,21 +62,21 @@ let k t = t.k
 let size_words t = (2 * t.n * t.k) + (2 * t.bunch_off.(t.n))
 
 (* Binary search for [w] in the node-[u] slice; [Dist.infinity] when
-   absent. *)
-let find t u w =
-  let lo = ref t.bunch_off.(u) and hi = ref t.bunch_off.(u + 1) in
-  let res = ref Dist.infinity in
-  while !lo < !hi do
-    let mid = (!lo + !hi) / 2 in
+   absent. Tail recursion over plain ints, not [ref] cursors: a query
+   must not touch the minor heap, because every minor collection stops
+   all domains and a batch fanned over the pool would serialise on GC
+   instead of scaling. *)
+let rec find_in t w lo hi =
+  if lo >= hi then Dist.infinity
+  else begin
+    let mid = (lo + hi) / 2 in
     let x = t.bunch_node.(mid) in
-    if x = w then begin
-      res := t.bunch_dist.(mid);
-      lo := !hi
-    end
-    else if x < w then lo := mid + 1
-    else hi := mid
-  done;
-  !res
+    if x = w then t.bunch_dist.(mid)
+    else if x < w then find_in t w (mid + 1) hi
+    else find_in t w lo mid
+  end
+
+let find t u w = find_in t w t.bunch_off.(u) t.bunch_off.(u + 1)
 
 let bunch_dist t u w =
   let d = find t u w in
@@ -88,41 +88,49 @@ let check_pair t u v name =
       (Printf.sprintf "Oracle.%s: pair (%d, %d) out of range [0, %d)" name u v
          t.n)
 
-let query t u v =
-  check_pair t u v "query";
-  let k = t.k in
-  let rec go i =
-    if i >= k then Dist.infinity
-    else begin
-      let du = t.pivot_dist.((u * k) + i)
-      and pu = t.pivot_node.((u * k) + i)
-      and dv = t.pivot_dist.((v * k) + i)
-      and pv = t.pivot_node.((v * k) + i) in
-      let via_pu =
-        if Dist.is_finite du then Dist.add du (find t v pu) else Dist.infinity
-      in
-      let via_pv =
-        if Dist.is_finite dv then Dist.add dv (find t u pv) else Dist.infinity
-      in
-      let est = min via_pu via_pv in
-      if Dist.is_finite est then est else go (i + 1)
-    end
-  in
-  go 0
-
-let query_bidirectional t u v =
-  check_pair t u v "query_bidirectional";
-  let k = t.k in
-  let best = ref Dist.infinity in
-  for i = 0 to k - 1 do
+(* Both query loops are top-level recursions for the same reason as
+   [find_in]: a local [let rec go] would close over [t]/[u]/[v] and
+   allocate per query. *)
+let rec query_from t u v k i =
+  if i >= k then Dist.infinity
+  else begin
     let du = t.pivot_dist.((u * k) + i)
     and pu = t.pivot_node.((u * k) + i)
     and dv = t.pivot_dist.((v * k) + i)
     and pv = t.pivot_node.((v * k) + i) in
-    if Dist.is_finite du then best := min !best (Dist.add du (find t v pu));
-    if Dist.is_finite dv then best := min !best (Dist.add dv (find t u pv))
-  done;
-  !best
+    let via_pu =
+      if Dist.is_finite du then Dist.add du (find t v pu) else Dist.infinity
+    in
+    let via_pv =
+      if Dist.is_finite dv then Dist.add dv (find t u pv) else Dist.infinity
+    in
+    let est = min via_pu via_pv in
+    if Dist.is_finite est then est else query_from t u v k (i + 1)
+  end
+
+let query t u v =
+  check_pair t u v "query";
+  query_from t u v t.k 0
+
+let rec query_bidi_from t u v k i best =
+  if i >= k then best
+  else begin
+    let du = t.pivot_dist.((u * k) + i)
+    and pu = t.pivot_node.((u * k) + i)
+    and dv = t.pivot_dist.((v * k) + i)
+    and pv = t.pivot_node.((v * k) + i) in
+    let best =
+      if Dist.is_finite du then min best (Dist.add du (find t v pu)) else best
+    in
+    let best =
+      if Dist.is_finite dv then min best (Dist.add dv (find t u pv)) else best
+    in
+    query_bidi_from t u v k (i + 1) best
+  end
+
+let query_bidirectional t u v =
+  check_pair t u v "query_bidirectional";
+  query_bidi_from t u v t.k 0 Dist.infinity
 
 let find_probed t u w probes =
   let lo = ref t.bunch_off.(u) and hi = ref t.bunch_off.(u + 1) in
@@ -171,9 +179,16 @@ let query_probes t u v =
 let query_batch ?(pool = Pool.sequential) t pairs =
   let m = Array.length pairs in
   let out = Array.make m 0 in
-  Pool.parallel_for pool ~lo:0 ~hi:m (fun i ->
-      let u, v = pairs.(i) in
-      out.(i) <- query t u v);
+  (* One tight loop per domain, not one closure dispatch per pair:
+     [parallel_for]'s per-index call was most of the per-query cost at
+     ~150ns a query, which is why batch throughput used to stay flat
+     as domains were added. *)
+  ignore
+    (Pool.parallel_chunks pool ~n:m (fun _ lo hi ->
+         for i = lo to hi - 1 do
+           let u, v = pairs.(i) in
+           out.(i) <- query t u v
+         done));
   out
 
 type batch_stats = {

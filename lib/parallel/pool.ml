@@ -5,7 +5,13 @@
    previous implementation) paid a domain spawn+join per round; here a
    round costs two lock round-trips per worker. *)
 
-type job = { lo : int; hi : int; chunk_size : int; chunks : int; f : int -> unit }
+(* A job is dispatched at chunk granularity: [run c] executes the
+   whole of chunk [c]. [parallel_for] wraps its per-index body in a
+   chunk loop; [parallel_chunks] hands the chunk bounds straight to
+   the caller so accumulator-style work (one scratch cell per chunk,
+   one tight loop per domain) pays one closure dispatch per chunk
+   instead of one per index. *)
+type job = { chunks : int; run : int -> unit }
 
 type t = {
   size : int; (* total domains, including the caller *)
@@ -20,17 +26,8 @@ type t = {
   mutable stop : bool;
 }
 
-(* Chunk [c] of the current job; chunk 0 always runs on the caller.
-   The split is the same deterministic static chunking as the old
-   spawn-per-call pool: contiguous ranges of ceil(n/chunks). *)
-let run_chunk job c =
-  if c < job.chunks then begin
-    let lo = job.lo + (c * job.chunk_size) in
-    let hi = min job.hi (lo + job.chunk_size) in
-    for i = lo to hi - 1 do
-      job.f i
-    done
-  end
+(* Chunk [c] of the current job; chunk 0 always runs on the caller. *)
+let run_chunk job c = if c < job.chunks then job.run c
 
 let worker t c =
   let rec loop last_epoch =
@@ -109,6 +106,30 @@ let with_pool ?domains f =
   let t = create ?domains () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
+(* Publish [job], run the caller's chunk 0, wait for the workers. *)
+let dispatch t job =
+  Mutex.lock t.mutex;
+  t.job <- Some job;
+  t.failure <- None;
+  t.pending <- Array.length t.workers;
+  t.epoch <- t.epoch + 1;
+  Condition.broadcast t.start;
+  Mutex.unlock t.mutex;
+  (* The caller's own chunk; even if it raises we must wait for the
+     workers, or the next call would race the still-running job. *)
+  let caller_failed = try run_chunk job 0; None with e -> Some e in
+  Mutex.lock t.mutex;
+  while t.pending > 0 do
+    Condition.wait t.finished t.mutex
+  done;
+  t.job <- None;
+  let worker_failed = t.failure in
+  t.failure <- None;
+  Mutex.unlock t.mutex;
+  match (caller_failed, worker_failed) with
+  | Some e, _ | None, Some e -> raise e
+  | None, None -> ()
+
 let parallel_for t ~lo ~hi f =
   if t.stop then invalid_arg "Pool.parallel_for: pool is shut down";
   if hi > lo then begin
@@ -119,28 +140,32 @@ let parallel_for t ~lo ~hi f =
         f i
       done
     else begin
-      let job = { lo; hi; chunk_size = (n + chunks - 1) / chunks; chunks; f } in
-      Mutex.lock t.mutex;
-      t.job <- Some job;
-      t.failure <- None;
-      t.pending <- Array.length t.workers;
-      t.epoch <- t.epoch + 1;
-      Condition.broadcast t.start;
-      Mutex.unlock t.mutex;
-      (* The caller's own chunk; even if it raises we must wait for the
-         workers, or the next call would race the still-running job. *)
-      let caller_failed = try run_chunk job 0; None with e -> Some e in
-      Mutex.lock t.mutex;
-      while t.pending > 0 do
-        Condition.wait t.finished t.mutex
-      done;
-      t.job <- None;
-      let worker_failed = t.failure in
-      t.failure <- None;
-      Mutex.unlock t.mutex;
-      match caller_failed, worker_failed with
-      | Some e, _ | None, Some e -> raise e
-      | None, None -> ()
+      let chunk_size = (n + chunks - 1) / chunks in
+      let run c =
+        let clo = lo + (c * chunk_size) in
+        let chi = min hi (clo + chunk_size) in
+        for i = clo to chi - 1 do
+          f i
+        done
+      in
+      dispatch t { chunks; run }
+    end
+  end
+
+let parallel_chunks t ~n f =
+  if t.stop then invalid_arg "Pool.parallel_chunks: pool is shut down";
+  if n <= 0 then 0
+  else begin
+    let chunks = min t.size n in
+    let chunk_size = (n + chunks - 1) / chunks in
+    if chunks <= 1 || Array.length t.workers = 0 then begin
+      f 0 0 n;
+      1
+    end
+    else begin
+      let run c = f c (c * chunk_size) (min n ((c + 1) * chunk_size)) in
+      dispatch t { chunks; run };
+      chunks
     end
   end
 

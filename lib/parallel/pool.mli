@@ -40,6 +40,18 @@ val parallel_for : t -> lo:int -> hi:int -> (int -> unit) -> unit
     threads at once. If some [f] raises, one of the exceptions is
     re-raised after every chunk has finished. *)
 
+val parallel_chunks : t -> n:int -> (int -> int -> int -> unit) -> int
+(** [parallel_chunks t ~n f] splits [0 <= i < n] into the same
+    contiguous ceiling-divided chunks as {!parallel_for} but calls
+    [f c lo hi] once per chunk instead of once per index, returning
+    the number of chunks used ([0] when [n <= 0]). Accumulator-style
+    work — one scratch cell per chunk, one tight loop per domain —
+    pays a single closure dispatch per chunk this way. [f] must be
+    safe to run concurrently for distinct chunks; chunk indices are
+    dense in [0, chunks), so [f] can index per-chunk scratch arrays
+    directly. Same non-reentrancy and exception rules as
+    {!parallel_for}. *)
+
 val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
 
 val shutdown : t -> unit

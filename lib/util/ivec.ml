@@ -29,6 +29,70 @@ let truncate t len =
   if len < 0 || len > t.len then invalid_arg "Ivec.truncate";
   t.len <- len
 
+let append dst src =
+  let n = src.len in
+  if n > 0 then begin
+    let need = dst.len + n in
+    let cap = Array.length dst.a in
+    if need > cap then begin
+      let ncap = ref (max 1 cap) in
+      while !ncap < need do
+        ncap := 2 * !ncap
+      done;
+      let b = Array.make !ncap 0 in
+      Array.blit dst.a 0 b 0 dst.len;
+      dst.a <- b
+    end;
+    Array.blit src.a 0 dst.a dst.len n;
+    dst.len <- need
+  end
+
+(* In-place ascending sort of the live prefix: insertion sort for short
+   runs, heapsort above that. Both are allocation-free (int arguments,
+   no refs, no comparator closure) — the engine's per-round receiver
+   canonicalisation uses this and must keep steady-state rounds at
+   zero minor words, which Array.sort's boxed comparator would break. *)
+let rec insert_back a j x =
+  if j >= 0 && a.(j) > x then begin
+    a.(j + 1) <- a.(j);
+    insert_back a (j - 1) x
+  end
+  else a.(j + 1) <- x
+
+let rec sift_down a root last =
+  let child = (2 * root) + 1 in
+  if child <= last then begin
+    let c =
+      if child + 1 <= last && a.(child + 1) > a.(child) then child + 1
+      else child
+    in
+    if a.(c) > a.(root) then begin
+      let tmp = a.(c) in
+      a.(c) <- a.(root);
+      a.(root) <- tmp;
+      sift_down a c last
+    end
+  end
+
+let sort t =
+  let a = t.a and n = t.len in
+  if n > 1 then
+    if n <= 32 then
+      for i = 1 to n - 1 do
+        insert_back a (i - 1) a.(i)
+      done
+    else begin
+      for root = (n - 2) / 2 downto 0 do
+        sift_down a root (n - 1)
+      done;
+      for last = n - 1 downto 1 do
+        let tmp = a.(0) in
+        a.(0) <- a.(last);
+        a.(last) <- tmp;
+        sift_down a 0 (last - 1)
+      done
+    end
+
 let iter f t =
   for i = 0 to t.len - 1 do
     f t.a.(i)

@@ -21,5 +21,15 @@ val truncate : t -> int -> unit
 (** [truncate t len] keeps the first [len] elements (used for in-place
     compaction). *)
 
+val append : t -> t -> unit
+(** [append dst src] pushes every element of [src] onto [dst] in
+    order; [src] is unchanged. Amortised allocation-free once [dst]
+    has reached its high-water capacity. *)
+
+val sort : t -> unit
+(** In-place ascending sort. Allocation-free (no comparator closure,
+    no scratch), so it is safe in the engine's zero-alloc round path;
+    not stable, which is irrelevant for ints. *)
+
 val iter : (int -> unit) -> t -> unit
 val to_list : t -> int list

@@ -8,6 +8,7 @@ module Rng = Ds_util.Rng
 module Graph = Ds_graph.Graph
 module Engine = Ds_congest.Engine
 module Metrics = Ds_congest.Metrics
+module Trace = Ds_congest.Trace
 module Super_bf = Ds_congest.Super_bf
 module Multi_bf = Ds_congest.Multi_bf
 module Setup = Ds_congest.Setup
@@ -136,6 +137,55 @@ let test_jitter_fifo_qcheck =
          arrival rounds. *)
       List.map fst seq = List.init count (fun i -> i + 1) && seq = par)
 
+(* The full invariance matrix for the sharded delivery path:
+   {1, 2, 4, 8} pool sizes x {no jitter, jitter}, comparing the
+   metrics totals and both deterministic trace exports byte for byte
+   against the sequential baseline. The workload is sized so its peak
+   active-link count clears [Engine.par_threshold] — the pooled runs
+   provably take the parallel delivery path, not the inline
+   fallback. *)
+let test_delivery_matrix_invariant () =
+  let g = Helpers.random_graph ~seed:75 ~avg_degree:8.0 300 in
+  let run ~jitter_seed pool =
+    let tracer = Trace.create () in
+    let jitter =
+      Option.map
+        (fun s -> { Engine.rng = Rng.create s; max_delay = 3 })
+        jitter_seed
+    in
+    let _, m =
+      Super_bf.run ~pool ?jitter ~tracer g ~sources:[ 0; 101; 202 ]
+    in
+    (tracer, m)
+  in
+  List.iter
+    (fun jitter_seed ->
+      let jname =
+        match jitter_seed with None -> "no-jitter" | Some _ -> "jitter"
+      in
+      let base_t, base_m = run ~jitter_seed Pool.sequential in
+      Alcotest.(check bool)
+        (jname ^ " exercises the parallel path")
+        true
+        ((Trace.profile base_t).Trace.peak_active_links
+        >= Engine.par_threshold);
+      let base_jsonl = Trace.jsonl ~timing:false base_t in
+      let base_chrome =
+        Trace.chrome ~clock:`Rounds ~phases:(Metrics.phases base_m) base_t
+      in
+      List.iter
+        (fun domains ->
+          Pool.with_pool ~domains @@ fun pool ->
+          let t, m = run ~jitter_seed pool in
+          let name = Printf.sprintf "%s domains=%d" jname domains in
+          check_metrics_equal name base_m m;
+          Alcotest.(check string) (name ^ " jsonl bytes") base_jsonl
+            (Trace.jsonl ~timing:false t);
+          Alcotest.(check string) (name ^ " chrome bytes") base_chrome
+            (Trace.chrome ~clock:`Rounds ~phases:(Metrics.phases m) t))
+        [ 2; 4; 8 ])
+    [ None; Some 906 ]
+
 let suite =
   [
     Alcotest.test_case "super-bf invariant across pools" `Quick
@@ -149,4 +199,6 @@ let suite =
     Alcotest.test_case "jitter seed sensitivity" `Quick
       test_jitter_seed_sensitivity;
     QCheck_alcotest.to_alcotest test_jitter_fifo_qcheck;
+    Alcotest.test_case "delivery matrix: pools x jitter byte-identical" `Quick
+      test_delivery_matrix_invariant;
   ]

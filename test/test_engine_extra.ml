@@ -122,6 +122,46 @@ let test_round_limit () =
   let reason = Engine.run ~max_rounds:50 eng in
   Alcotest.(check bool) "limit reached" true (reason = Engine.Round_limit)
 
+(* The message plane's headline claim: once ring/inbox capacities hit
+   their high-water mark, a round allocates zero minor words. The
+   protocol body uses indexed inbox access (no closure, no iterator)
+   and int messages, so any allocation the test sees comes from the
+   engine itself. [Gc.minor_words] returns a boxed float and the box
+   for call [k] is charged to the counter read by call [k+1], so the
+   per-call overhead is measured first and subtracted. *)
+let test_zero_alloc_steady_state () =
+  let g = Graph.of_edges ~n:2 [ (0, 1, 1) ] in
+  let proto : (unit, int) Engine.protocol =
+    {
+      Engine.name = "ping-pong";
+      max_msg_words = 1;
+      msg_words = (fun _ -> 1);
+      halted = (fun _ -> false);
+      init = (fun api -> if api.Engine.id = 0 then api.Engine.send 0 0);
+      on_round =
+        (fun api _ inbox ->
+          for i = 0 to Engine.Inbox.length inbox - 1 do
+            api.Engine.send (Engine.Inbox.from inbox i)
+              (Engine.Inbox.msg inbox i)
+          done);
+    }
+  in
+  let eng = Engine.create g proto in
+  for _ = 1 to 100 do
+    Engine.step eng
+  done;
+  let w0 = Gc.minor_words () in
+  let w1 = Gc.minor_words () in
+  let call_overhead = w1 -. w0 in
+  let rounds = 1000 in
+  let a = Gc.minor_words () in
+  for _ = 1 to rounds do
+    Engine.step eng
+  done;
+  let b = Gc.minor_words () in
+  let per_round = (b -. a -. call_overhead) /. float_of_int rounds in
+  Alcotest.(check (float 0.0)) "minor words per steady round" 0.0 per_round
+
 let suite =
   [
     Alcotest.test_case "fifo synchronous" `Quick test_fifo_synchronous;
@@ -132,4 +172,6 @@ let suite =
     Alcotest.test_case "quiescent empty protocol" `Quick
       test_quiescent_empty_protocol;
     Alcotest.test_case "round limit fires" `Quick test_round_limit;
+    Alcotest.test_case "steady-state rounds allocate zero minor words" `Quick
+      test_zero_alloc_steady_state;
   ]

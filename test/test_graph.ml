@@ -181,6 +181,27 @@ let prop_apsp_triangle_inequality =
       done;
       !ok)
 
+(* Pins [Apsp.compute ?pool]: fanning the Dijkstra rows over a pool
+   must not change a single entry relative to the sequential run. *)
+let test_apsp_parallel_matches_sequential () =
+  List.iter
+    (fun (name, g) ->
+      let seq = Apsp.compute g in
+      List.iter
+        (fun domains ->
+          Ds_parallel.Pool.with_pool ~domains (fun pool ->
+              let par = Apsp.compute ~pool g in
+              let n = Apsp.n seq in
+              for u = 0 to n - 1 do
+                for v = 0 to n - 1 do
+                  Alcotest.(check int)
+                    (Printf.sprintf "%s d=%d (%d,%d)" name domains u v)
+                    (Apsp.dist seq u v) (Apsp.dist par u v)
+                done
+              done))
+        [ 2; 4 ])
+    (Helpers.graph_suite 23)
+
 let test_dist_lex_order () =
   Alcotest.(check bool) "lt dist" true (Dist.lex_lt (1, 9) (2, 0));
   Alcotest.(check bool) "tie id" true (Dist.lex_lt (2, 0) (2, 1));
@@ -215,6 +236,8 @@ let suite =
     Alcotest.test_case "S >= D on all families" `Quick
       test_spd_at_least_hop_diameter;
     Alcotest.test_case "apsp symmetric" `Quick test_apsp_symmetric;
+    Alcotest.test_case "apsp parallel = sequential" `Quick
+      test_apsp_parallel_matches_sequential;
     QCheck_alcotest.to_alcotest prop_apsp_triangle_inequality;
     Alcotest.test_case "dist lex order" `Quick test_dist_lex_order;
   ]
