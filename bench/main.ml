@@ -25,6 +25,10 @@ module Pool = Ds_parallel.Pool
 module Oracle = Ds_oracle.Oracle
 module Workload = Ds_oracle.Workload
 
+(* Bound before the opens: Bechamel's [Toolkit] shadows the stub
+   library's [Monotonic_clock] with its measure witness. *)
+module Mclock = Monotonic_clock
+
 open Bechamel
 open Toolkit
 
@@ -184,6 +188,8 @@ let json_escape s =
     s;
   Buffer.contents b
 
+let opt_int = function Some v -> string_of_int v | None -> "null"
+
 let save_json ~path rows =
   let oc = open_out path in
   output_string oc "{\n  \"benchmarks\": [\n";
@@ -195,7 +201,15 @@ let save_json ~path rows =
         (match r2 with Some v -> Printf.sprintf "%.6f" v | None -> "null")
         (if i < List.length rows - 1 then "," else ""))
     rows;
-  output_string oc "  ]\n}\n";
+  output_string oc "  ],\n";
+  (* Process-level memory footprint of the whole bench run: a
+     regression canary, not a per-benchmark figure. *)
+  Printf.fprintf oc
+    "  \"mem\": {\"rss_kb\": %s, \"hwm_kb\": %s, \"heap_words\": %d}\n"
+    (opt_int (Ds_util.Mem.rss_kb ()))
+    (opt_int (Ds_util.Mem.hwm_kb ()))
+    (Ds_util.Mem.heap_words ());
+  output_string oc "}\n";
   close_out oc;
   Printf.printf "(json: %s)\n" path
 
@@ -218,7 +232,15 @@ let oracle_batch_rows ~quick () =
      domain effect being measured. The minimum over several passes
      estimates the intrinsic cost; each pass is a fresh full batch. *)
   let passes = if quick then 3 else 5 in
-  List.map
+  let flat =
+    Workload.pairs_flat ~rng:(Rng.create 9) Workload.Uniform ~n
+      ~count:pairs_count
+  in
+  (* Boxed rows first (the regression being fixed stays on record),
+     then the flat-layout rows: same seed, same pairs, same oracle —
+     the delta is purely the [(u,v)] pointer chase plus the cache-line
+     sharing at chunk boundaries. *)
+  List.concat_map
     (fun domains ->
       Pool.with_pool ~domains (fun pool ->
           ignore (Oracle.query_batch ~pool oracle pairs);
@@ -230,11 +252,91 @@ let oracle_batch_rows ~quick () =
             if stats.Oracle.elapsed_ns < !best then
               best := stats.Oracle.elapsed_ns
           done;
-          ( Printf.sprintf "B12 oracle batch query (n=1024, %dk pairs, domains=%d)"
-              (pairs_count / 1000) domains,
-            !best /. float_of_int pairs_count,
-            None )))
+          ignore (Oracle.query_batch_flat ~pool oracle flat);
+          let best_flat = ref infinity in
+          for _ = 1 to passes do
+            let _, stats =
+              Oracle.run_batch_flat ~pool ~latency_sample:0 oracle flat
+            in
+            if stats.Oracle.elapsed_ns < !best_flat then
+              best_flat := stats.Oracle.elapsed_ns
+          done;
+          [
+            ( Printf.sprintf
+                "B12 oracle batch query boxed (n=1024, %dk pairs, domains=%d)"
+                (pairs_count / 1000) domains,
+              !best /. float_of_int pairs_count,
+              None );
+            ( Printf.sprintf
+                "B12 oracle batch query flat (n=1024, %dk pairs, domains=%d)"
+                (pairs_count / 1000) domains,
+              !best_flat /. float_of_int pairs_count,
+              None );
+          ]))
     [ 1; 2; 4; 8 ]
+
+let now_ns () = Int64.to_float (Mclock.now ())
+
+(* B14: one full distributed TZ build per backend, same graph, same
+   hierarchy — the head-to-head the sharded plane exists for. Directly
+   timed (a build is far past bechamel's sweet spot); best of
+   [passes]. *)
+let backend_build_rows ~quick () =
+  let n = if quick then 1024 else 4096 in
+  let g =
+    Gen.streaming_sparse ~rng:(Rng.create 11) ~n ~avg_degree:6.0 ()
+  in
+  let levels = Levels.sample ~rng:(Rng.create 12) ~n ~k:3 in
+  let domains =
+    match Sys.getenv_opt "DS_DOMAINS" with
+    | Some s -> (try max 1 (int_of_string (String.trim s)) with _ -> 1)
+    | None -> min 4 (Domain.recommended_domain_count ())
+  in
+  let passes = if quick then 1 else 3 in
+  List.map
+    (fun backend ->
+      Pool.with_pool ~domains (fun pool ->
+          let best = ref infinity in
+          for _ = 1 to passes do
+            let t0 = now_ns () in
+            ignore (Ds_core.Tz_distributed.build ~backend ~pool g ~levels);
+            let dt = now_ns () -. t0 in
+            if dt < !best then best := dt
+          done;
+          ( Printf.sprintf "B14 tz-distributed build %s (n=%d,k=3,domains=%d)"
+              (Ds_congest.Plane.backend_name backend)
+              n domains,
+            !best,
+            None )))
+    [ Ds_congest.Plane.Congest; Ds_congest.Plane.Sharded ]
+
+(* B15: the sharded plane at scale-experiment size, one pass, with the
+   peak-RSS delta it cost. The committed SCALE.json covers the full
+   n sweep; this row keeps a scale point inside the bench artifact. *)
+let scale_build_row ~quick () =
+  let n = if quick then 20_000 else 100_000 in
+  let g =
+    Gen.streaming_sparse ~rng:(Rng.create 13) ~n ~avg_degree:8.0 ()
+  in
+  let k = 4 in
+  let levels = Levels.sample ~rng:(Rng.create 14) ~n ~k in
+  let domains =
+    match Sys.getenv_opt "DS_DOMAINS" with
+    | Some s -> (try max 1 (int_of_string (String.trim s)) with _ -> 1)
+    | None -> min 4 (Domain.recommended_domain_count ())
+  in
+  Pool.with_pool ~domains (fun pool ->
+      let t0 = now_ns () in
+      ignore
+        (Ds_core.Tz_distributed.build ~backend:Ds_congest.Plane.Sharded ~pool
+           g ~levels);
+      let dt = now_ns () -. t0 in
+      [
+        ( Printf.sprintf "B15 sharded tz build at scale (n=%d,k=%d,domains=%d)"
+            n k domains,
+          dt,
+          None );
+      ])
 
 let run_microbenches ~quick () =
   print_endline "### Microbenchmarks (Bechamel, monotonic clock)\n";
@@ -294,7 +396,11 @@ let run_microbenches ~quick () =
         (name, est, r2))
       rows
   in
-  let batch_rows = oracle_batch_rows ~quick () in
+  let batch_rows =
+    oracle_batch_rows ~quick ()
+    @ backend_build_rows ~quick ()
+    @ scale_build_row ~quick ()
+  in
   List.iter
     (fun (name, est, _) ->
       Ds_util.Table.add_row t [ name; pretty_ns est; "-" ])

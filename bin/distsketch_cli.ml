@@ -62,6 +62,32 @@ let domains_arg =
           "Worker domains for the simulator's round loop (1 = sequential). \
            Results are identical for every value.")
 
+let backend_conv =
+  let parse s =
+    Result.map_error (fun m -> `Msg m) (Ds_congest.Plane.backend_of_string s)
+  in
+  Arg.conv
+    ( parse,
+      fun ppf b ->
+        Format.pp_print_string ppf (Ds_congest.Plane.backend_name b) )
+
+let backend_arg =
+  Arg.(
+    value & opt backend_conv Ds_congest.Plane.Congest
+    & info [ "backend" ] ~docv:"B"
+        ~doc:
+          "Message plane: $(b,congest) (per-link rings, supports jitter) or \
+           $(b,sharded) (MPC-style bulk exchange, built for n >= 10^5). \
+           Results are byte-identical.")
+
+let shards_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "shards" ] ~docv:"S"
+        ~doc:
+          "Shard count for the sharded backend (default: the pool width). \
+           Results are identical for every value.")
+
 (* One pool per command invocation: created before the work, joined
    after, whatever happens in between. *)
 let with_domains domains f =
@@ -223,7 +249,7 @@ let build_cmd =
              checksummed); `oracle --load $(docv)' then serves them \
              without rebuilding.")
   in
-  let run family n seed k mode domains save =
+  let run family n seed k mode domains backend shards save =
     with_domains domains @@ fun pool ->
     let g = make_graph family n seed in
     let gn = Graph.n g in
@@ -248,11 +274,11 @@ let build_cmd =
     match mode with
     | `Central -> describe (Ds_core.Tz_centralized.build g ~levels) None
     | `Dist ->
-      let r = Ds_core.Tz_distributed.build ~pool g ~levels in
+      let r = Ds_core.Tz_distributed.build ~backend ~pool ?shards g ~levels in
       describe r.Ds_core.Tz_distributed.labels
         (Some r.Ds_core.Tz_distributed.metrics)
     | `Echo ->
-      let r = Ds_core.Tz_echo.build ~pool g ~levels in
+      let r = Ds_core.Tz_echo.build ~backend ~pool ?shards g ~levels in
       Format.printf "leader: %d@." r.Ds_core.Tz_echo.leader;
       describe r.Ds_core.Tz_echo.labels (Some r.Ds_core.Tz_echo.metrics)
   in
@@ -262,7 +288,192 @@ let build_cmd =
              sizes and CONGEST cost.")
     Term.(
       const run $ family_arg $ n_arg $ seed_arg $ k_arg $ mode_arg
-      $ domains_arg $ save_arg)
+      $ domains_arg $ backend_arg $ shards_arg $ save_arg)
+
+(* ---- scale ---- *)
+
+(* The n = 10^4..10^6 sweep behind SCALE.json: streaming graph
+   construction, full distributed TZ build on the chosen backend(s),
+   honest cost accounting plus process RSS per row. *)
+let scale_cmd =
+  let ns_arg =
+    Arg.(
+      value
+      & opt_all int [ 10_000; 100_000 ]
+      & info [ "n"; "nodes" ] ~docv:"N"
+          ~doc:"Node count; repeatable, one sweep row per value.")
+  in
+  let backends_arg =
+    Arg.(
+      value
+      & opt_all backend_conv [ Ds_congest.Plane.Sharded ]
+      & info [ "backend" ] ~docv:"B"
+          ~doc:"Backend to sweep; repeatable (congest, sharded).")
+  in
+  let scale_family_arg =
+    Arg.(
+      value & opt string "sparse"
+      & info [ "family" ] ~docv:"FAMILY"
+          ~doc:
+            "Streaming graph family: $(b,sparse) (spanning skeleton + \
+             uniform extras), $(b,torus), $(b,tree). Unit weights.")
+  in
+  let avg_degree_arg =
+    Arg.(
+      value & opt float 8.0
+      & info [ "avg-degree" ] ~docv:"DEG"
+          ~doc:"Average degree for the sparse family.")
+  in
+  let k_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "k" ] ~docv:"K"
+          ~doc:
+            "Hierarchy depth; 0 (default) picks round(log10 n) per row, \
+             keeping the bunch size ~ k n^(1/k) flat across the sweep.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "SCALE.json"
+      & info [ "out" ] ~docv:"FILE" ~doc:"Output JSON path.")
+  in
+  let max_words_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "max-words-per-node" ] ~docv:"W"
+          ~doc:
+            "Budget assertion: fail (exit 1) if the message-plane backbone \
+             exceeds $(docv) words per node on any row.")
+  in
+  let max_rss_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "max-rss-mb" ] ~docv:"MB"
+          ~doc:
+            "Budget assertion: fail (exit 1) if peak process RSS exceeds \
+             $(docv) MB after any row.")
+  in
+  let now_ms () = Unix.gettimeofday () *. 1000.0 in
+  let run ns backends family avg_degree k0 seed domains shards out max_words
+      max_rss =
+    with_domains domains @@ fun pool ->
+    let fam = Gen.scale_family_of_string ~avg_degree family in
+    let budget_failures = ref [] in
+    let rows =
+      List.concat_map
+        (fun n ->
+          let g =
+            Gen.build_scale ~rng:(Rng.create seed) fam ~n
+          in
+          let gn = Graph.n g in
+          let k =
+            if k0 > 0 then k0
+            else
+              max 3
+                (int_of_float (Float.round (log10 (float_of_int gn))))
+          in
+          let levels =
+            Levels.sample ~rng:(Rng.create (seed + 1)) ~n:gn ~k
+          in
+          List.map
+            (fun backend ->
+              let t0 = now_ms () in
+              let r =
+                Ds_core.Tz_distributed.build ~backend ~pool ?shards g
+                  ~levels
+              in
+              let wall_ms = now_ms () -. t0 in
+              let m = r.Ds_core.Tz_distributed.metrics in
+              let mem_words = r.Ds_core.Tz_distributed.mem_words in
+              let words_per_node =
+                float_of_int mem_words /. float_of_int gn
+              in
+              let sketch_words =
+                Array.fold_left
+                  (fun acc l -> acc + Label.size_words l)
+                  0 r.Ds_core.Tz_distributed.labels
+              in
+              let rss = Ds_util.Mem.rss_kb ()
+              and hwm = Ds_util.Mem.hwm_kb () in
+              let bname = Ds_congest.Plane.backend_name backend in
+              Printf.printf
+                "n=%-8d %-7s k=%d  %6d rounds  %12d words  %8.0f ms  \
+                 %5.1f plane words/node  rss %s kB\n%!"
+                gn bname k (Metrics.rounds m) (Metrics.words m) wall_ms
+                words_per_node
+                (match rss with Some v -> string_of_int v | None -> "?");
+              (match max_words with
+              | Some limit when words_per_node > float_of_int limit ->
+                budget_failures :=
+                  Printf.sprintf
+                    "n=%d %s: %.1f plane words/node exceeds budget %d" gn
+                    bname words_per_node limit
+                  :: !budget_failures
+              | _ -> ());
+              (match (max_rss, hwm) with
+              | Some limit, Some kb when kb > limit * 1024 ->
+                budget_failures :=
+                  Printf.sprintf "n=%d %s: peak RSS %d kB exceeds %d MB" gn
+                    bname kb limit
+                  :: !budget_failures
+              | _ -> ());
+              Json.Obj
+                [
+                  ("n", Json.Int gn);
+                  ("m", Json.Int (Graph.m g));
+                  ("k", Json.Int k);
+                  ("family", Json.String (Gen.scale_family_name fam));
+                  ("backend", Json.String bname);
+                  ("domains", Json.Int domains);
+                  ( "shards",
+                    match shards with
+                    | Some s -> Json.Int s
+                    | None -> Json.Int domains );
+                  ("rounds", Json.Int (Metrics.rounds m));
+                  ("messages", Json.Int (Metrics.messages m));
+                  ("words", Json.Int (Metrics.words m));
+                  ("max_link_backlog", Json.Int (Metrics.max_link_backlog m));
+                  ("max_pending", Json.Int r.Ds_core.Tz_distributed.max_pending);
+                  ("wall_ms", Json.Float wall_ms);
+                  ("plane_mem_words", Json.Int mem_words);
+                  ("plane_words_per_node", Json.Float words_per_node);
+                  ("sketch_words", Json.Int sketch_words);
+                  ( "rss_kb",
+                    match rss with Some v -> Json.Int v | None -> Json.Null );
+                  ( "hwm_kb",
+                    match hwm with Some v -> Json.Int v | None -> Json.Null );
+                  ("heap_words", Json.Int (Ds_util.Mem.heap_words ()));
+                  ("seed", Json.Int seed);
+                ])
+            backends)
+        ns
+    in
+    let doc =
+      Json.Obj
+        [ ("schema", Json.String "scale/1"); ("rows", Json.List rows) ]
+    in
+    let oc = open_out out in
+    output_string oc (Json.to_string doc);
+    output_string oc "\n";
+    close_out oc;
+    Printf.printf "wrote %s (%d rows)\n" out (List.length rows);
+    match !budget_failures with
+    | [] -> ()
+    | fs ->
+      List.iter (Printf.eprintf "scale budget FAILED: %s\n") (List.rev fs);
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "scale"
+       ~doc:
+         "Sweep full sketch builds over n (streaming generators, unit \
+          weights) on one or both message planes and write a JSON table of \
+          rounds, words, wall-clock and RSS per row; optional memory-budget \
+          assertions for CI.")
+    Term.(
+      const run $ ns_arg $ backends_arg $ scale_family_arg $ avg_degree_arg
+      $ k_arg $ seed_arg $ domains_arg $ shards_arg $ out_arg $ max_words_arg
+      $ max_rss_arg)
 
 (* ---- trace ---- *)
 
@@ -506,7 +717,15 @@ let oracle_cmd =
       Workload.pairs ~rng:(Rng.create qseed) workload ~n:meta.Store.n
         ~count:pairs
     in
-    let answers, stats = Oracle.run_batch ~pool oracle stream in
+    (* Serve through the flat layout (the fast path); [stream] keeps
+       the boxed pairs for the exact-stretch comparison below. Same
+       pairs either way, so the answers fingerprint is unchanged. *)
+    let flat =
+      Array.init (2 * pairs) (fun i ->
+          let u, v = stream.(i / 2) in
+          if i land 1 = 0 then u else v)
+    in
+    let answers, stats = Oracle.run_batch_flat ~pool oracle flat in
     (* Exact stretch needs the graph. A snapshot records its generation
        recipe (family name + seed), so regenerate when possible; give
        up gracefully when the family is unknown or the node count
@@ -709,7 +928,7 @@ let main =
   Cmd.group
     (Cmd.info "distsketch" ~version:"1.0.0"
        ~doc:"Distributed distance sketches (Das Sarma-Dinitz-Pandurangan).")
-    [ list_cmd; run_cmd; report_cmd; profile_cmd; build_cmd; trace_cmd;
-      spanner_cmd; oracle_cmd; query_cmd; route_cmd ]
+    [ list_cmd; run_cmd; report_cmd; profile_cmd; build_cmd; scale_cmd;
+      trace_cmd; spanner_cmd; oracle_cmd; query_cmd; route_cmd ]
 
 let () = exit (Cmd.eval main)

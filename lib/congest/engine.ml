@@ -3,7 +3,10 @@ module Pool = Ds_parallel.Pool
 module Rng = Ds_util.Rng
 module Ivec = Ds_util.Ivec
 
-type 'msg api = {
+(* The node-facing types are owned by [Superstep] — the contract both
+   this backend and [Shard_engine] implement — and re-exported here
+   with equations so existing [Engine.foo] references keep working. *)
+type 'msg api = 'msg Superstep.api = {
   id : int;
   degree : int;
   neighbor_id : int -> int;
@@ -13,61 +16,9 @@ type 'msg api = {
   round : unit -> int;
 }
 
-(* Reusable per-node inbox: two parallel growable arrays, cleared (not
-   reallocated) after each round, so steady-state delivery allocates
-   nothing for the backbone. Cleared slots keep their last message
-   until overwritten; messages are small words in every protocol here,
-   so the retention is harmless. *)
-module Inbox = struct
-  type 'msg t = {
-    mutable froms : int array;
-    mutable msgs : 'msg array; (* only the first [len] slots are valid *)
-    mutable len : int;
-  }
+module Inbox = Superstep.Inbox
 
-  let create () = { froms = [||]; msgs = [||]; len = 0 }
-  let length b = b.len
-  let is_empty b = b.len = 0
-
-  let from b i =
-    if i < 0 || i >= b.len then invalid_arg "Inbox.from";
-    b.froms.(i)
-
-  let msg b i =
-    if i < 0 || i >= b.len then invalid_arg "Inbox.msg";
-    b.msgs.(i)
-
-  let push b j m =
-    if b.len = Array.length b.msgs then begin
-      let cap = max 4 (2 * b.len) in
-      let froms = Array.make cap 0 and msgs = Array.make cap m in
-      Array.blit b.froms 0 froms 0 b.len;
-      Array.blit b.msgs 0 msgs 0 b.len;
-      b.froms <- froms;
-      b.msgs <- msgs
-    end;
-    b.froms.(b.len) <- j;
-    b.msgs.(b.len) <- m;
-    b.len <- b.len + 1
-
-  let clear b = b.len <- 0
-
-  let iter f b =
-    for i = 0 to b.len - 1 do
-      f b.froms.(i) b.msgs.(i)
-    done
-
-  let fold f acc b =
-    let acc = ref acc in
-    for i = 0 to b.len - 1 do
-      acc := f !acc b.froms.(i) b.msgs.(i)
-    done;
-    !acc
-
-  let to_list b = List.init b.len (fun i -> (b.froms.(i), b.msgs.(i)))
-end
-
-type ('state, 'msg) protocol = {
+type ('state, 'msg) protocol = ('state, 'msg) Superstep.protocol = {
   name : string;
   init : 'msg api -> 'state;
   on_round : 'msg api -> 'state -> 'msg Inbox.t -> unit;
@@ -75,6 +26,11 @@ type ('state, 'msg) protocol = {
   msg_words : 'msg -> int;
   max_msg_words : int;
 }
+
+type stop_reason = Superstep.stop_reason =
+  | Quiescent
+  | All_halted
+  | Round_limit
 
 type jitter = { rng : Rng.t; max_delay : int }
 
@@ -276,15 +232,24 @@ let deliver_bucket t c =
   if nact > 0 then begin
     let jit = t.jitter <> None in
     let kept = scan_bucket t c act jit (t.round + 1) 0 nact 0 in
-    Ivec.truncate act kept
+    Ivec.truncate act kept;
+    (* Canonicalise each receiver's inbox (ascending sender neighbor
+       index). Link-activation order — which the scan above preserves
+       — depends on execution history; the canonical order does not,
+       so inbox interleavings match [Shard_engine]'s byte for byte. *)
+    let rn = t.recv_new.(c) in
+    for i = 0 to Ivec.length rn - 1 do
+      let v = Ivec.get rn i in
+      Inbox.sort_by_from t.inboxes.(v)
+        ~degree:(t.offsets.(v + 1) - t.offsets.(v))
+    done
   end
 
 let create ?(pool = Pool.sequential) ?jitter ?tracer g protocol =
   let n = Graph.n g in
-  let nbrs = Array.init n (fun u -> Graph.neighbors g u) in
   let offsets = Array.make (n + 1) 0 in
   for u = 0 to n - 1 do
-    offsets.(u + 1) <- offsets.(u) + Array.length nbrs.(u)
+    offsets.(u + 1) <- offsets.(u) + Graph.degree g u
   done;
   let m2 = offsets.(n) in
   let nchunks = Pool.domains pool in
@@ -292,12 +257,12 @@ let create ?(pool = Pool.sequential) ?jitter ?tracer g protocol =
   let link_dst = Array.make (max 1 m2) 0 and link_rev = Array.make (max 1 m2) 0 in
   let link_chunk = Array.make (max 1 m2) 0 in
   for u = 0 to n - 1 do
-    Array.iteri
-      (fun i (v, _) ->
-        link_dst.(offsets.(u) + i) <- v;
-        link_rev.(offsets.(u) + i) <- Graph.neighbor_index g v u;
-        link_chunk.(offsets.(u) + i) <- v / chunk_div)
-      nbrs.(u)
+    for i = 0 to Graph.degree g u - 1 do
+      let v = Graph.neighbor_node g u i in
+      link_dst.(offsets.(u) + i) <- v;
+      link_rev.(offsets.(u) + i) <- Graph.neighbor_index g v u;
+      link_chunk.(offsets.(u) + i) <- v / chunk_div
+    done
   done;
   let t =
     {
@@ -355,7 +320,7 @@ let create ?(pool = Pool.sequential) ?jitter ?tracer g protocol =
       t.protocol.on_round t.apis.(u) t.node_states.(u) inbox;
       Inbox.clear inbox);
   let make_api u =
-    let deg = Array.length nbrs.(u) in
+    let deg = offsets.(u + 1) - offsets.(u) in
     let send i m =
       if protocol.msg_words m > protocol.max_msg_words then
         invalid_arg
@@ -372,8 +337,8 @@ let create ?(pool = Pool.sequential) ?jitter ?tracer g protocol =
     {
       id = u;
       degree = deg;
-      neighbor_id = (fun i -> fst nbrs.(u).(i));
-      neighbor_weight = (fun i -> snd nbrs.(u).(i));
+      neighbor_id = (fun i -> Graph.neighbor_node g u i);
+      neighbor_weight = (fun i -> Graph.neighbor_weight_at g u i);
       send;
       broadcast =
         (fun m ->
@@ -539,10 +504,35 @@ let step t =
       }
 
 let quiescent t = t.in_flight = 0
-
-type stop_reason = Quiescent | All_halted | Round_limit
-
 let all_halted t = Array.for_all t.protocol.halted t.node_states
+
+(* Backbone footprint in machine words: every flat int array, ring
+   capacity and membership byte the plane owns. Message ring slots
+   count one word each (the payload is an int pair or an immediate in
+   every protocol here; boxed payloads add their own heap cost on
+   top). Protocol state is the protocol's business and not counted. *)
+let mem_words t =
+  let words = ref 0 in
+  let add n = words := !words + n in
+  add (Array.length t.offsets);
+  add (Array.length t.q_head);
+  add (Array.length t.q_len);
+  add (Array.length t.link_dst);
+  add (Array.length t.link_rev);
+  add (Array.length t.link_chunk);
+  add (Array.length t.link_pushes);
+  Array.iter (fun ring -> add (Array.length ring)) t.q_msg;
+  Array.iter (fun rdy -> add (Array.length rdy)) t.q_ready;
+  Array.iter (fun b -> add (Inbox.mem_words b)) t.inboxes;
+  Array.iter (fun v -> add (Ivec.capacity v)) t.active;
+  Array.iter (fun v -> add (Ivec.capacity v)) t.recv_new;
+  Array.iter (fun v -> add (Ivec.capacity v)) t.activated;
+  add (Array.length t.enqueued);
+  add (Array.length t.push_backlog);
+  add (Ivec.capacity t.run_now);
+  add (Ivec.capacity t.run_next);
+  add (2 * ((Bytes.length t.in_now + 7) / 8));
+  !words
 
 let run ?(max_rounds = 10_000_000) t =
   let rec go () =

@@ -24,7 +24,7 @@
     rounds where they neither received nor just sent — are not
     supported; none of the paper's protocols are. *)
 
-type 'msg api = {
+type 'msg api = 'msg Superstep.api = {
   id : int;  (** this node's ID *)
   degree : int;
   neighbor_id : int -> int;  (** neighbor index -> node ID *)
@@ -34,30 +34,11 @@ type 'msg api = {
   round : unit -> int;  (** current round number *)
 }
 
-(** A node's inbox for one round: the messages delivered to it, as
-    [(neighbor index, message)] pairs in delivery order (per-link FIFO
-    order is guaranteed; the interleaving across neighbors is
-    deterministic but unspecified). The buffer is reused — cleared,
-    not reallocated, between rounds — so it is only valid during the
-    [on_round] call it was passed to; copy out anything kept. *)
-module Inbox : sig
-  type 'msg t
+module Inbox = Superstep.Inbox
+(** Per-round inbox, delivered in the canonical order (ascending
+    sender neighbor index) — see {!Superstep.Inbox}. *)
 
-  val length : 'msg t -> int
-  val is_empty : 'msg t -> bool
-
-  val from : 'msg t -> int -> int
-  (** Sender's neighbor index of the [i]th delivery. *)
-
-  val msg : 'msg t -> int -> 'msg
-  (** Payload of the [i]th delivery. *)
-
-  val iter : (int -> 'msg -> unit) -> 'msg t -> unit
-  val fold : ('a -> int -> 'msg -> 'a) -> 'a -> 'msg t -> 'a
-  val to_list : 'msg t -> (int * 'msg) list
-end
-
-type ('state, 'msg) protocol = {
+type ('state, 'msg) protocol = ('state, 'msg) Superstep.protocol = {
   name : string;
   init : 'msg api -> 'state;
       (** Round-0 computation; may send. Called once per node. *)
@@ -99,7 +80,10 @@ val state : ('state, 'msg) t -> int -> 'state
 val step : ('state, 'msg) t -> unit
 (** Execute one synchronous round (delivery then computation). *)
 
-type stop_reason = Quiescent | All_halted | Round_limit
+type stop_reason = Superstep.stop_reason =
+  | Quiescent
+  | All_halted
+  | Round_limit
 
 val run : ?max_rounds:int -> ('state, 'msg) t -> stop_reason
 (** Run rounds until no message is in flight and none was sent
@@ -115,3 +99,9 @@ val par_threshold : int
     skip the pool handshake). Exposed so tests can build workloads
     that provably exercise the parallel delivery path; results are
     identical on either side of the gate. *)
+
+val mem_words : ('state, 'msg) t -> int
+(** Backbone footprint in machine words: link tables, ring
+    capacities, inboxes, worklists and membership flags — everything
+    the plane owns, at its current high-water capacity. Protocol
+    state is not counted. *)

@@ -179,17 +179,27 @@ let found_with_parents st =
 
 let max_pending st = st.max_pending
 
-let run ?pool ?tracer g ~sources ~bound =
+let codec =
+  let open Ds_util in
+  {
+    Superstep.encode =
+      (fun b (src, dist) ->
+        Ivec.push b src;
+        Ivec.push b dist);
+    decode = (fun w o -> (Ivec.get w o, Ivec.get w (o + 1)));
+  }
+
+let run ?backend ?pool ?shards ?tracer g ~sources ~bound =
   let n = Graph.n g in
   let src_set = Array.make n false in
   List.iter (fun s -> src_set.(s) <- true) sources;
-  let eng =
-    Engine.create ?pool ?tracer g
+  let r =
+    Plane.run ?backend ?pool ?shards ?tracer ~codec g
       (protocol ~is_source:(fun u -> src_set.(u)) ~bound)
   in
-  (match Engine.run eng with
-  | Engine.Quiescent | Engine.All_halted -> ()
-  | Engine.Round_limit -> failwith "Multi_bf: round limit hit");
-  let m = Engine.metrics eng in
+  (match r.Plane.stop with
+  | Quiescent | All_halted -> ()
+  | Round_limit -> failwith "Multi_bf: round limit hit");
+  let m = r.Plane.metrics in
   Metrics.mark_phase m "multi-bf";
-  (Array.map found (Engine.states eng), m)
+  (Array.map found r.Plane.states, m)

@@ -42,8 +42,14 @@ val max_pending : state -> int
 (** High-water mark of the pending-source FIFO (the quantity Lemma 3.7
     bounds by [O(n^{1/k} log n)]). *)
 
+val codec : (int * int) Superstep.codec
+(** Wire codec for the [(source, distance)] announcements — what the
+    sharded backend ships in its bulk batches. *)
+
 val run :
-  ?pool:Ds_parallel.Pool.t -> ?tracer:Trace.t -> Ds_graph.Graph.t ->
+  ?backend:Plane.backend -> ?pool:Ds_parallel.Pool.t -> ?shards:int ->
+  ?tracer:Trace.t -> Ds_graph.Graph.t ->
   sources:int list -> bound:(int -> int * int) ->
   (int * int) list array * Metrics.t
-(** One-shot convenience wrapper. *)
+(** One-shot convenience wrapper; runs on either backend (identical
+    results — see {!Plane}). *)

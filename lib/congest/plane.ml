@@ -1,0 +1,49 @@
+type backend = Congest | Sharded
+
+let backend_name = function Congest -> "congest" | Sharded -> "sharded"
+
+let backend_of_string = function
+  | "congest" -> Ok Congest
+  | "sharded" | "mpc" -> Ok Sharded
+  | s -> Error (Printf.sprintf "unknown backend %S (congest|sharded)" s)
+
+let backends = [ Congest; Sharded ]
+
+type ('state, 'msg) exec = {
+  states : 'state array;
+  metrics : Metrics.t;
+  stop : Superstep.stop_reason;
+  mem_words : int;
+}
+
+let run ?(backend = Congest) ?pool ?shards ?jitter ?tracer ?max_rounds ~codec
+    g protocol =
+  match backend with
+  | Congest ->
+    (* The codec is unused here — per-link rings carry the messages
+       themselves — but requiring it keeps every protocol runnable on
+       both backends by construction. *)
+    ignore codec;
+    ignore shards;
+    let eng = Engine.create ?pool ?jitter ?tracer g protocol in
+    let stop = Engine.run ?max_rounds eng in
+    {
+      states = Engine.states eng;
+      metrics = Engine.metrics eng;
+      stop;
+      mem_words = Engine.mem_words eng;
+    }
+  | Sharded ->
+    (match jitter with
+    | Some _ ->
+      invalid_arg
+        "Plane.run: the sharded backend is strictly synchronous (no jitter)"
+    | None -> ());
+    let eng = Shard_engine.create ?pool ?shards ?tracer ~codec g protocol in
+    let stop = Shard_engine.run ?max_rounds eng in
+    {
+      states = Shard_engine.states eng;
+      metrics = Shard_engine.metrics eng;
+      stop;
+      mem_words = Shard_engine.mem_words eng;
+    }

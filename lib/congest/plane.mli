@@ -1,0 +1,46 @@
+(** Backend selection for the superstep message plane.
+
+    One entry point runs a {!Superstep.protocol} to completion on
+    either backend:
+
+    - {!Congest} ({!Engine}): per-link FIFO ring delivery. The
+      faithful CONGEST simulator; supports jitter (bounded link
+      asynchrony); lowest constant factors at small n.
+    - {!Sharded} ({!Shard_engine}): MPC-style bulk exchange between
+      contiguous node shards. Strictly synchronous; built for
+      n = 10^5..10^6.
+
+    Both produce byte-identical protocol results and {!Metrics} (the
+    canonical inbox order pins the interleavings), so the choice is
+    purely an execution-cost decision. *)
+
+type backend = Congest | Sharded
+
+val backend_name : backend -> string
+
+val backend_of_string : string -> (backend, string) result
+(** Accepts ["congest"], ["sharded"] (alias ["mpc"]). *)
+
+val backends : backend list
+
+type ('state, 'msg) exec = {
+  states : 'state array;
+  metrics : Metrics.t;
+  stop : Superstep.stop_reason;
+  mem_words : int;  (** plane backbone footprint at completion *)
+}
+
+val run :
+  ?backend:backend ->
+  ?pool:Ds_parallel.Pool.t ->
+  ?shards:int ->
+  ?jitter:Engine.jitter ->
+  ?tracer:Trace.t ->
+  ?max_rounds:int ->
+  codec:'msg Superstep.codec ->
+  Ds_graph.Graph.t ->
+  ('state, 'msg) Superstep.protocol ->
+  ('state, 'msg) exec
+(** [backend] defaults to {!Congest}. [shards] only affects
+    {!Sharded} (default: pool width); [jitter] is only supported on
+    {!Congest} — combining it with {!Sharded} raises. *)

@@ -119,12 +119,39 @@ type result = {
   children : int list array;
 }
 
-let run ?pool ?jitter ?tracer g =
-  let eng = Engine.create ?pool ?jitter ?tracer g (protocol ()) in
-  (match Engine.run eng with
-  | Engine.All_halted | Engine.Quiescent -> ()
-  | Engine.Round_limit -> failwith "Setup: round limit hit");
-  let states = Engine.states eng in
+let codec =
+  let open Ds_util in
+  {
+    Superstep.encode =
+      (fun b m ->
+        match m with
+        | Cand c ->
+          Ivec.push b 0;
+          Ivec.push b c
+        | Cand_echo c ->
+          Ivec.push b 1;
+          Ivec.push b c
+        | Build -> Ivec.push b 2
+        | Build_claim -> Ivec.push b 3
+        | Build_echo -> Ivec.push b 4
+        | Done -> Ivec.push b 5);
+    decode =
+      (fun w o ->
+        match Ivec.get w o with
+        | 0 -> Cand (Ivec.get w (o + 1))
+        | 1 -> Cand_echo (Ivec.get w (o + 1))
+        | 2 -> Build
+        | 3 -> Build_claim
+        | 4 -> Build_echo
+        | _ -> Done);
+  }
+
+let run ?backend ?pool ?shards ?jitter ?tracer g =
+  let r = Plane.run ?backend ?pool ?shards ?jitter ?tracer ~codec g (protocol ()) in
+  (match r.Plane.stop with
+  | All_halted | Quiescent -> ()
+  | Round_limit -> failwith "Setup: round limit hit");
+  let states = r.Plane.states in
   let leader =
     match Array.find_opt (fun st -> st.is_leader) states with
     | Some st -> st.id
@@ -147,6 +174,6 @@ let run ?pool ?jitter ?tracer g =
         !acc)
       states
   in
-  let m = Engine.metrics eng in
+  let m = r.Plane.metrics in
   Metrics.mark_phase m "setup";
   ({ leader; parent; children }, m)

@@ -16,7 +16,8 @@ type result = {
 }
 
 val run :
-  ?pool:Ds_parallel.Pool.t -> ?jitter:Engine.jitter -> ?tracer:Trace.t ->
+  ?backend:Plane.backend -> ?pool:Ds_parallel.Pool.t -> ?shards:int ->
+  ?jitter:Engine.jitter -> ?tracer:Trace.t ->
   Ds_graph.Graph.t -> result * Metrics.t
 (** Under link asynchrony ([jitter]) the elected leader and the
     spanning tree remain correct, but the tree is no longer a BFS tree

@@ -69,18 +69,38 @@ type result = {
   children : int list array;
 }
 
-let run ?pool ?jitter ?tracer g ~sources =
+let codec =
+  let open Ds_util in
+  {
+    Superstep.encode =
+      (fun b m ->
+        match m with
+        | Update { src; dist } ->
+          Ivec.push b 0;
+          Ivec.push b src;
+          Ivec.push b dist
+        | Claim -> Ivec.push b 1
+        | Unclaim -> Ivec.push b 2);
+    decode =
+      (fun w o ->
+        match Ivec.get w o with
+        | 0 -> Update { src = Ivec.get w (o + 1); dist = Ivec.get w (o + 2) }
+        | 1 -> Claim
+        | _ -> Unclaim);
+  }
+
+let run ?backend ?pool ?shards ?jitter ?tracer g ~sources =
   let n = Graph.n g in
   let src_set = Array.make n false in
   List.iter (fun s -> src_set.(s) <- true) sources;
-  let eng =
-    Engine.create ?pool ?jitter ?tracer g
+  let r =
+    Plane.run ?backend ?pool ?shards ?jitter ?tracer ~codec g
       (protocol ~is_source:(fun u -> src_set.(u)))
   in
-  (match Engine.run eng with
-  | Engine.Quiescent | Engine.All_halted -> ()
-  | Engine.Round_limit -> failwith "Super_bf: round limit hit");
-  let states = Engine.states eng in
+  (match r.Plane.stop with
+  | Quiescent | All_halted -> ()
+  | Round_limit -> failwith "Super_bf: round limit hit");
+  let states = r.Plane.states in
   let dist = Array.map (fun st -> st.best_dist) states in
   let nearest =
     Array.map (fun st -> if st.best_src = max_int then -1 else st.best_src) states
@@ -102,7 +122,7 @@ let run ?pool ?jitter ?tracer g ~sources =
         !acc)
       states
   in
-  let m = Engine.metrics eng in
+  let m = r.Plane.metrics in
   Metrics.mark_phase m "super-bf";
   ({ dist; nearest; parent; children }, m)
 

@@ -17,11 +17,17 @@ type result = {
   children : int list array;  (** forest children node IDs *)
 }
 
+type msg
+
+val codec : msg Superstep.codec
+
 val run :
-  ?pool:Ds_parallel.Pool.t -> ?jitter:Engine.jitter -> ?tracer:Trace.t ->
+  ?backend:Plane.backend -> ?pool:Ds_parallel.Pool.t -> ?shards:int ->
+  ?jitter:Engine.jitter -> ?tracer:Trace.t ->
   Ds_graph.Graph.t -> sources:int list -> result * Metrics.t
 (** Bellman–Ford is self-stabilising to link delays, so the result is
-    exact under [jitter] too. *)
+    exact under [jitter] too ([jitter] requires the congest
+    backend). *)
 
 val single_source :
   ?pool:Ds_parallel.Pool.t -> Ds_graph.Graph.t -> src:int ->

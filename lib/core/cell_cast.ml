@@ -1,5 +1,7 @@
 module Graph = Ds_graph.Graph
 module Engine = Ds_congest.Engine
+module Plane = Ds_congest.Plane
+module Superstep = Ds_congest.Superstep
 module Super_bf = Ds_congest.Super_bf
 
 type msg = Chunk of int * int
@@ -59,18 +61,30 @@ let protocol ~forest ~payload : (state, msg) Engine.protocol =
         emit api st);
   }
 
-let run ?pool g ~forest ~payload =
-  let eng = Engine.create ?pool g (protocol ~forest ~payload) in
-  (match Engine.run eng with
-  | Engine.Quiescent | Engine.All_halted -> ()
-  | Engine.Round_limit -> failwith "Cell_cast: round limit hit");
+let codec =
+  let open Ds_util in
+  {
+    Superstep.encode =
+      (fun b (Chunk (a, c)) ->
+        Ivec.push b a;
+        Ivec.push b c);
+    decode = (fun w o -> Chunk (Ivec.get w o, Ivec.get w (o + 1)));
+  }
+
+let run ?backend ?pool ?shards g ~forest ~payload =
+  let r =
+    Plane.run ?backend ?pool ?shards ~codec g (protocol ~forest ~payload)
+  in
+  (match r.Plane.stop with
+  | Quiescent | All_halted -> ()
+  | Round_limit -> failwith "Cell_cast: round limit hit");
   let received =
     Array.mapi
       (fun u st ->
         if forest.Super_bf.parent.(u) < 0 then payload u
         else Array.of_list (List.rev st.received))
-      (Engine.states eng)
+      r.Plane.states
   in
-  let m = Engine.metrics eng in
+  let m = r.Plane.metrics in
   Ds_congest.Metrics.mark_phase m "cell-cast";
   (received, m)

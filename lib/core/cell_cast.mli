@@ -12,7 +12,8 @@
     deserializes). *)
 
 val run :
-  ?pool:Ds_parallel.Pool.t -> Ds_graph.Graph.t ->
+  ?backend:Ds_congest.Plane.backend -> ?pool:Ds_parallel.Pool.t ->
+  ?shards:int -> Ds_graph.Graph.t ->
   forest:Ds_congest.Super_bf.result -> payload:(int -> (int * int) array) ->
   (int * int) array array * Ds_congest.Metrics.t
 (** [run g ~forest ~payload] streams [payload w] from every forest

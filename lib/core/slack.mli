@@ -25,7 +25,8 @@ type result = {
 }
 
 val build_distributed :
-  ?pool:Ds_parallel.Pool.t -> rng:Ds_util.Rng.t -> Ds_graph.Graph.t ->
+  ?backend:Ds_congest.Plane.backend -> ?pool:Ds_parallel.Pool.t ->
+  ?shards:int -> rng:Ds_util.Rng.t -> Ds_graph.Graph.t ->
   eps:float -> result
 (** Samples the ε-density net locally, then one multi-source
     Bellman–Ford from the whole net; [metrics] is the full CONGEST

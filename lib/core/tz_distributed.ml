@@ -1,6 +1,7 @@
 module Graph = Ds_graph.Graph
 module Dist = Ds_graph.Dist
 module Engine = Ds_congest.Engine
+module Plane = Ds_congest.Plane
 module Metrics = Ds_congest.Metrics
 module Multi_bf = Ds_congest.Multi_bf
 
@@ -8,9 +9,10 @@ type result = {
   labels : Label.t array;
   metrics : Metrics.t;
   max_pending : int;
+  mem_words : int;
 }
 
-let build ?pool ?tracer g ~levels =
+let build ?backend ?pool ?shards ?tracer g ~levels =
   let n = Graph.n g in
   let k = Levels.k levels in
   let labels = Array.init n (fun u -> Label.create ~owner:u ~k) in
@@ -19,17 +21,21 @@ let build ?pool ?tracer g ~levels =
   let pivot = Array.make n Dist.none in
   let phase_metrics = ref [] in
   let max_pending = ref 0 in
+  let mem_words = ref 0 in
   for i = k - 1 downto 0 do
     let proto =
       Multi_bf.protocol
         ~is_source:(fun u -> Levels.level levels u = i)
         ~bound:(fun u -> pivot.(u))
     in
-    let eng = Engine.create ?pool ?tracer g proto in
-    (match Engine.run eng with
-    | Engine.Quiescent | Engine.All_halted -> ()
-    | Engine.Round_limit -> failwith "Tz_distributed: round limit hit");
-    let m = Engine.metrics eng in
+    let r =
+      Plane.run ?backend ?pool ?shards ?tracer ~codec:Multi_bf.codec g proto
+    in
+    (match r.Plane.stop with
+    | Quiescent | All_halted -> ()
+    | Round_limit -> failwith "Tz_distributed: round limit hit");
+    let m = r.Plane.metrics in
+    mem_words := max !mem_words r.Plane.mem_words;
     Metrics.mark_phase m (Printf.sprintf "phase-%d" i);
     phase_metrics := m :: !phase_metrics;
     (* Fold this phase into the labels and lower the pivots. *)
@@ -46,9 +52,9 @@ let build ?pool ?tracer g ~levels =
         let d, p = !best in
         if Dist.is_finite d then
           Label.set_pivot labels.(u) ~level:i ~dist:d ~node:p)
-      (Engine.states eng)
+      r.Plane.states
   done;
   let metrics =
     List.fold_left Metrics.add (Metrics.create ()) (List.rev !phase_metrics)
   in
-  { labels; metrics; max_pending = !max_pending }
+  { labels; metrics; max_pending = !max_pending; mem_words = !mem_words }

@@ -312,6 +312,74 @@ let family_name = function
   | Power_law _ -> "power-law"
   | Star_ring _ -> "star-ring"
 
+(* Streaming generators for the scale experiments: edges go straight
+   into a {!Graph.Builder} (flat int vectors, one CSR pass), so peak
+   memory is O(m) words with no per-edge boxing — the hashtable
+   [Edge_set] above costs ~10x that and dies first at n = 10^6.
+   Duplicate draws are resolved by the builder ([`Keep_first]), which
+   matches [Edge_set.add]'s first-write-wins semantics. *)
+
+let stream_tree ~rng ~weights ~n b =
+  spanning_edges rng n (fun v u -> Graph.Builder.add_edge b u v (draw_weight rng weights))
+
+let streaming_tree ~rng ?(weights = unit_weights) ~n () =
+  if n < 2 then invalid_arg "streaming_tree: n < 2";
+  let b = Graph.Builder.create ~expect_edges:(n - 1) ~n () in
+  stream_tree ~rng ~weights ~n b;
+  Graph.Builder.build ~on_duplicate:`Keep_first b
+
+let streaming_sparse ~rng ?(weights = unit_weights) ~n ~avg_degree () =
+  if n < 2 then invalid_arg "streaming_sparse: n < 2";
+  if avg_degree < 2.0 then invalid_arg "streaming_sparse: avg_degree < 2";
+  (* Spanning skeleton for connectivity + expected-count extra edges,
+     exactly the [erdos_renyi] recipe minus the hashtable. *)
+  let extra =
+    int_of_float (ceil ((avg_degree -. 2.0) *. float_of_int n /. 2.0))
+  in
+  let b = Graph.Builder.create ~expect_edges:(n - 1 + extra) ~n () in
+  stream_tree ~rng ~weights ~n b;
+  for _ = 1 to extra do
+    let u = Rng.int rng n and v = Rng.int rng n in
+    if u <> v then Graph.Builder.add_edge b u v (draw_weight rng weights)
+  done;
+  Graph.Builder.build ~on_duplicate:`Keep_first b
+
+let streaming_torus ~rng ?(weights = unit_weights) ~n () =
+  let side = max 3 (int_of_float (sqrt (float_of_int n))) in
+  let id r c = (r * side) + c in
+  let b = Graph.Builder.create ~expect_edges:(2 * side * side) ~n:(side * side) () in
+  for r = 0 to side - 1 do
+    for c = 0 to side - 1 do
+      Graph.Builder.add_edge b (id r c)
+        (id r ((c + 1) mod side))
+        (draw_weight rng weights);
+      Graph.Builder.add_edge b (id r c)
+        (id ((r + 1) mod side) c)
+        (draw_weight rng weights)
+    done
+  done;
+  Graph.Builder.build ~on_duplicate:`Keep_first b
+
+type scale_family = S_sparse of { avg_degree : float } | S_torus | S_tree
+
+let scale_family_name = function
+  | S_sparse _ -> "sparse"
+  | S_torus -> "torus"
+  | S_tree -> "tree"
+
+let scale_family_of_string ?(avg_degree = 8.0) s =
+  match s with
+  | "sparse" -> S_sparse { avg_degree }
+  | "torus" -> S_torus
+  | "tree" -> S_tree
+  | s -> invalid_arg ("unknown scale family: " ^ s)
+
+let build_scale ~rng ?(weights = unit_weights) family ~n =
+  match family with
+  | S_sparse { avg_degree } -> streaming_sparse ~rng ~weights ~n ~avg_degree ()
+  | S_torus -> streaming_torus ~rng ~weights ~n ()
+  | S_tree -> streaming_tree ~rng ~weights ~n ()
+
 let build ~rng ?(weights = default_weights) family ~n =
   match family with
   | Erdos_renyi { avg_degree } -> erdos_renyi ~rng ~weights ~n ~avg_degree ()

@@ -95,3 +95,37 @@ val build :
   rng:Ds_util.Rng.t -> ?weights:weight_spec -> family -> n:int -> Graph.t
 (** Uniform entry point used by the experiment harness; [n] is the
     (approximate, for grids) node count. *)
+
+(** {1 Streaming generators}
+
+    Edges are pushed straight into a {!Graph.Builder} (flat int
+    vectors, one CSR pass) instead of a hashtable edge set, so peak
+    memory stays O(m) words with no per-edge boxing. These are the
+    generators behind the [--scale] experiment at n = 10^5..10^6;
+    weights default to unit. *)
+
+val streaming_sparse :
+  rng:Ds_util.Rng.t -> ?weights:weight_spec -> n:int -> avg_degree:float ->
+  unit -> Graph.t
+(** Random spanning skeleton plus expected-count uniform extra edges —
+    the [erdos_renyi] recipe, streamed. Duplicate draws are dropped
+    (first write wins), so the realised average degree is slightly
+    below [avg_degree]. *)
+
+val streaming_torus :
+  rng:Ds_util.Rng.t -> ?weights:weight_spec -> n:int -> unit -> Graph.t
+(** [side x side] torus with [side = floor (sqrt n)]. *)
+
+val streaming_tree :
+  rng:Ds_util.Rng.t -> ?weights:weight_spec -> n:int -> unit -> Graph.t
+(** Uniform random recursive tree, streamed. *)
+
+type scale_family = S_sparse of { avg_degree : float } | S_torus | S_tree
+
+val scale_family_name : scale_family -> string
+
+val scale_family_of_string : ?avg_degree:float -> string -> scale_family
+(** ["sparse" | "torus" | "tree"]; raises [Invalid_argument] otherwise. *)
+
+val build_scale :
+  rng:Ds_util.Rng.t -> ?weights:weight_spec -> scale_family -> n:int -> Graph.t

@@ -191,6 +191,27 @@ let query_batch ?(pool = Pool.sequential) t pairs =
          done));
   out
 
+(* The boxed-pairs batch above still did not scale past one domain
+   (B12 stayed ~flat 1 -> 8 domains): every iteration loads a [(u,v)]
+   pointer and then the tuple's two fields — a dependent cache miss per
+   pair into an array the domains share — and adjacent chunks share
+   cache lines of [out] at their boundaries. The flat path removes
+   both: endpoints live inline in one int array ([u] at [2i], [v] at
+   [2i+1]), and work is handed out in blocks of 8 pairs so every
+   chunk's [out] writes are 64-byte aligned — no false sharing. *)
+let query_batch_flat ?(pool = Pool.sequential) t flat =
+  let len = Array.length flat in
+  if len land 1 <> 0 then invalid_arg "Oracle.query_batch_flat: odd length";
+  let m = len / 2 in
+  let out = Array.make (max 1 m) 0 in
+  let blocks = (m + 7) / 8 in
+  ignore
+    (Pool.parallel_chunks pool ~n:blocks (fun _ blo bhi ->
+         for i = 8 * blo to min m (8 * bhi) - 1 do
+           out.(i) <- query t flat.(2 * i) flat.((2 * i) + 1)
+         done));
+  if m = 0 then [||] else out
+
 type batch_stats = {
   pairs : int;
   elapsed_ns : float;
@@ -199,6 +220,14 @@ type batch_stats = {
 }
 
 let now_ns () = Int64.to_float (Monotonic_clock.now ())
+
+let batch_stats_of ~m ~elapsed_ns ~lat ~sample =
+  {
+    pairs = m;
+    elapsed_ns;
+    qps = float_of_int m /. (elapsed_ns /. 1e9);
+    latency_ns = Stats.summarize (if sample = 0 then [| 0.0 |] else lat);
+  }
 
 let run_batch ?pool ?(latency_sample = 1024) t pairs =
   let m = Array.length pairs in
@@ -215,13 +244,21 @@ let run_batch ?pool ?(latency_sample = 1024) t pairs =
         ignore (query t u v);
         now_ns () -. s0)
   in
-  let stats =
-    {
-      pairs = m;
-      elapsed_ns;
-      qps = float_of_int m /. (elapsed_ns /. 1e9);
-      latency_ns =
-        Stats.summarize (if sample = 0 then [| 0.0 |] else lat);
-    }
+  (out, batch_stats_of ~m ~elapsed_ns ~lat ~sample)
+
+let run_batch_flat ?pool ?(latency_sample = 1024) t flat =
+  let m = Array.length flat / 2 in
+  let t0 = now_ns () in
+  let out = query_batch_flat ?pool t flat in
+  let t1 = now_ns () in
+  let elapsed_ns = max 1.0 (t1 -. t0) in
+  let sample = min latency_sample m in
+  let lat =
+    Array.init sample (fun i ->
+        let j = i * m / max 1 sample in
+        let u = flat.(2 * j) and v = flat.((2 * j) + 1) in
+        let s0 = now_ns () in
+        ignore (query t u v);
+        now_ns () -. s0)
   in
-  (out, stats)
+  (out, batch_stats_of ~m ~elapsed_ns ~lat ~sample)

@@ -61,6 +61,15 @@ val query_batch : ?pool:Ds_parallel.Pool.t -> t -> (int * int) array -> int arra
     sequential). Result slot [i] depends only on pair [i], so the
     output is identical for every pool size. *)
 
+val query_batch_flat : ?pool:Ds_parallel.Pool.t -> t -> int array -> int array
+(** Same as {!query_batch} over the flat layout of
+    {!Workload.pairs_flat} (pair [i] at indices [2i], [2i+1]); the fast
+    path. Endpoints are inline ints (no tuple pointer chase) and work
+    is dealt in 8-pair blocks, so each domain's result writes are
+    cache-line aligned — this is what let batch throughput actually
+    scale with the pool (bench B12). Raises [Invalid_argument] on an
+    odd-length array. *)
+
 type batch_stats = {
   pairs : int;
   elapsed_ns : float;  (** wall-clock of the parallel batch *)
@@ -81,3 +90,12 @@ val run_batch :
     throughput, then up to [latency_sample] (default 1024) queries are
     re-run sequentially one-by-one for the latency distribution. The
     returned answers are those of the parallel run. *)
+
+val run_batch_flat :
+  ?pool:Ds_parallel.Pool.t ->
+  ?latency_sample:int ->
+  t ->
+  int array ->
+  int array * batch_stats
+(** {!run_batch} over the flat pair layout — the serving path the CLI
+    uses. *)

@@ -39,14 +39,15 @@ let zipf_sampler ~rng ~n ~alpha =
     done;
     perm.(!lo)
 
+let draw_of ~rng kind ~n =
+  match kind with
+  | Uniform -> fun rng -> Rng.int rng n
+  | Zipf { alpha } -> zipf_sampler ~rng ~n ~alpha
+
 let pairs ~rng kind ~n ~count =
   if n < 2 then invalid_arg "Workload.pairs: need n >= 2";
   if count < 0 then invalid_arg "Workload.pairs: negative count";
-  let draw =
-    match kind with
-    | Uniform -> fun rng -> Rng.int rng n
-    | Zipf { alpha } -> zipf_sampler ~rng ~n ~alpha
-  in
+  let draw = draw_of ~rng kind ~n in
   Array.init count (fun _ ->
       let u = draw rng in
       let v0 = draw rng in
@@ -55,3 +56,21 @@ let pairs ~rng kind ~n ~count =
          two or three draws. *)
       let v = if v0 = u then (u + 1 + Rng.int rng (n - 1)) mod n else v0 in
       (u, v))
+
+(* Same stream, flat layout: pair [i] is [(flat.(2i), flat.(2i+1))].
+   This is what {!Oracle.query_batch_flat} wants — no tuple boxing on
+   the serving path. Identical RNG consumption to {!pairs}, so the two
+   layouts generate the same workload for a given seed. *)
+let pairs_flat ~rng kind ~n ~count =
+  if n < 2 then invalid_arg "Workload.pairs_flat: need n >= 2";
+  if count < 0 then invalid_arg "Workload.pairs_flat: negative count";
+  let draw = draw_of ~rng kind ~n in
+  let flat = Array.make (max 1 (2 * count)) 0 in
+  for i = 0 to count - 1 do
+    let u = draw rng in
+    let v0 = draw rng in
+    let v = if v0 = u then (u + 1 + Rng.int rng (n - 1)) mod n else v0 in
+    flat.(2 * i) <- u;
+    flat.((2 * i) + 1) <- v
+  done;
+  if count = 0 then [||] else flat

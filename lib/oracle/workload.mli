@@ -27,3 +27,9 @@ val pairs :
 (** [pairs ~rng kind ~n ~count] draws [count] query pairs [(u, v)]
     with [0 <= u, v < n] and [u <> v]. Requires [n >= 2] and
     [count >= 0]. *)
+
+val pairs_flat : rng:Ds_util.Rng.t -> kind -> n:int -> count:int -> int array
+(** Same stream as {!pairs} (identical RNG consumption, so the same
+    seed yields the same workload), laid out flat: pair [i] is
+    [(flat.(2i), flat.(2i+1))]. The layout {!Oracle.query_batch_flat}
+    consumes without boxing. *)

@@ -3,6 +3,7 @@ type t = { mutable a : int array; mutable len : int }
 let create ?(capacity = 16) () = { a = Array.make (max 1 capacity) 0; len = 0 }
 
 let length t = t.len
+let capacity t = Array.length t.a
 let is_empty t = t.len = 0
 
 let get t i =

@@ -9,6 +9,10 @@ type t
 
 val create : ?capacity:int -> unit -> t
 val length : t -> int
+
+val capacity : t -> int
+(** Backing-array size in words (>= {!length}); memory accounting. *)
+
 val is_empty : t -> bool
 val get : t -> int -> int
 val set : t -> int -> int -> unit

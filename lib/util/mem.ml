@@ -1,0 +1,38 @@
+(* Process-memory introspection for the bench harness and the scale
+   experiment. Linux exposes resident-set numbers in
+   [/proc/self/status]; elsewhere the probes degrade to [None] so the
+   callers can keep their JSON schema (null fields) without gating on
+   the platform. *)
+
+let parse_kb line =
+  (* "VmRSS:     123456 kB" -> 123456 *)
+  let is_digit c = c >= '0' && c <= '9' in
+  let n = String.length line in
+  let rec start i = if i < n && not (is_digit line.[i]) then start (i + 1) else i in
+  let rec stop i = if i < n && is_digit line.[i] then stop (i + 1) else i in
+  let lo = start 0 in
+  let hi = stop lo in
+  if hi > lo then int_of_string_opt (String.sub line lo (hi - lo)) else None
+
+let status_kb key =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> None
+  | ic ->
+    let prefix = key ^ ":" in
+    let plen = String.length prefix in
+    let rec scan () =
+      match input_line ic with
+      | exception End_of_file -> None
+      | line ->
+        if String.length line > plen && String.sub line 0 plen = prefix then
+          parse_kb line
+        else scan ()
+    in
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) scan
+
+let rss_kb () = status_kb "VmRSS"
+let hwm_kb () = status_kb "VmHWM"
+
+let heap_words () =
+  let st = Gc.quick_stat () in
+  st.Gc.heap_words

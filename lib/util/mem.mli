@@ -1,0 +1,12 @@
+(** Process-memory probes (Linux [/proc/self/status]; [None] when the
+    file is absent, so callers stay portable). *)
+
+val rss_kb : unit -> int option
+(** Current resident set size, in kB. *)
+
+val hwm_kb : unit -> int option
+(** Peak resident set size ("high-water mark"), in kB. *)
+
+val heap_words : unit -> int
+(** Major-heap size of the OCaml runtime, in words (from
+    [Gc.quick_stat]; cheap, no heap walk). *)

@@ -1,0 +1,213 @@
+(* The two-backend contract: a protocol run is a pure function of
+   (graph, protocol) — the congest engine and the MPC-style sharded
+   engine produce byte-identical states and metrics, for every pool
+   size and every shard count. The canonical inbox order (ascending
+   sender index, unique per round) is what pins the interleavings. *)
+
+module Rng = Ds_util.Rng
+module Ivec = Ds_util.Ivec
+module Graph = Ds_graph.Graph
+module Gen = Ds_graph.Gen
+module Plane = Ds_congest.Plane
+module Superstep = Ds_congest.Superstep
+module Metrics = Ds_congest.Metrics
+module Multi_bf = Ds_congest.Multi_bf
+module Levels = Ds_core.Levels
+module Label = Ds_core.Label
+module Tz = Ds_core.Tz_distributed
+module Slack = Ds_core.Slack
+module Cdg = Ds_core.Cdg
+module Pool = Ds_parallel.Pool
+
+let check_metrics_equal name a b =
+  Alcotest.(check int) (name ^ " rounds") (Metrics.rounds a) (Metrics.rounds b);
+  Alcotest.(check int)
+    (name ^ " messages")
+    (Metrics.messages a) (Metrics.messages b);
+  Alcotest.(check int) (name ^ " words") (Metrics.words a) (Metrics.words b);
+  Alcotest.(check int)
+    (name ^ " backlog")
+    (Metrics.max_link_backlog a)
+    (Metrics.max_link_backlog b)
+
+let labels_equal name a b =
+  Alcotest.(check int) (name ^ " label count") (Array.length a) (Array.length b);
+  Array.iteri
+    (fun u la ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s label %d" name u)
+        true (Label.equal la b.(u)))
+    a
+
+let graph seed n = Gen.erdos_renyi ~rng:(Rng.create seed) ~n ~avg_degree:5.0 ()
+
+(* One congest reference run per construction, then the sharded
+   backend across pool sizes: results must match the reference bit for
+   bit. Domain counts beyond the host's core count still run (chunks
+   just queue), so the matrix is stable on any machine. *)
+let domain_matrix = [ 1; 2; 4; 8 ]
+
+let test_tz_cross_backend () =
+  let g = graph 301 120 in
+  let levels = Levels.sample ~rng:(Rng.create 302) ~n:(Graph.n g) ~k:3 in
+  let ref_r = Tz.build ~backend:Plane.Congest g ~levels in
+  List.iter
+    (fun domains ->
+      Pool.with_pool ~domains @@ fun pool ->
+      let r = Tz.build ~backend:Plane.Sharded ~pool g ~levels in
+      let name = Printf.sprintf "tz d=%d" domains in
+      labels_equal name ref_r.Tz.labels r.Tz.labels;
+      check_metrics_equal name ref_r.Tz.metrics r.Tz.metrics;
+      Alcotest.(check int)
+        (name ^ " max_pending")
+        ref_r.Tz.max_pending r.Tz.max_pending)
+    domain_matrix
+
+let test_slack_cross_backend () =
+  let g = graph 303 140 in
+  let ref_r =
+    Slack.build_distributed ~backend:Plane.Congest ~rng:(Rng.create 304) g
+      ~eps:0.25
+  in
+  List.iter
+    (fun domains ->
+      Pool.with_pool ~domains @@ fun pool ->
+      let r =
+        Slack.build_distributed ~backend:Plane.Sharded ~pool
+          ~rng:(Rng.create 304) g ~eps:0.25
+      in
+      let name = Printf.sprintf "slack d=%d" domains in
+      Alcotest.(check bool)
+        (name ^ " sketches")
+        true
+        (ref_r.Slack.sketches = r.Slack.sketches);
+      Alcotest.(check bool) (name ^ " net") true (ref_r.Slack.net = r.Slack.net);
+      check_metrics_equal name ref_r.Slack.metrics r.Slack.metrics)
+    domain_matrix
+
+let test_cdg_cross_backend () =
+  let g = graph 305 130 in
+  let ref_r =
+    Cdg.build_distributed ~backend:Plane.Congest ~rng:(Rng.create 306) g
+      ~eps:0.3 ~k:2
+  in
+  List.iter
+    (fun domains ->
+      Pool.with_pool ~domains @@ fun pool ->
+      let r =
+        Cdg.build_distributed ~backend:Plane.Sharded ~pool
+          ~rng:(Rng.create 306) g ~eps:0.3 ~k:2
+      in
+      let name = Printf.sprintf "cdg d=%d" domains in
+      Array.iteri
+        (fun u (s : Cdg.sketch) ->
+          let s' = r.Cdg.sketches.(u) in
+          Alcotest.(check int) (name ^ " nearest") s.Cdg.nearest s'.Cdg.nearest;
+          Alcotest.(check int)
+            (name ^ " nearest_dist")
+            s.Cdg.nearest_dist s'.Cdg.nearest_dist;
+          Alcotest.(check bool)
+            (name ^ " net_label")
+            true
+            (Label.equal s.Cdg.net_label s'.Cdg.net_label);
+          Alcotest.(check bool)
+            (name ^ " own_label")
+            true
+            (Label.equal s.Cdg.own_label s'.Cdg.own_label))
+        ref_r.Cdg.sketches;
+      check_metrics_equal name ref_r.Cdg.metrics r.Cdg.metrics)
+    domain_matrix
+
+(* Shard count is an execution knob, not a semantic one: any shard
+   count on any pool produces the reference run. *)
+let test_shard_count_invariant () =
+  let g = graph 307 90 in
+  let levels = Levels.sample ~rng:(Rng.create 308) ~n:(Graph.n g) ~k:2 in
+  let ref_r = Tz.build ~backend:Plane.Congest g ~levels in
+  Pool.with_pool ~domains:3 @@ fun pool ->
+  List.iter
+    (fun shards ->
+      let r = Tz.build ~backend:Plane.Sharded ~pool ~shards g ~levels in
+      let name = Printf.sprintf "shards=%d" shards in
+      labels_equal name ref_r.Tz.labels r.Tz.labels;
+      check_metrics_equal name ref_r.Tz.metrics r.Tz.metrics)
+    [ 1; 2; 3; 7; 90; 500 ]
+
+let test_codec_roundtrip () =
+  let w = Ivec.create ~capacity:8 () in
+  List.iter
+    (fun (src, dist) ->
+      Ivec.clear w;
+      Multi_bf.codec.Superstep.encode w (src, dist);
+      Alcotest.(check (pair int int))
+        "multi-bf codec" (src, dist)
+        (Multi_bf.codec.Superstep.decode w 0))
+    [ (0, 0); (17, 42); (99_999, max_int / 2); (1, 1) ]
+
+(* Messages whose physical width differs per constructor share one
+   batch; decode must consume exactly what encode pushed. Run a
+   protocol that mixes 1-, 2- and 3-word messages (super-bf) through
+   the sharded plane and pin it to congest. *)
+let test_variable_width_messages () =
+  let g = graph 309 80 in
+  let sources = [ 0; 40 ] in
+  let ref_r, ref_m =
+    Ds_congest.Super_bf.run ~backend:Plane.Congest g ~sources
+  in
+  Pool.with_pool ~domains:4 @@ fun pool ->
+  let r, m = Ds_congest.Super_bf.run ~backend:Plane.Sharded ~pool g ~sources in
+  Alcotest.(check (array int)) "dist" ref_r.Ds_congest.Super_bf.dist
+    r.Ds_congest.Super_bf.dist;
+  Alcotest.(check (array int)) "parent" ref_r.Ds_congest.Super_bf.parent
+    r.Ds_congest.Super_bf.parent;
+  check_metrics_equal "super-bf" ref_m m
+
+(* The audited word budget of the message-plane backbone (DESIGN.md
+   "Sharded build plane"): at most 48 words per directed link plus 32
+   words per node, on either backend. Checked at n = 10^5 — the scale
+   the sharded plane exists for — with a streaming sparse graph and an
+   unrestricted 4-source flood (rings at their high-water mark). *)
+let test_memory_budget_at_scale () =
+  let n = 100_000 in
+  let g = Gen.streaming_sparse ~rng:(Rng.create 310) ~n ~avg_degree:8.0 () in
+  let directed_links = 2 * Graph.m g in
+  let budget = (48 * directed_links) + (32 * n) in
+  let sources = [ 0; n / 3; n / 2; (2 * n) / 3 ] in
+  let src_set = Array.make n false in
+  List.iter (fun s -> src_set.(s) <- true) sources;
+  Pool.with_pool ~domains:2 @@ fun pool ->
+  List.iter
+    (fun backend ->
+      let r =
+        Plane.run ~backend ~pool ~codec:Multi_bf.codec g
+          (Multi_bf.protocol
+             ~is_source:(fun u -> src_set.(u))
+             ~bound:(fun _ -> Ds_graph.Dist.none))
+      in
+      (match r.Plane.stop with
+      | Superstep.Quiescent | Superstep.All_halted -> ()
+      | Superstep.Round_limit -> Alcotest.fail "round limit");
+      let name = Plane.backend_name backend in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s plane fits budget (%d <= %d)" name
+           r.Plane.mem_words budget)
+        true
+        (r.Plane.mem_words <= budget))
+    Plane.backends
+
+let suite =
+  [
+    Alcotest.test_case "tz congest = sharded across pools" `Quick
+      test_tz_cross_backend;
+    Alcotest.test_case "slack congest = sharded across pools" `Quick
+      test_slack_cross_backend;
+    Alcotest.test_case "cdg congest = sharded across pools" `Quick
+      test_cdg_cross_backend;
+    Alcotest.test_case "shard count invariant" `Quick
+      test_shard_count_invariant;
+    Alcotest.test_case "multi-bf codec roundtrip" `Quick test_codec_roundtrip;
+    Alcotest.test_case "variable-width messages cross-backend" `Quick
+      test_variable_width_messages;
+    Alcotest.test_case "memory budget at n=1e5" `Slow
+      test_memory_budget_at_scale;
+  ]

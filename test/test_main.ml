@@ -10,6 +10,7 @@ let () =
       ("metrics", Test_metrics.suite);
       ("engine-extra", Test_engine_extra.suite);
       ("determinism", Test_determinism.suite);
+      ("backend", Test_backend.suite);
       ("trace", Test_trace.suite);
       ("tz", Test_tz.suite);
       ("oracle", Test_oracle.suite);
