@@ -174,42 +174,44 @@ let bench_tests () =
   in
   (slow, fast)
 
-let json_escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
+module Json = Ds_util.Json
 
-let opt_int = function Some v -> string_of_int v | None -> "null"
+let opt_int = function Some v -> Json.Int v | None -> Json.Null
 
-let save_json ~path rows =
+(* [extra] carries the structured sections (the B12 scaling table, the
+   B16/B17 serving sweeps) next to the flat benchmark rows. [cores]
+   records the host parallelism the run had available — without it the
+   domain-scaling rows are uninterpretable (a 1-core container shows
+   flat QPS for every pool size, and that is correct behaviour, not a
+   regression). *)
+let save_json ~path ~extra rows =
+  let row_json (name, ns_per_run, r2) =
+    Json.Obj
+      [
+        ("name", Json.String name);
+        ("ns_per_run", Json.Float ns_per_run);
+        ("r_square", match r2 with Some v -> Json.Float v | None -> Json.Null);
+      ]
+  in
+  let doc =
+    Json.Obj
+      (("benchmarks", Json.List (List.map row_json rows))
+      :: extra
+      @ [
+          ("cores", Json.Int (Domain.recommended_domain_count ()));
+          (* Process-level memory footprint of the whole bench run: a
+             regression canary, not a per-benchmark figure. *)
+          ( "mem",
+            Json.Obj
+              [
+                ("rss_kb", opt_int (Ds_util.Mem.rss_kb ()));
+                ("hwm_kb", opt_int (Ds_util.Mem.hwm_kb ()));
+                ("heap_words", Json.Int (Ds_util.Mem.heap_words ()));
+              ] );
+        ])
+  in
   let oc = open_out path in
-  output_string oc "{\n  \"benchmarks\": [\n";
-  List.iteri
-    (fun i (name, ns_per_run, r2) ->
-      Printf.fprintf oc
-        "    {\"name\": \"%s\", \"ns_per_run\": %.3f, \"r_square\": %s}%s\n"
-        (json_escape name) ns_per_run
-        (match r2 with Some v -> Printf.sprintf "%.6f" v | None -> "null")
-        (if i < List.length rows - 1 then "," else ""))
-    rows;
-  output_string oc "  ],\n";
-  (* Process-level memory footprint of the whole bench run: a
-     regression canary, not a per-benchmark figure. *)
-  Printf.fprintf oc
-    "  \"mem\": {\"rss_kb\": %s, \"hwm_kb\": %s, \"heap_words\": %d}\n"
-    (opt_int (Ds_util.Mem.rss_kb ()))
-    (opt_int (Ds_util.Mem.hwm_kb ()))
-    (Ds_util.Mem.heap_words ());
-  output_string oc "}\n";
+  output_string oc (Json.to_string doc);
   close_out oc;
   Printf.printf "(json: %s)\n" path
 
@@ -218,7 +220,9 @@ let save_json ~path rows =
    bulk throughput (ns per query over a 200k-pair batch), measured
    directly with the monotonic clock after a warm-up pass. On a
    multi-core host the ns/query figure drops as domains grow; answers
-   are bit-identical for every pool size (pinned by the test suite). *)
+   are bit-identical for every pool size (pinned by the test suite).
+   Returns the flat rows plus the structured before/after scaling
+   table (the diagnosis artifact behind the B12 fix). *)
 let oracle_batch_rows ~quick () =
   let n = 1024 and pairs_count = if quick then 50_000 else 200_000 in
   let g = Gen.erdos_renyi ~rng:(Rng.create 7) ~n ~avg_degree:6.0 () in
@@ -236,44 +240,208 @@ let oracle_batch_rows ~quick () =
     Workload.pairs_flat ~rng:(Rng.create 9) Workload.Uniform ~n
       ~count:pairs_count
   in
-  (* Boxed rows first (the regression being fixed stays on record),
-     then the flat-layout rows: same seed, same pairs, same oracle —
-     the delta is purely the [(u,v)] pointer chase plus the cache-line
+  (* Boxed first (the "before" of the regression stays on record),
+     then the flat layout: same seed, same pairs, same oracle — the
+     delta is purely the [(u,v)] pointer chase plus the cache-line
      sharing at chunk boundaries. *)
-  List.concat_map
-    (fun domains ->
-      Pool.with_pool ~domains (fun pool ->
-          ignore (Oracle.query_batch ~pool oracle pairs);
-          let best = ref infinity in
-          for _ = 1 to passes do
-            let _, stats =
-              Oracle.run_batch ~pool ~latency_sample:0 oracle pairs
-            in
-            if stats.Oracle.elapsed_ns < !best then
-              best := stats.Oracle.elapsed_ns
-          done;
-          ignore (Oracle.query_batch_flat ~pool oracle flat);
-          let best_flat = ref infinity in
-          for _ = 1 to passes do
-            let _, stats =
-              Oracle.run_batch_flat ~pool ~latency_sample:0 oracle flat
-            in
-            if stats.Oracle.elapsed_ns < !best_flat then
-              best_flat := stats.Oracle.elapsed_ns
-          done;
-          [
-            ( Printf.sprintf
-                "B12 oracle batch query boxed (n=1024, %dk pairs, domains=%d)"
-                (pairs_count / 1000) domains,
+  let measured =
+    List.map
+      (fun domains ->
+        Pool.with_pool ~domains (fun pool ->
+            ignore (Oracle.query_batch ~pool oracle pairs);
+            let best = ref infinity in
+            for _ = 1 to passes do
+              let _, stats =
+                Oracle.run_batch ~pool ~latency_sample:0 oracle pairs
+              in
+              if stats.Oracle.elapsed_ns < !best then
+                best := stats.Oracle.elapsed_ns
+            done;
+            ignore (Oracle.query_batch_flat ~pool oracle flat);
+            let best_flat = ref infinity in
+            for _ = 1 to passes do
+              let _, stats =
+                Oracle.run_batch_flat ~pool ~latency_sample:0 oracle flat
+              in
+              if stats.Oracle.elapsed_ns < !best_flat then
+                best_flat := stats.Oracle.elapsed_ns
+            done;
+            ( domains,
               !best /. float_of_int pairs_count,
-              None );
-            ( Printf.sprintf
-                "B12 oracle batch query flat (n=1024, %dk pairs, domains=%d)"
-                (pairs_count / 1000) domains,
-              !best_flat /. float_of_int pairs_count,
-              None );
-          ]))
-    [ 1; 2; 4; 8 ]
+              !best_flat /. float_of_int pairs_count )))
+      [ 1; 2; 4; 8 ]
+  in
+  let rows =
+    List.concat_map
+      (fun (domains, boxed, flat_ns) ->
+        [
+          ( Printf.sprintf
+              "B12 oracle batch query boxed (n=1024, %dk pairs, domains=%d)"
+              (pairs_count / 1000) domains,
+            boxed,
+            None );
+          ( Printf.sprintf
+              "B12 oracle batch query flat (n=1024, %dk pairs, domains=%d)"
+              (pairs_count / 1000) domains,
+            flat_ns,
+            None );
+        ])
+      measured
+  in
+  let table =
+    Json.Obj
+      [
+        ("bench", Json.String "B12");
+        ("n", Json.Int n);
+        ("pairs", Json.Int pairs_count);
+        ( "root_cause",
+          Json.String
+            "per-pair closure dispatch through parallel_for plus a \
+             dependent (u,v) tuple load per pair and false sharing of \
+             result cache lines at chunk boundaries; fixed by \
+             chunk-granularity dispatch over a flat endpoint array with \
+             8-pair block-aligned writes" );
+        ( "rows",
+          Json.List
+            (List.map
+               (fun (domains, boxed, flat_ns) ->
+                 Json.Obj
+                   [
+                     ("domains", Json.Int domains);
+                     ("before_boxed_ns_per_pair", Json.Float boxed);
+                     ("after_flat_ns_per_pair", Json.Float flat_ns);
+                   ])
+               measured) );
+      ]
+  in
+  (rows, table)
+
+(* B16/B17: the serving loop (Serve.run). B16 measures delivered QPS
+   vs pool size on a large Zipf batch, closed loop, hot-pair cache on
+   — the row the CI throughput floor gates. B17 sweeps the Zipf
+   exponent at a fixed configuration and records the measured cache
+   hit rate (deterministic: static block-cyclic assignment makes cache
+   contents a pure function of stream and config). *)
+let serve_rows ~quick () =
+  let n = 1024 in
+  let g = Gen.erdos_renyi ~rng:(Rng.create 7) ~n ~avg_degree:6.0 () in
+  let levels = Levels.sample ~rng:(Rng.create 8) ~n ~k:3 in
+  let oracle = Oracle.of_labels (Ds_core.Tz_centralized.build g ~levels) in
+  let serve = Ds_oracle.Serve.run in
+  let b16_pairs = if quick then 100_000 else 200_000 in
+  let b16_alpha = 1.2 and b16_bits = 12 in
+  let b16_flat =
+    Workload.pairs_flat ~rng:(Rng.create 15)
+      (Workload.Zipf { alpha = b16_alpha })
+      ~n ~count:b16_pairs
+  in
+  let passes = if quick then 2 else 4 in
+  let b16 =
+    List.map
+      (fun domains ->
+        Pool.with_pool ~domains (fun pool ->
+            let config =
+              { Ds_oracle.Serve.default_config with cache_bits = b16_bits }
+            in
+            ignore (serve ~pool ~config oracle b16_flat);
+            let best_qps = ref 0. and hit_rate = ref 0. in
+            for _ = 1 to passes do
+              let _, stats = serve ~pool ~config oracle b16_flat in
+              if stats.Ds_oracle.Serve.qps > !best_qps then
+                best_qps := stats.Ds_oracle.Serve.qps;
+              hit_rate := stats.Ds_oracle.Serve.hit_rate
+            done;
+            (domains, !best_qps, !hit_rate)))
+      [ 1; 2; 4; 8 ]
+  in
+  let b17_pairs = 100_000 and b17_bits = 14 in
+  let b17 =
+    List.map
+      (fun kind ->
+        let flat =
+          Workload.pairs_flat ~rng:(Rng.create 16) kind ~n ~count:b17_pairs
+        in
+        let config =
+          { Ds_oracle.Serve.default_config with cache_bits = b17_bits }
+        in
+        let _, stats = serve ~config oracle flat in
+        (kind, stats.Ds_oracle.Serve.hit_rate, stats.Ds_oracle.Serve.qps))
+      [
+        Workload.Uniform;
+        Workload.Zipf { alpha = 0.6 };
+        Workload.Zipf { alpha = 0.9 };
+        Workload.Zipf { alpha = 1.2 };
+        Workload.Zipf { alpha = 1.5 };
+      ]
+  in
+  let rows =
+    List.map
+      (fun (domains, qps, hit_rate) ->
+        ( Printf.sprintf
+            "B16 serve loop (n=%d, %dk zipf:%.1f pairs, cache=%db, \
+             hit=%.2f, domains=%d)"
+            n (b16_pairs / 1000) b16_alpha b16_bits hit_rate domains,
+          1e9 /. qps,
+          None ))
+      b16
+    @ List.map
+        (fun (kind, hit_rate, qps) ->
+          ( Printf.sprintf
+              "B17 serve cache hit %.3f (n=%d, %dk %s pairs, cache=%db)"
+              hit_rate n (b17_pairs / 1000) (Workload.name kind) b17_bits,
+            1e9 /. qps,
+            None ))
+        b17
+  in
+  let table =
+    Json.Obj
+      [
+        ( "b16",
+          Json.Obj
+            [
+              ("n", Json.Int n);
+              ("pairs", Json.Int b16_pairs);
+              ("workload", Json.String (Printf.sprintf "zipf(%.2f)" b16_alpha));
+              ("cache_bits", Json.Int b16_bits);
+              ( "rows",
+                Json.List
+                  (List.map
+                     (fun (domains, qps, hit_rate) ->
+                       Json.Obj
+                         [
+                           ("domains", Json.Int domains);
+                           ("qps", Json.Float qps);
+                           ("ns_per_pair", Json.Float (1e9 /. qps));
+                           ("hit_rate", Json.Float hit_rate);
+                         ])
+                     b16) );
+            ] );
+        ( "b17",
+          Json.Obj
+            [
+              ("n", Json.Int n);
+              ("pairs", Json.Int b17_pairs);
+              ("domains", Json.Int 1);
+              ("cache_bits", Json.Int b17_bits);
+              ( "rows",
+                Json.List
+                  (List.map
+                     (fun (kind, hit_rate, qps) ->
+                       Json.Obj
+                         [
+                           ("workload", Json.String (Workload.name kind));
+                           ( "alpha",
+                             match kind with
+                             | Workload.Zipf { alpha } -> Json.Float alpha
+                             | Workload.Uniform -> Json.Null );
+                           ("hit_rate", Json.Float hit_rate);
+                           ("qps", Json.Float qps);
+                         ])
+                     b17) );
+            ] );
+      ]
+  in
+  (rows, table)
 
 let now_ns () = Int64.to_float (Mclock.now ())
 
@@ -396,17 +564,22 @@ let run_microbenches ~quick () =
         (name, est, r2))
       rows
   in
+  let b12_rows, b12_table = oracle_batch_rows ~quick () in
+  let b16_rows, serve_table = serve_rows ~quick () in
   let batch_rows =
-    oracle_batch_rows ~quick ()
+    b12_rows
     @ backend_build_rows ~quick ()
     @ scale_build_row ~quick ()
+    @ b16_rows
   in
   List.iter
     (fun (name, est, _) ->
       Ds_util.Table.add_row t [ name; pretty_ns est; "-" ])
     batch_rows;
   Ds_util.Table.print t;
-  save_json ~path:"BENCH_engine.json" (json_rows @ batch_rows)
+  save_json ~path:"BENCH_engine.json"
+    ~extra:[ ("b12_scaling", b12_table); ("serve", serve_table) ]
+    (json_rows @ batch_rows)
 
 (* --trace: one traced multi-bf execution, exported as the round log
    and a Chrome trace file next to BENCH_engine.json. *)

@@ -15,6 +15,7 @@ module Pool = Ds_parallel.Pool
 module Store = Ds_oracle.Sketch_store
 module Oracle = Ds_oracle.Oracle
 module Workload = Ds_oracle.Workload
+module Serve = Ds_oracle.Serve
 module Json = Ds_util.Json
 
 open Cmdliner
@@ -684,7 +685,45 @@ let oracle_cmd =
             "Skip the exact-distance comparison (one Dijkstra per distinct \
              source); the summary then reports null stretch.")
   in
-  let run family n seed k domains load save workload pairs qseed skip_exact =
+  let serve_arg =
+    Arg.(
+      value & flag
+      & info [ "serve" ]
+          ~doc:
+            "Run the batch through the serving loop (sharded per-domain \
+             request queues, batched admission, optional hot-pair cache, \
+             open-loop pacing) instead of the one-shot parallel batch; the \
+             summary gains per-domain QPS, cache hit rate and p999 latency.")
+  in
+  let rate_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "rate" ] ~docv:"QPS"
+          ~doc:
+            "Offered load for $(b,--serve) in queries/second; requests \
+             arrive open-loop at this rate, so queueing delay shows up in \
+             the latency percentiles. 0 (default) serves closed-loop at \
+             full speed.")
+  in
+  let cache_bits_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "cache-bits" ] ~docv:"B"
+          ~doc:
+            "log2 of the per-domain hot-pair cache slots for $(b,--serve) \
+             (0 = no cache). Cached answers are byte-identical to uncached \
+             ones.")
+  in
+  let batch_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "batch" ] ~docv:"N"
+          ~doc:
+            "Admission batch for $(b,--serve): pairs admitted per queue \
+             dequeue (amortizes dispatch and clock reads).")
+  in
+  let run family n seed k domains load save workload pairs qseed skip_exact
+      serve rate cache_bits batch =
     with_domains domains @@ fun pool ->
     let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt in
     let store, source =
@@ -725,7 +764,30 @@ let oracle_cmd =
           let u, v = stream.(i / 2) in
           if i land 1 = 0 then u else v)
     in
-    let answers, stats = Oracle.run_batch_flat ~pool oracle flat in
+    let serve_result =
+      if not serve then None
+      else begin
+        if batch < 1 then fail "--batch must be >= 1";
+        if cache_bits < 0 || cache_bits > Serve.max_cache_bits then
+          fail "--cache-bits must be in [0, %d]" Serve.max_cache_bits;
+        if rate < 0.0 then fail "--rate must be >= 0";
+        Some
+          (Serve.run ~pool
+             ~config:{ Serve.batch; cache_bits; rate }
+             oracle flat)
+      end
+    in
+    let answers, stats =
+      match serve_result with
+      | Some (answers, _) ->
+        (* Timing fields below come from the serve stats; this keeps
+           the answers identical between the two paths (pinned by the
+           serve test suite). *)
+        (answers, None)
+      | None ->
+        let answers, stats = Oracle.run_batch_flat ~pool oracle flat in
+        (answers, Some stats)
+    in
     (* Exact stretch needs the graph. A snapshot records its generation
        recipe (family name + seed), so regenerate when possible; give
        up gracefully when the family is unknown or the node count
@@ -762,34 +824,100 @@ let oracle_cmd =
             ("bound", Json.Int ((2 * meta.Store.k) - 1));
           ]
     in
-    let lat = stats.Oracle.latency_ns in
+    let id_fields =
+      [
+        ("source", Json.String source);
+        ("n", Json.Int meta.Store.n);
+        ("k", Json.Int meta.Store.k);
+        ("family", Json.String meta.Store.family);
+        ("seed", Json.Int meta.Store.seed);
+        ("size_words", Json.Int (Oracle.size_words oracle));
+        ("workload", Json.String (Workload.name workload));
+      ]
+    in
     let summary =
-      Json.Obj
-        [
-          ("schema", Json.String "oracle-summary/1");
-          ("source", Json.String source);
-          ("n", Json.Int meta.Store.n);
-          ("k", Json.Int meta.Store.k);
-          ("family", Json.String meta.Store.family);
-          ("seed", Json.Int meta.Store.seed);
-          ("size_words", Json.Int (Oracle.size_words oracle));
-          ("workload", Json.String (Workload.name workload));
-          ("pairs", Json.Int stats.Oracle.pairs);
-          ("domains", Json.Int domains);
-          ("qps", Json.Float stats.Oracle.qps);
-          ("elapsed_ns", Json.Float stats.Oracle.elapsed_ns);
-          ( "latency_ns",
-            Json.Obj
-              [
-                ("mean", Json.Float lat.Ds_util.Stats.mean);
-                ("p50", Json.Float lat.Ds_util.Stats.p50);
-                ("p90", Json.Float lat.Ds_util.Stats.p90);
-                ("p99", Json.Float lat.Ds_util.Stats.p99);
-                ("max", Json.Float lat.Ds_util.Stats.max);
-              ] );
-          ("stretch", stretch_json);
-          ("results_fnv", Json.String (answers_fnv answers));
-        ]
+      match (serve_result, stats) with
+      | Some (_, s), _ ->
+        let lat = s.Serve.latency_ns in
+        Json.Obj
+          (("schema", Json.String "oracle-serve/1")
+          :: id_fields
+          @ [
+              ("pairs", Json.Int s.Serve.pairs);
+              ("domains", Json.Int domains);
+              ("batch", Json.Int batch);
+              ("rate", Json.Float s.Serve.offered_qps);
+              ("qps", Json.Float s.Serve.qps);
+              ("elapsed_ns", Json.Float s.Serve.elapsed_ns);
+              ( "latency_ns",
+                Json.Obj
+                  [
+                    ("mean", Json.Float lat.Serve.mean);
+                    ("p50", Json.Float lat.Serve.p50);
+                    ("p90", Json.Float lat.Serve.p90);
+                    ("p99", Json.Float lat.Serve.p99);
+                    ("p999", Json.Float lat.Serve.p999);
+                    ("max", Json.Float lat.Serve.max);
+                  ] );
+              ( "cache",
+                Json.Obj
+                  [
+                    ("bits", Json.Int cache_bits);
+                    ( "hits",
+                      Json.Int
+                        (Array.fold_left
+                           (fun acc (w : Serve.worker_stats) ->
+                             acc + w.Serve.hits)
+                           0 s.Serve.per_worker) );
+                    ( "misses",
+                      Json.Int
+                        (Array.fold_left
+                           (fun acc (w : Serve.worker_stats) ->
+                             acc + w.Serve.misses)
+                           0 s.Serve.per_worker) );
+                    ("hit_rate", Json.Float s.Serve.hit_rate);
+                  ] );
+              ( "per_domain",
+                Json.List
+                  (Array.to_list
+                     (Array.map
+                        (fun (w : Serve.worker_stats) ->
+                          Json.Obj
+                            [
+                              ("domain", Json.Int w.Serve.worker);
+                              ("served", Json.Int w.Serve.served);
+                              ("hits", Json.Int w.Serve.hits);
+                              ("misses", Json.Int w.Serve.misses);
+                              ("busy_ns", Json.Float w.Serve.busy_ns);
+                              ("qps", Json.Float w.Serve.worker_qps);
+                            ])
+                        s.Serve.per_worker)) );
+              ("stretch", stretch_json);
+              ("results_fnv", Json.String (answers_fnv answers));
+            ])
+      | None, Some stats ->
+        let lat = stats.Oracle.latency_ns in
+        Json.Obj
+          (("schema", Json.String "oracle-summary/1")
+          :: id_fields
+          @ [
+              ("pairs", Json.Int stats.Oracle.pairs);
+              ("domains", Json.Int domains);
+              ("qps", Json.Float stats.Oracle.qps);
+              ("elapsed_ns", Json.Float stats.Oracle.elapsed_ns);
+              ( "latency_ns",
+                Json.Obj
+                  [
+                    ("mean", Json.Float lat.Ds_util.Stats.mean);
+                    ("p50", Json.Float lat.Ds_util.Stats.p50);
+                    ("p90", Json.Float lat.Ds_util.Stats.p90);
+                    ("p99", Json.Float lat.Ds_util.Stats.p99);
+                    ("max", Json.Float lat.Ds_util.Stats.max);
+                  ] );
+              ("stretch", stretch_json);
+              ("results_fnv", Json.String (answers_fnv answers));
+            ])
+      | None, None -> assert false
     in
     print_string (Json.to_string summary)
   in
@@ -799,11 +927,14 @@ let oracle_cmd =
          "Serve a batch of distance queries from the compact local oracle \
           (built fresh or loaded from a $(b,build --save) snapshot) and \
           print a JSON summary: throughput, latency percentiles, stretch \
-          vs exact distances.")
+          vs exact distances. With $(b,--serve), run the full serving loop \
+          (sharded queues, batched admission, hot-pair cache, open-loop \
+          rate) and report per-domain QPS, cache hit rate and p999 \
+          latency.")
     Term.(
       const run $ family_arg $ n_arg $ seed_arg $ k_arg $ domains_arg
       $ load_arg $ save_arg $ workload_arg $ pairs_arg $ qseed_arg
-      $ skip_exact_arg)
+      $ skip_exact_arg $ serve_arg $ rate_arg $ cache_bits_arg $ batch_arg)
 
 (* ---- query ---- *)
 

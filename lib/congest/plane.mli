@@ -17,16 +17,22 @@
 type backend = Congest | Sharded
 
 val backend_name : backend -> string
+(** ["congest"] / ["sharded"] — the names the CLI's [--backend] flag
+    accepts and artifacts record. *)
 
 val backend_of_string : string -> (backend, string) result
 (** Accepts ["congest"], ["sharded"] (alias ["mpc"]). *)
 
 val backends : backend list
+(** Every backend, in sweep order — what experiments iterate over for
+    head-to-head rows. *)
 
 type ('state, 'msg) exec = {
-  states : 'state array;
+  states : 'state array;  (** final per-node protocol states *)
   metrics : Metrics.t;
-  stop : Superstep.stop_reason;
+      (** rounds/messages/words accounting — byte-identical across
+          backends *)
+  stop : Superstep.stop_reason;  (** why the run ended *)
   mem_words : int;  (** plane backbone footprint at completion *)
 }
 

@@ -36,17 +36,30 @@ val create :
     {!Engine.create}. *)
 
 val graph : ('state, 'msg) t -> Ds_graph.Graph.t
+(** The graph the engine was created on. *)
+
 val metrics : ('state, 'msg) t -> Metrics.t
+(** Cost accounting so far — byte-identical to an {!Engine} run of the
+    same protocol. *)
+
 val states : ('state, 'msg) t -> 'state array
+(** Per-node protocol states, indexed by node id. *)
+
 val state : ('state, 'msg) t -> int -> 'state
+(** [state t u] = [(states t).(u)]. *)
+
 val shards : ('state, 'msg) t -> int
+(** The shard count actually in use (after capping at [n]). *)
 
 val step : ('state, 'msg) t -> unit
 (** One synchronous superstep: exchange, deliver, compute, absorb. *)
 
 val run : ?max_rounds:int -> ('state, 'msg) t -> Superstep.stop_reason
+(** Step until quiescent, all halted, or [max_rounds] supersteps
+    (default: unbounded). *)
 
 val quiescent : ('state, 'msg) t -> bool
+(** No message in flight and none queued for the next exchange. *)
 
 val mem_words : ('state, 'msg) t -> int
 (** Backbone footprint in machine words: link tables, ring and batch

@@ -39,7 +39,11 @@ module Inbox : sig
   type 'msg t
 
   val create : unit -> 'msg t
+  (** An empty inbox; backends make one per node and reuse it. *)
+
   val length : 'msg t -> int
+  (** Deliveries in this round's inbox. *)
+
   val is_empty : 'msg t -> bool
 
   val from : 'msg t -> int -> int
@@ -49,13 +53,20 @@ module Inbox : sig
   (** Payload of the [i]th delivery. *)
 
   val iter : (int -> 'msg -> unit) -> 'msg t -> unit
+  (** [iter f t] calls [f from msg] per delivery, in canonical order.
+      Hot protocol loops prefer indexed {!from}/{!msg} access — the
+      callback closure is an allocation per round. *)
+
   val fold : ('a -> int -> 'msg -> 'a) -> 'a -> 'msg t -> 'a
   val to_list : 'msg t -> (int * 'msg) list
 
   (** The remaining operations are for backends, not protocols. *)
 
   val push : 'msg t -> int -> 'msg -> unit
+  (** Append one delivery (backend-side; grows the buffer as needed). *)
+
   val clear : 'msg t -> unit
+  (** Forget the deliveries, keep the capacity. *)
 
   val mem_words : 'msg t -> int
   (** Backing capacity in words ([msgs] slots count one word each). *)
@@ -80,6 +91,9 @@ type ('state, 'msg) protocol = {
 }
 
 type stop_reason = Quiescent | All_halted | Round_limit
+(** Why a run ended: no message in flight and none sent ([Quiescent]),
+    every node's [halted] predicate true ([All_halted]), or the
+    caller's [max_rounds] cap reached ([Round_limit]). *)
 
 type 'msg codec = {
   encode : Ds_util.Ivec.t -> 'msg -> unit;

@@ -28,9 +28,14 @@ val of_labels : Ds_core.Label.t array -> t
     [k]; raises [Invalid_argument] otherwise. *)
 
 val of_store : Sketch_store.t -> t
+(** Compile a loaded snapshot's labels — the serving process's whole
+    startup path: [load] then [of_store]. *)
 
 val n : t -> int
+(** Node count; valid query endpoints are [0 .. n-1]. *)
+
 val k : t -> int
+(** Hierarchy depth shared by every compiled label. *)
 
 val size_words : t -> int
 (** Total size in the paper's units: the sum of

@@ -1,0 +1,223 @@
+module Pool = Ds_parallel.Pool
+
+type config = { batch : int; cache_bits : int; rate : float }
+
+let default_config = { batch = 64; cache_bits = 0; rate = 0. }
+let max_cache_bits = 24
+
+type worker_stats = {
+  worker : int;
+  served : int;
+  hits : int;
+  misses : int;
+  busy_ns : float;
+  worker_qps : float;
+}
+
+type latency = {
+  mean : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  p999 : float;
+  max : float;
+}
+
+type stats = {
+  pairs : int;
+  workers : int;
+  elapsed_ns : float;
+  qps : float;
+  offered_qps : float;
+  hit_rate : float;
+  latency_ns : latency;
+  per_worker : worker_stats array;
+}
+
+let now_ns () = Int64.to_float (Monotonic_clock.now ())
+
+(* Sleep for long admission waits, spin for the last millisecond: a
+   sleeping worker wakes late by a scheduler quantum, a spinning one
+   burns a core another worker could use. The crossover keeps pacing
+   accurate without starving co-scheduled workers on small hosts. *)
+let rec wait_until target =
+  let now = now_ns () in
+  if now < target then begin
+    if target -. now > 2e6 then Unix.sleepf ((target -. now -. 1e6) /. 1e9)
+    else Domain.cpu_relax ();
+    wait_until target
+  end
+
+(* Percentile by linear interpolation over an already-sorted array —
+   same convention as [Ds_util.Stats.percentile], but sorting once for
+   all five percentiles instead of copying per call (the latency array
+   covers every request, not a sample). *)
+let percentile_sorted a p =
+  let n = Array.length a in
+  if n = 0 then 0.
+  else begin
+    let rank = p /. 100. *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = min (n - 1) (lo + 1) in
+    let frac = rank -. float_of_int lo in
+    a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
+  end
+
+let summarize_latency lat =
+  let n = Array.length lat in
+  if n = 0 then { mean = 0.; p50 = 0.; p90 = 0.; p99 = 0.; p999 = 0.; max = 0. }
+  else begin
+    let sorted = Array.copy lat in
+    Array.sort Float.compare sorted;
+    let sum = Array.fold_left ( +. ) 0. sorted in
+    {
+      mean = sum /. float_of_int n;
+      p50 = percentile_sorted sorted 50.;
+      p90 = percentile_sorted sorted 90.;
+      p99 = percentile_sorted sorted 99.;
+      p999 = percentile_sorted sorted 99.9;
+      max = sorted.(n - 1);
+    }
+  end
+
+(* Direct-mapped slot for a packed pair key: multiplicative hash
+   (SplitMix64's odd constant), top [bits] of the 62-bit product so
+   nearby keys spread. *)
+let cache_slot key bits = (key * 0x2545F4914F6CDD1D) lsr (63 - bits)
+
+let run ?(pool = Pool.sequential) ?(config = default_config) oracle flat =
+  let len = Array.length flat in
+  if len land 1 <> 0 then invalid_arg "Serve.run: odd-length pair stream";
+  if config.batch < 1 then invalid_arg "Serve.run: batch must be >= 1";
+  if config.cache_bits < 0 || config.cache_bits > max_cache_bits then
+    invalid_arg
+      (Printf.sprintf "Serve.run: cache_bits must be in [0, %d]" max_cache_bits);
+  if config.rate < 0. || not (Float.is_finite config.rate) then
+    invalid_arg "Serve.run: rate must be finite and >= 0";
+  let m = len / 2 in
+  let workers = Pool.domains pool in
+  if m = 0 then
+    ( [||],
+      {
+        pairs = 0;
+        workers;
+        elapsed_ns = 0.;
+        qps = 0.;
+        offered_qps = config.rate;
+        hit_rate = 0.;
+        latency_ns = summarize_latency [||];
+        per_worker =
+          Array.init workers (fun worker ->
+              {
+                worker;
+                served = 0;
+                hits = 0;
+                misses = 0;
+                busy_ns = 0.;
+                worker_qps = 0.;
+              });
+      } )
+  else begin
+    let batch = config.batch in
+    let n_oracle = Oracle.n oracle in
+    let blocks = (m + batch - 1) / batch in
+    let out = Array.make m 0 in
+    let lat = Array.make m 0. in
+    (* Per-worker results live in plain arrays written exactly once per
+       worker at the end of its run — the hot loop touches only
+       domain-local counters, so nothing is falsely shared. *)
+    let served_a = Array.make workers 0 in
+    let hits_a = Array.make workers 0 in
+    let busy_a = Array.make workers 0. in
+    (* ns between consecutive arrivals; 0 = closed loop, no pacing. *)
+    let gap_ns = if config.rate > 0. then 1e9 /. config.rate else 0. in
+    let t0 = now_ns () in
+    let run_worker w =
+      let cache_size = if config.cache_bits = 0 then 0 else 1 lsl config.cache_bits in
+      (* Keys are packed pairs u*n + v >= 0, so -1 marks an empty slot. *)
+      let cache_key = Array.make (max 1 cache_size) (-1) in
+      let cache_val = Array.make (max 1 cache_size) 0 in
+      let bits = config.cache_bits in
+      let served = ref 0 and hits = ref 0 and busy = ref 0. in
+      let j = ref w in
+      while !j < blocks do
+        let lo = !j * batch in
+        let hi = min m (lo + batch) in
+        (* Open loop: the block is admitted once its last request has
+           arrived. The admission clock read doubles as the closed-loop
+           latency base. *)
+        if gap_ns > 0. then wait_until (t0 +. (gap_ns *. float_of_int (hi - 1)));
+        let t_adm = now_ns () in
+        if cache_size = 0 then
+          for i = lo to hi - 1 do
+            out.(i) <- Oracle.query oracle flat.(2 * i) flat.((2 * i) + 1)
+          done
+        else
+          for i = lo to hi - 1 do
+            let u = flat.(2 * i) and v = flat.((2 * i) + 1) in
+            let key = (u * n_oracle) + v in
+            let slot = cache_slot key bits in
+            if cache_key.(slot) = key then begin
+              out.(i) <- cache_val.(slot);
+              incr hits
+            end
+            else begin
+              let d = Oracle.query oracle u v in
+              cache_key.(slot) <- key;
+              cache_val.(slot) <- d;
+              out.(i) <- d
+            end
+          done;
+        let t_done = now_ns () in
+        busy := !busy +. (t_done -. t_adm);
+        served := !served + (hi - lo);
+        (* One latency write per request, against its arrival (open
+           loop: queueing included) or its block's admission (closed
+           loop: pure service time). *)
+        if gap_ns > 0. then
+          for i = lo to hi - 1 do
+            lat.(i) <- t_done -. (t0 +. (gap_ns *. float_of_int i))
+          done
+        else
+          for i = lo to hi - 1 do
+            lat.(i) <- t_done -. t_adm
+          done;
+        j := !j + workers
+      done;
+      served_a.(w) <- !served;
+      hits_a.(w) <- !hits;
+      busy_a.(w) <- !busy
+    in
+    ignore
+      (Pool.parallel_chunks pool ~n:workers (fun _ lo hi ->
+           for w = lo to hi - 1 do
+             run_worker w
+           done));
+    let elapsed_ns = max 1. (now_ns () -. t0) in
+    let per_worker =
+      Array.init workers (fun w ->
+          {
+            worker = w;
+            served = served_a.(w);
+            hits = hits_a.(w);
+            misses = served_a.(w) - hits_a.(w);
+            busy_ns = busy_a.(w);
+            worker_qps =
+              (if busy_a.(w) > 0. then
+                 float_of_int served_a.(w) /. (busy_a.(w) /. 1e9)
+               else 0.);
+          })
+    in
+    let total_hits = Array.fold_left ( + ) 0 hits_a in
+    ( out,
+      {
+        pairs = m;
+        workers;
+        elapsed_ns;
+        qps = float_of_int m /. (elapsed_ns /. 1e9);
+        offered_qps = config.rate;
+        hit_rate = float_of_int total_hits /. float_of_int m;
+        latency_ns = summarize_latency lat;
+        per_worker;
+      } )
+  end

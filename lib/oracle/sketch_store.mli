@@ -55,7 +55,10 @@ val v : ?seed:int -> ?family:string -> Ds_core.Label.t array -> t
     otherwise. *)
 
 val magic : string
+(** The 8-byte file magic (["DSKETCH1"]). *)
+
 val version : int
+(** The format version this build reads and writes. *)
 
 val to_bytes : t -> string
 (** Serialize to the layout above. Deterministic: equal stores (in the

@@ -21,6 +21,8 @@ val kind_of_string : string -> (kind, string) result
 (** ["uniform"] / ["zipf"] / ["zipf:<alpha>"]. *)
 
 val name : kind -> string
+(** Display name, e.g. ["uniform"] / ["zipf(1.20)"] — what artifacts
+    record in their [workload] field. *)
 
 val pairs :
   rng:Ds_util.Rng.t -> kind -> n:int -> count:int -> (int * int) array

@@ -14,6 +14,7 @@ let () =
       ("trace", Test_trace.suite);
       ("tz", Test_tz.suite);
       ("oracle", Test_oracle.suite);
+      ("serve", Test_serve.suite);
       ("slack", Test_slack.suite);
       ("async", Test_async.suite);
       ("spanner", Test_spanner.suite);
