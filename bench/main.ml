@@ -374,6 +374,38 @@ let serve_rows ~quick () =
         Workload.Zipf { alpha = 1.5 };
       ]
   in
+  (* B18: the metrics plane's cost on the serving hot path. Same
+     stream and config as B16 at a fixed pool width, best-of-passes on
+     both sides; obs + a live sampler is the full instrumented
+     configuration the CI smoke runs. The gate (ci.yml) holds the
+     delta at <= 2% — and 0% when [?obs] is absent, which is B16's
+     own row measured with no registry in the process. *)
+  let b18_domains = 4 in
+  let b18_off, b18_on =
+    Pool.with_pool ~domains:b18_domains (fun pool ->
+        let config =
+          { Ds_oracle.Serve.default_config with cache_bits = b16_bits }
+        in
+        let best run =
+          ignore (run ());
+          let best_qps = ref 0. in
+          for _ = 1 to passes do
+            let _, stats = run () in
+            if stats.Ds_oracle.Serve.qps > !best_qps then
+              best_qps := stats.Ds_oracle.Serve.qps
+          done;
+          !best_qps
+        in
+        let off = best (fun () -> serve ~pool ~config oracle b16_flat) in
+        let on =
+          best (fun () ->
+              let obs = Ds_obs.Obs.create () in
+              let sampler = Ds_obs.Sampler.create ~interval_ms:100 obs in
+              serve ~pool ~config ~obs ~sampler oracle b16_flat)
+        in
+        (off, on))
+  in
+  let b18_overhead_pct = (b18_off -. b18_on) /. b18_off *. 100. in
   let rows =
     List.map
       (fun (domains, qps, hit_rate) ->
@@ -384,6 +416,14 @@ let serve_rows ~quick () =
           1e9 /. qps,
           None ))
       b16
+    @ [
+        ( Printf.sprintf
+            "B18 serve with obs+sampler (n=%d, %dk zipf:%.1f pairs, \
+             domains=%d, overhead=%.2f%%)"
+            n (b16_pairs / 1000) b16_alpha b18_domains b18_overhead_pct,
+          1e9 /. b18_on,
+          None );
+      ]
     @ List.map
         (fun (kind, hit_rate, qps) ->
           ( Printf.sprintf
@@ -438,6 +478,17 @@ let serve_rows ~quick () =
                            ("qps", Json.Float qps);
                          ])
                      b17) );
+            ] );
+        ( "b18",
+          Json.Obj
+            [
+              ("n", Json.Int n);
+              ("pairs", Json.Int b16_pairs);
+              ("domains", Json.Int b18_domains);
+              ("cache_bits", Json.Int b16_bits);
+              ("qps_off", Json.Float b18_off);
+              ("qps_on", Json.Float b18_on);
+              ("overhead_pct", Json.Float b18_overhead_pct);
             ] );
       ]
   in

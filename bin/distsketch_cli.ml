@@ -17,6 +17,8 @@ module Oracle = Ds_oracle.Oracle
 module Workload = Ds_oracle.Workload
 module Serve = Ds_oracle.Serve
 module Json = Ds_util.Json
+module Obs = Ds_obs.Obs
+module Sampler = Ds_obs.Sampler
 
 open Cmdliner
 
@@ -233,6 +235,11 @@ let profile_cmd =
 let mode_conv =
   Arg.enum [ ("central", `Central); ("dist", `Dist); ("echo", `Echo) ]
 
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
 let build_cmd =
   let mode_arg =
     Arg.(
@@ -250,11 +257,21 @@ let build_cmd =
              checksummed); `oracle --load $(docv)' then serves them \
              without rebuilding.")
   in
-  let run family n seed k mode domains backend shards save =
+  let obs_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "obs-out" ] ~docv:"FILE"
+          ~doc:
+            "Write an obs/1 JSON dump of the build's engine metrics \
+             (rounds, deliveries, words, peak backlog) to $(docv).")
+  in
+  let run family n seed k mode domains backend shards save obs_out =
     with_domains domains @@ fun pool ->
     let g = make_graph family n seed in
     let gn = Graph.n g in
     let levels = Levels.sample ~rng:(Rng.create (seed + 1)) ~n:gn ~k in
+    let obs = match obs_out with Some _ -> Some (Obs.create ()) | None -> None in
     let describe labels metrics =
       let sizes = Eval.size_summary Label.size_words labels in
       Format.printf "labels built: %d nodes, k=%d@." gn k;
@@ -272,16 +289,31 @@ let build_cmd =
         Format.printf "snapshot: wrote %s (%d bytes)@." path
           (String.length (Store.to_bytes store))
     in
-    match mode with
+    (match mode with
     | `Central -> describe (Ds_core.Tz_centralized.build g ~levels) None
     | `Dist ->
-      let r = Ds_core.Tz_distributed.build ~backend ~pool ?shards g ~levels in
+      let r = Ds_core.Tz_distributed.build ~backend ~pool ?shards ?obs g ~levels in
       describe r.Ds_core.Tz_distributed.labels
         (Some r.Ds_core.Tz_distributed.metrics)
     | `Echo ->
-      let r = Ds_core.Tz_echo.build ~backend ~pool ?shards g ~levels in
+      let r = Ds_core.Tz_echo.build ~backend ~pool ?shards ?obs g ~levels in
       Format.printf "leader: %d@." r.Ds_core.Tz_echo.leader;
-      describe r.Ds_core.Tz_echo.labels (Some r.Ds_core.Tz_echo.metrics)
+      describe r.Ds_core.Tz_echo.labels (Some r.Ds_core.Tz_echo.metrics));
+    match (obs, obs_out) with
+    | Some registry, Some path ->
+      let meta =
+        [
+          ("cmd", Json.String "build");
+          ("family", Json.String (Gen.family_name family));
+          ("n", Json.Int gn);
+          ("k", Json.Int k);
+          ("backend", Json.String (Ds_congest.Plane.backend_name backend));
+          ("domains", Json.Int (Pool.domains pool));
+        ]
+      in
+      write_file path (Json.to_string (Sampler.doc ~meta registry));
+      Format.printf "obs: wrote %s@." path
+    | _ -> ()
   in
   Cmd.v
     (Cmd.info "build"
@@ -289,7 +321,7 @@ let build_cmd =
              sizes and CONGEST cost.")
     Term.(
       const run $ family_arg $ n_arg $ seed_arg $ k_arg $ mode_arg
-      $ domains_arg $ backend_arg $ shards_arg $ save_arg)
+      $ domains_arg $ backend_arg $ shards_arg $ save_arg $ obs_out_arg)
 
 (* ---- scale ---- *)
 
@@ -722,8 +754,32 @@ let oracle_cmd =
             "Admission batch for $(b,--serve): pairs admitted per queue \
              dequeue (amortizes dispatch and clock reads).")
   in
+  let obs_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "obs-out" ] ~docv:"FILE"
+          ~doc:
+            "Write an obs/1 JSON dump to $(docv): the final metrics \
+             registry plus (with $(b,--serve)) the sampler's time-series \
+             points, whose cumulative counters reconcile exactly with the \
+             printed summary.")
+  in
+  let obs_interval_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "obs-interval-ms" ] ~docv:"MS"
+          ~doc:"Sampling interval for the $(b,--serve) time series.")
+  in
+  let obs_prom_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "obs-prom" ] ~docv:"FILE"
+          ~doc:"Write the final registry as Prometheus text exposition.")
+  in
   let run family n seed k domains load save workload pairs qseed skip_exact
-      serve rate cache_bits batch =
+      serve rate cache_bits batch obs_out obs_interval obs_prom =
     with_domains domains @@ fun pool ->
     let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt in
     let store, source =
@@ -764,6 +820,18 @@ let oracle_cmd =
           let u, v = stream.(i / 2) in
           if i land 1 = 0 then u else v)
     in
+    if obs_interval < 1 then fail "--obs-interval-ms must be >= 1";
+    let obs_registry =
+      match (obs_out, obs_prom) with
+      | None, None -> None
+      | _ -> Some (Obs.create ())
+    in
+    let sampler =
+      match obs_registry with
+      | Some registry when serve ->
+        Some (Sampler.create ~interval_ms:obs_interval registry)
+      | _ -> None
+    in
     let serve_result =
       if not serve then None
       else begin
@@ -774,7 +842,7 @@ let oracle_cmd =
         Some
           (Serve.run ~pool
              ~config:{ Serve.batch; cache_bits; rate }
-             oracle flat)
+             ?obs:obs_registry ?sampler oracle flat)
       end
     in
     let answers, stats =
@@ -785,7 +853,9 @@ let oracle_cmd =
            serve test suite). *)
         (answers, None)
       | None ->
-        let answers, stats = Oracle.run_batch_flat ~pool oracle flat in
+        let answers, stats =
+          Oracle.run_batch_flat ~pool ?obs:obs_registry oracle flat
+        in
         (answers, Some stats)
     in
     (* Exact stretch needs the graph. A snapshot records its generation
@@ -919,7 +989,33 @@ let oracle_cmd =
             ])
       | None, None -> assert false
     in
-    print_string (Json.to_string summary)
+    print_string (Json.to_string summary);
+    match obs_registry with
+    | None -> ()
+    | Some registry ->
+      let obs_meta =
+        [
+          ("cmd", Json.String "oracle");
+          ("source", Json.String source);
+          ("n", Json.Int meta.Store.n);
+          ("k", Json.Int meta.Store.k);
+          ("pairs", Json.Int pairs);
+          ("domains", Json.Int domains);
+          ("workload", Json.String (Workload.name workload));
+          ("serve", Json.Bool serve);
+        ]
+      in
+      (match obs_out with
+      | Some path ->
+        write_file path
+          (Json.to_string (Sampler.doc ?sampler ~meta:obs_meta registry));
+        Printf.eprintf "obs: wrote %s\n" path
+      | None -> ());
+      (match obs_prom with
+      | Some path ->
+        write_file path (Obs.prometheus registry);
+        Printf.eprintf "obs: wrote %s\n" path
+      | None -> ())
   in
   Cmd.v
     (Cmd.info "oracle"
@@ -934,7 +1030,142 @@ let oracle_cmd =
     Term.(
       const run $ family_arg $ n_arg $ seed_arg $ k_arg $ domains_arg
       $ load_arg $ save_arg $ workload_arg $ pairs_arg $ qseed_arg
-      $ skip_exact_arg $ serve_arg $ rate_arg $ cache_bits_arg $ batch_arg)
+      $ skip_exact_arg $ serve_arg $ rate_arg $ cache_bits_arg $ batch_arg
+      $ obs_out_arg $ obs_interval_arg $ obs_prom_arg)
+
+(* ---- obs-cat ---- *)
+
+(* Pretty-printer / validator for obs/1 dumps: the human end of the
+   metrics plane, and the schema gate CI runs (`obs-cat --check`). *)
+let obs_cat_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:"An obs/1 JSON dump (oracle --obs-out / build --obs-out).")
+  in
+  let check_arg =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Validate instead of printing: schema tag, per-point derived \
+             block, monotone cumulative counters, strictly increasing \
+             elapsed times, final >= last point. Non-zero exit on any \
+             violation.")
+  in
+  let run file check =
+    let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt in
+    let contents =
+      try In_channel.with_open_bin file In_channel.input_all
+      with Sys_error msg -> fail "cannot read %s: %s" file msg
+    in
+    let doc =
+      match Json.of_string contents with
+      | Ok d -> d
+      | Error msg -> fail "%s: invalid JSON (%s)" file msg
+    in
+    let num = function
+      | Json.Int i -> float_of_int i
+      | Json.Float f -> f
+      | _ -> fail "%s: expected a number" file
+    in
+    let obj_field ctx name j =
+      match Json.member name j with
+      | Some v -> v
+      | None -> fail "%s: %s: missing field %S" file ctx name
+    in
+    (match obj_field "document" "schema" doc with
+    | Json.String "obs/1" -> ()
+    | Json.String other -> fail "%s: schema %S, want \"obs/1\"" file other
+    | _ -> fail "%s: schema is not a string" file);
+    let points =
+      match obj_field "document" "points" doc with
+      | Json.List l -> l
+      | _ -> fail "%s: points is not a list" file
+    in
+    let final = obj_field "document" "final" doc in
+    let final_counters =
+      match obj_field "final" "counters" final with
+      | Json.Obj fields -> fields
+      | _ -> fail "%s: final.counters is not an object" file
+    in
+    if check then begin
+      let prev_elapsed = ref neg_infinity in
+      let prev_counters = ref [] in
+      List.iteri
+        (fun i point ->
+          let ctx = Printf.sprintf "points[%d]" i in
+          let elapsed = num (obj_field ctx "elapsed_ms" point) in
+          if elapsed <= !prev_elapsed then
+            fail "%s: %s: elapsed_ms not increasing" file ctx;
+          prev_elapsed := elapsed;
+          ignore (obj_field ctx "derived" point);
+          let counters =
+            match obj_field ctx "counters" point with
+            | Json.Obj fields -> fields
+            | _ -> fail "%s: %s.counters is not an object" file ctx
+          in
+          List.iter
+            (fun (name, v) ->
+              let prev =
+                match List.assoc_opt name !prev_counters with
+                | Some p -> num p
+                | None -> 0.0
+              in
+              if num v < prev then
+                fail "%s: %s: counter %S decreased" file ctx name)
+            counters;
+          prev_counters := counters)
+        points;
+      (* The final quiesced snapshot can only be at or past the last
+         sampled point. *)
+      List.iter
+        (fun (name, v) ->
+          match List.assoc_opt name !prev_counters with
+          | Some last when num v < num last ->
+            fail "%s: final.counters.%s below last point" file name
+          | _ -> ())
+        final_counters;
+      Printf.printf "%s: ok (obs/1, %d points)\n" file (List.length points)
+    end
+    else begin
+      let dnum point name =
+        match Json.member "derived" point with
+        | Some d -> (
+          match Json.member name d with Some v -> num v | None -> 0.0)
+        | None -> 0.0
+      in
+      Printf.printf "%-6s %10s %12s %9s %14s %12s %10s\n" "seq" "ms" "qps"
+        "hit_rate" "p99_block_ns" "queue_depth" "rss_kb";
+      List.iter
+        (fun point ->
+          let seq =
+            match Json.member "seq" point with
+            | Some (Json.Int i) -> i
+            | _ -> -1
+          in
+          Printf.printf "%-6d %10.2f %12.0f %9.3f %14.0f %12.0f %10.0f\n" seq
+            (num (obj_field "point" "elapsed_ms" point))
+            (dnum point "qps") (dnum point "hit_rate")
+            (dnum point "p99_block_ns")
+            (dnum point "queue_depth") (dnum point "rss_kb"))
+        points;
+      Printf.printf "final:\n";
+      List.iter
+        (fun (name, v) -> Printf.printf "  %-24s %.0f\n" name (num v))
+        final_counters
+    end
+  in
+  Cmd.v
+    (Cmd.info "obs-cat"
+       ~doc:
+         "Pretty-print an obs/1 metrics dump as a time-series table \
+          (derived QPS, hit rate, p99 block latency, queue depth, RSS), \
+          or validate its schema and monotonicity invariants with \
+          $(b,--check).")
+    Term.(const run $ file_arg $ check_arg)
 
 (* ---- query ---- *)
 
@@ -1060,6 +1291,6 @@ let main =
     (Cmd.info "distsketch" ~version:"1.0.0"
        ~doc:"Distributed distance sketches (Das Sarma-Dinitz-Pandurangan).")
     [ list_cmd; run_cmd; report_cmd; profile_cmd; build_cmd; scale_cmd;
-      trace_cmd; spanner_cmd; oracle_cmd; query_cmd; route_cmd ]
+      trace_cmd; spanner_cmd; oracle_cmd; obs_cat_cmd; query_cmd; route_cmd ]
 
 let () = exit (Cmd.eval main)

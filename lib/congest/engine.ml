@@ -101,6 +101,7 @@ type ('state, 'msg) t = {
   mutable compute_body : int -> unit;
   metrics : Metrics.t;
   tracer : Trace.t option;
+  obs : Obs_hooks.t option;
   mutable round : int;
   mutable in_flight : int; (* total queued messages *)
   mutable sent_last_round : int;
@@ -245,7 +246,7 @@ let deliver_bucket t c =
     done
   end
 
-let create ?(pool = Pool.sequential) ?jitter ?tracer g protocol =
+let create ?(pool = Pool.sequential) ?jitter ?tracer ?obs g protocol =
   let n = Graph.n g in
   let offsets = Array.make (n + 1) 0 in
   for u = 0 to n - 1 do
@@ -302,6 +303,7 @@ let create ?(pool = Pool.sequential) ?jitter ?tracer g protocol =
       compute_body = ignore;
       metrics = Metrics.create ();
       tracer;
+      obs = Obs_hooks.of_opt obs;
       round = 0;
       in_flight = 0;
       sent_last_round = 0;
@@ -390,6 +392,7 @@ let deliver t =
       deliver_bucket t c
     done;
   let trc = t.tracer in
+  let obs = t.obs in
   for c = 0 to t.nchunks - 1 do
     let rn = t.recv_new.(c) in
     if Ivec.length rn > 1 then Ivec.sort rn;
@@ -403,6 +406,11 @@ let deliver t =
     Ivec.clear rn;
     Metrics.count_delivered t.metrics ~messages:t.d_delivered.(c)
       ~words:t.d_words.(c) ~max_msg_words:t.d_maxw.(c);
+    (match obs with
+    | Some o ->
+      Ds_obs.Obs.add o.Obs_hooks.deliveries ~shard:c t.d_delivered.(c);
+      Ds_obs.Obs.add o.Obs_hooks.words ~shard:c t.d_words.(c)
+    | None -> ());
     t.in_flight <- t.in_flight - t.d_delivered.(c)
   done
 
@@ -485,6 +493,16 @@ let step t =
   let tmpf = t.in_now in
   t.in_now <- t.in_next;
   t.in_next <- tmpf;
+  (* Obs end-of-round block: counter bump + two gauge stores, no
+     clock reads — the instrumented round stays zero-alloc (pinned by
+     the GC-regression test). *)
+  (match t.obs with
+  | None -> ()
+  | Some o ->
+    Ds_obs.Obs.incr o.Obs_hooks.rounds ~shard:0;
+    Ds_obs.Obs.set o.Obs_hooks.backlog ~shard:0
+      (Metrics.max_link_backlog t.metrics);
+    Ds_obs.Obs.set o.Obs_hooks.busy ~shard:0 (Pool.chunks_for t.pool ran));
   match trc with
   | None -> ()
   | Some tr ->
@@ -548,6 +566,9 @@ let run ?(max_rounds = 10_000_000) t =
         Metrics.untick_round t.metrics;
         (match t.tracer with
         | Some tr -> Trace.drop_last tr
+        | None -> ());
+        (match t.obs with
+        | Some o -> Ds_obs.Obs.add o.Obs_hooks.rounds ~shard:0 (-1)
         | None -> ());
         t.round <- t.round - 1;
         if all_halted t then All_halted else Quiescent

@@ -65,12 +65,18 @@ type jitter = { rng : Ds_util.Rng.t; max_delay : int }
 
 val create :
   ?pool:Ds_parallel.Pool.t -> ?jitter:jitter -> ?tracer:Trace.t ->
+  ?obs:Ds_obs.Obs.t ->
   Ds_graph.Graph.t -> ('state, 'msg) protocol -> ('state, 'msg) t
 (** The engine borrows [pool] (default {!Ds_parallel.Pool.sequential});
     the caller owns its lifecycle and may share it across engines.
     [tracer] turns on per-round telemetry (see {!Trace}); one tracer
     may be shared by consecutive engines to trace a composed run.
-    Without it the engine takes no timestamps and records nothing. *)
+    Without it the engine takes no timestamps and records nothing.
+    [obs] registers the [engine.*] metrics (rounds, deliveries,
+    words, peak backlog, busy domains — see {!Obs_hooks}) and updates
+    them as the run progresses; like the tracer it is zero-cost when
+    absent and adds no clock reads or allocation when present, so
+    instrumented rounds stay zero-alloc. *)
 
 val graph : ('state, 'msg) t -> Ds_graph.Graph.t
 val metrics : ('state, 'msg) t -> Metrics.t

@@ -189,12 +189,12 @@ let codec =
     decode = (fun w o -> (Ivec.get w o, Ivec.get w (o + 1)));
   }
 
-let run ?backend ?pool ?shards ?tracer g ~sources ~bound =
+let run ?backend ?pool ?shards ?tracer ?obs g ~sources ~bound =
   let n = Graph.n g in
   let src_set = Array.make n false in
   List.iter (fun s -> src_set.(s) <- true) sources;
   let r =
-    Plane.run ?backend ?pool ?shards ?tracer ~codec g
+    Plane.run ?backend ?pool ?shards ?tracer ?obs ~codec g
       (protocol ~is_source:(fun u -> src_set.(u)) ~bound)
   in
   (match r.Plane.stop with

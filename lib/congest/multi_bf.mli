@@ -48,7 +48,7 @@ val codec : (int * int) Superstep.codec
 
 val run :
   ?backend:Plane.backend -> ?pool:Ds_parallel.Pool.t -> ?shards:int ->
-  ?tracer:Trace.t -> Ds_graph.Graph.t ->
+  ?tracer:Trace.t -> ?obs:Ds_obs.Obs.t -> Ds_graph.Graph.t ->
   sources:int list -> bound:(int -> int * int) ->
   (int * int) list array * Metrics.t
 (** One-shot convenience wrapper; runs on either backend (identical

@@ -1,0 +1,26 @@
+(* Resolved obs instrument handles for the message plane, shared by
+   both backends so they report through identical names. Resolution
+   happens once at engine creation; the engines then gate every hot
+   site on one immutable [t option] match, exactly the [?tracer]
+   discipline. *)
+
+module Obs = Ds_obs.Obs
+
+type t = {
+  rounds : Obs.counter;
+  deliveries : Obs.counter;
+  words : Obs.counter;
+  backlog : Obs.gauge;
+  busy : Obs.gauge;
+}
+
+let resolve registry =
+  {
+    rounds = Obs.counter registry Obs.Name.engine_rounds;
+    deliveries = Obs.counter registry Obs.Name.engine_deliveries;
+    words = Obs.counter registry Obs.Name.engine_words;
+    backlog = Obs.gauge registry Obs.Name.engine_backlog;
+    busy = Obs.gauge registry Obs.Name.engine_busy_domains;
+  }
+
+let of_opt = function None -> None | Some registry -> Some (resolve registry)

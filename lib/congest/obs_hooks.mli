@@ -1,0 +1,20 @@
+(** Engine-side {!Ds_obs.Obs} instrument handles, resolved once at
+    engine creation and shared by both backends ({!Engine},
+    {!Shard_engine}) so a run reports through the same
+    [engine.*] names whichever plane executes it. *)
+
+type t = {
+  rounds : Ds_obs.Obs.counter;
+      (** charged rounds; decremented on the uncharged quiescence
+          probe, mirroring [Metrics.untick_round] *)
+  deliveries : Ds_obs.Obs.counter;  (** messages delivered *)
+  words : Ds_obs.Obs.counter;  (** message words delivered *)
+  backlog : Ds_obs.Obs.gauge;  (** peak send-queue backlog so far *)
+  busy : Ds_obs.Obs.gauge;  (** pool domains the last compute phase occupied *)
+}
+
+val resolve : Ds_obs.Obs.t -> t
+(** Register (or re-fetch) the [engine.*] instruments on a registry. *)
+
+val of_opt : Ds_obs.Obs.t option -> t option
+(** [resolve] lifted over the engines' [?obs] argument. *)

@@ -16,8 +16,8 @@ type ('state, 'msg) exec = {
   mem_words : int;
 }
 
-let run ?(backend = Congest) ?pool ?shards ?jitter ?tracer ?max_rounds ~codec
-    g protocol =
+let run ?(backend = Congest) ?pool ?shards ?jitter ?tracer ?obs ?max_rounds
+    ~codec g protocol =
   match backend with
   | Congest ->
     (* The codec is unused here — per-link rings carry the messages
@@ -25,7 +25,7 @@ let run ?(backend = Congest) ?pool ?shards ?jitter ?tracer ?max_rounds ~codec
        both backends by construction. *)
     ignore codec;
     ignore shards;
-    let eng = Engine.create ?pool ?jitter ?tracer g protocol in
+    let eng = Engine.create ?pool ?jitter ?tracer ?obs g protocol in
     let stop = Engine.run ?max_rounds eng in
     {
       states = Engine.states eng;
@@ -39,7 +39,7 @@ let run ?(backend = Congest) ?pool ?shards ?jitter ?tracer ?max_rounds ~codec
       invalid_arg
         "Plane.run: the sharded backend is strictly synchronous (no jitter)"
     | None -> ());
-    let eng = Shard_engine.create ?pool ?shards ?tracer ~codec g protocol in
+    let eng = Shard_engine.create ?pool ?shards ?tracer ?obs ~codec g protocol in
     let stop = Shard_engine.run ?max_rounds eng in
     {
       states = Shard_engine.states eng;

@@ -42,6 +42,7 @@ val run :
   ?shards:int ->
   ?jitter:Engine.jitter ->
   ?tracer:Trace.t ->
+  ?obs:Ds_obs.Obs.t ->
   ?max_rounds:int ->
   codec:'msg Superstep.codec ->
   Ds_graph.Graph.t ->
@@ -49,4 +50,6 @@ val run :
   ('state, 'msg) exec
 (** [backend] defaults to {!Congest}. [shards] only affects
     {!Sharded} (default: pool width); [jitter] is only supported on
-    {!Congest} — combining it with {!Sharded} raises. *)
+    {!Congest} — combining it with {!Sharded} raises. [tracer] and
+    [obs] are forwarded to whichever engine runs (both report the
+    same [engine.*] metric names). *)

@@ -146,8 +146,10 @@ let codec =
         | _ -> Done);
   }
 
-let run ?backend ?pool ?shards ?jitter ?tracer g =
-  let r = Plane.run ?backend ?pool ?shards ?jitter ?tracer ~codec g (protocol ()) in
+let run ?backend ?pool ?shards ?jitter ?tracer ?obs g =
+  let r =
+    Plane.run ?backend ?pool ?shards ?jitter ?tracer ?obs ~codec g (protocol ())
+  in
   (match r.Plane.stop with
   | All_halted | Quiescent -> ()
   | Round_limit -> failwith "Setup: round limit hit");

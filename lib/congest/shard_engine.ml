@@ -82,6 +82,7 @@ type ('state, 'msg) t = {
   mutable compute_body : int -> int -> int -> unit;
   metrics : Metrics.t;
   tracer : Trace.t option;
+  obs : Obs_hooks.t option;
   mutable round : int;
   mutable in_flight : int;
   mutable sent_last_round : int;
@@ -255,7 +256,7 @@ let absorb_sends t =
   done;
   t.in_flight <- t.in_flight + t.sent_last_round
 
-let create ?(pool = Pool.sequential) ?shards ?tracer ~codec g protocol =
+let create ?(pool = Pool.sequential) ?shards ?tracer ?obs ~codec g protocol =
   let n = Graph.n g in
   let nshards =
     match shards with
@@ -323,6 +324,7 @@ let create ?(pool = Pool.sequential) ?shards ?tracer ~codec g protocol =
       compute_body = (fun _ _ _ -> ());
       metrics = Metrics.create ();
       tracer;
+      obs = Obs_hooks.of_opt obs;
       round = 0;
       in_flight = 0;
       sent_last_round = 0;
@@ -431,6 +433,11 @@ let step t =
     for d = 0 to t.nshards - 1 do
       Metrics.count_delivered t.metrics ~messages:t.d_delivered.(d)
         ~words:t.d_words.(d) ~max_msg_words:t.d_maxw.(d);
+      (match t.obs with
+      | Some o ->
+        Ds_obs.Obs.add o.Obs_hooks.deliveries ~shard:d t.d_delivered.(d);
+        Ds_obs.Obs.add o.Obs_hooks.words ~shard:d t.d_words.(d)
+      | None -> ());
       t.in_flight <- t.in_flight - t.d_delivered.(d);
       (match trc with
       | Some tr ->
@@ -446,7 +453,9 @@ let step t =
   let t1 = match trc with Some _ -> Trace.now_ns () | None -> 0 in
   t.round <- t.round + 1;
   Metrics.tick_round t.metrics;
-  let ran = match trc with Some _ -> count_run_now t | None -> 0 in
+  let ran =
+    if trc <> None || t.obs <> None then count_run_now t else 0
+  in
   par_phase t t.compute_body;
   let round_backlog =
     match trc with
@@ -460,6 +469,15 @@ let step t =
   let tmpf = t.in_now in
   t.in_now <- t.in_next;
   t.in_next <- tmpf;
+  (* Obs end-of-round block: mirrors Engine.step — no clock reads,
+     no allocation. *)
+  (match t.obs with
+  | None -> ()
+  | Some o ->
+    Ds_obs.Obs.incr o.Obs_hooks.rounds ~shard:0;
+    Ds_obs.Obs.set o.Obs_hooks.backlog ~shard:0
+      (Metrics.max_link_backlog t.metrics);
+    Ds_obs.Obs.set o.Obs_hooks.busy ~shard:0 (Pool.chunks_for t.pool ran));
   match trc with
   | None -> ()
   | Some tr ->
@@ -494,6 +512,9 @@ let run ?(max_rounds = 10_000_000) t =
         Metrics.untick_round t.metrics;
         (match t.tracer with
         | Some tr -> Trace.drop_last tr
+        | None -> ());
+        (match t.obs with
+        | Some o -> Ds_obs.Obs.add o.Obs_hooks.rounds ~shard:0 (-1)
         | None -> ());
         t.round <- t.round - 1;
         if all_halted t then Superstep.All_halted else Superstep.Quiescent

@@ -26,14 +26,16 @@ val create :
   ?pool:Ds_parallel.Pool.t ->
   ?shards:int ->
   ?tracer:Trace.t ->
+  ?obs:Ds_obs.Obs.t ->
   codec:'msg Superstep.codec ->
   Ds_graph.Graph.t ->
   ('state, 'msg) Superstep.protocol ->
   ('state, 'msg) t
 (** [shards] defaults to the pool width (capped at [n]); results are
     independent of it. The engine borrows [pool]; the caller owns its
-    lifecycle. [tracer] enables per-round telemetry as in
-    {!Engine.create}. *)
+    lifecycle. [tracer] enables per-round telemetry and [obs] the
+    [engine.*] metrics, both exactly as in {!Engine.create} — the two
+    backends report through the same {!Obs_hooks} names. *)
 
 val graph : ('state, 'msg) t -> Ds_graph.Graph.t
 (** The graph the engine was created on. *)

@@ -89,12 +89,12 @@ let codec =
         | _ -> Unclaim);
   }
 
-let run ?backend ?pool ?shards ?jitter ?tracer g ~sources =
+let run ?backend ?pool ?shards ?jitter ?tracer ?obs g ~sources =
   let n = Graph.n g in
   let src_set = Array.make n false in
   List.iter (fun s -> src_set.(s) <- true) sources;
   let r =
-    Plane.run ?backend ?pool ?shards ?jitter ?tracer ~codec g
+    Plane.run ?backend ?pool ?shards ?jitter ?tracer ?obs ~codec g
       (protocol ~is_source:(fun u -> src_set.(u)))
   in
   (match r.Plane.stop with

@@ -23,7 +23,7 @@ val codec : msg Superstep.codec
 
 val run :
   ?backend:Plane.backend -> ?pool:Ds_parallel.Pool.t -> ?shards:int ->
-  ?jitter:Engine.jitter -> ?tracer:Trace.t ->
+  ?jitter:Engine.jitter -> ?tracer:Trace.t -> ?obs:Ds_obs.Obs.t ->
   Ds_graph.Graph.t -> sources:int list -> result * Metrics.t
 (** Bellman–Ford is self-stabilising to link delays, so the result is
     exact under [jitter] too ([jitter] requires the congest

@@ -12,7 +12,7 @@ type result = {
   mem_words : int;
 }
 
-let build ?backend ?pool ?shards ?tracer g ~levels =
+let build ?backend ?pool ?shards ?tracer ?obs g ~levels =
   let n = Graph.n g in
   let k = Levels.k levels in
   let labels = Array.init n (fun u -> Label.create ~owner:u ~k) in
@@ -29,7 +29,8 @@ let build ?backend ?pool ?shards ?tracer g ~levels =
         ~bound:(fun u -> pivot.(u))
     in
     let r =
-      Plane.run ?backend ?pool ?shards ?tracer ~codec:Multi_bf.codec g proto
+      Plane.run ?backend ?pool ?shards ?tracer ?obs ~codec:Multi_bf.codec g
+        proto
     in
     (match r.Plane.stop with
     | Quiescent | All_halted -> ()

@@ -24,7 +24,8 @@ type result = {
 
 val build :
   ?backend:Ds_congest.Plane.backend -> ?pool:Ds_parallel.Pool.t ->
-  ?shards:int -> ?tracer:Ds_congest.Trace.t ->
+  ?shards:int -> ?tracer:Ds_congest.Trace.t -> ?obs:Ds_obs.Obs.t ->
   Ds_graph.Graph.t -> levels:Levels.t -> result
-(** [tracer] is threaded through every phase engine, so its rows line
-    up with the combined per-phase metrics. *)
+(** [tracer] (and likewise [obs]) is threaded through every phase
+    engine, so its rows line up with the combined per-phase
+    metrics. *)

@@ -318,12 +318,14 @@ let codec =
         | _ -> Finish);
   }
 
-let build ?backend ?pool ?shards ?jitter ?tracer g ~levels =
+let build ?backend ?pool ?shards ?jitter ?tracer ?obs g ~levels =
   let n = Graph.n g in
   let k = Levels.k levels in
-  let tree, setup_metrics = Setup.run ?backend ?pool ?shards ?jitter ?tracer g in
+  let tree, setup_metrics =
+    Setup.run ?backend ?pool ?shards ?jitter ?tracer ?obs g
+  in
   let r =
-    Plane.run ?backend ?pool ?shards ?jitter ?tracer ~codec g
+    Plane.run ?backend ?pool ?shards ?jitter ?tracer ?obs ~codec g
       (protocol ~levels ~tree)
   in
   (match r.Plane.stop with

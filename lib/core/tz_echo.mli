@@ -29,8 +29,8 @@ type result = {
 val build :
   ?backend:Ds_congest.Plane.backend -> ?pool:Ds_parallel.Pool.t ->
   ?shards:int -> ?jitter:Ds_congest.Engine.jitter ->
-  ?tracer:Ds_congest.Trace.t -> Ds_graph.Graph.t -> levels:Levels.t ->
-  result
+  ?tracer:Ds_congest.Trace.t -> ?obs:Ds_obs.Obs.t ->
+  Ds_graph.Graph.t -> levels:Levels.t -> result
 (** With [jitter] the protocol runs under bounded link asynchrony (the
     paper's stated future-work model). Announcements, echoes and
     COMPLETEs are phase-tagged, and a node that sees a phase-[i]

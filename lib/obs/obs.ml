@@ -1,0 +1,232 @@
+(* Process-wide metrics registry. All hot state lives in flat int
+   arrays sharded by worker index: an increment is one bounds-checked
+   array load + store on a cache line owned by that worker (counters
+   and gauges are padded to [stride] ints = 64 bytes), with no
+   synchronization, no clock reads and no allocation — the same
+   zero-cost-when-hot discipline as the engine's ring buffers, pinned
+   by the GC-regression tests. Reads reduce over the shards; a read
+   concurrent with writers sees each word either before or after its
+   latest store (word-sized loads are atomic on every platform OCaml
+   targets), which is exactly the "monotone but possibly mid-round"
+   semantics a sampler wants. Registration is mutex-guarded and
+   idempotent by name; the hot ops never touch the registry. *)
+
+let stride = 8
+
+(* 64 log2 buckets + sum + count, padded to a stride multiple so
+   shard regions never share a cache line. *)
+let hist_buckets = Ds_util.Stats.log2_buckets
+let hist_stride = hist_buckets + stride
+
+type counter = { c_cells : int array; c_mask : int }
+type gauge = { g_cells : int array; g_mask : int }
+type histogram = { h_cells : int array; h_mask : int }
+
+type entry = C of counter | G of gauge | H of histogram
+
+type t = {
+  shards : int;
+  lock : Mutex.t;
+  mutable entries : (string * entry) list;  (* newest first *)
+}
+
+let next_pow2 v =
+  let rec go p = if p >= v then p else go (p * 2) in
+  go 1
+
+let create ?(shards = 64) () =
+  if shards <= 0 then invalid_arg "Obs.create: shards must be positive";
+  { shards = next_pow2 shards; lock = Mutex.create (); entries = [] }
+
+let shards t = t.shards
+
+let register t name make match_entry kind_name =
+  Mutex.protect t.lock (fun () ->
+      match List.assoc_opt name t.entries with
+      | Some e -> (
+        match match_entry e with
+        | Some v -> v
+        | None ->
+          invalid_arg
+            (Printf.sprintf "Obs.%s: %S already registered with another kind"
+               kind_name name))
+      | None ->
+        let v, e = make () in
+        t.entries <- (name, e) :: t.entries;
+        v)
+
+let counter t name =
+  register t name
+    (fun () ->
+      let c = { c_cells = Array.make (t.shards * stride) 0; c_mask = t.shards - 1 } in
+      (c, C c))
+    (function C c -> Some c | _ -> None)
+    "counter"
+
+let gauge t name =
+  register t name
+    (fun () ->
+      let g = { g_cells = Array.make (t.shards * stride) 0; g_mask = t.shards - 1 } in
+      (g, G g))
+    (function G g -> Some g | _ -> None)
+    "gauge"
+
+let histogram t name =
+  register t name
+    (fun () ->
+      let h =
+        { h_cells = Array.make (t.shards * hist_stride) 0; h_mask = t.shards - 1 }
+      in
+      (h, H h))
+    (function H h -> Some h | _ -> None)
+    "histogram"
+
+(* Hot ops. The [land mask] wrap keeps any worker index in-bounds
+   without a branch; each op is a constant number of plain int array
+   accesses. *)
+
+let add c ~shard v =
+  let i = (shard land c.c_mask) * stride in
+  c.c_cells.(i) <- c.c_cells.(i) + v
+
+let incr c ~shard = add c ~shard 1
+
+let set g ~shard v = g.g_cells.((shard land g.g_mask) * stride) <- v
+
+let set_max g ~shard v =
+  let i = (shard land g.g_mask) * stride in
+  if v > g.g_cells.(i) then g.g_cells.(i) <- v
+
+let observe h ~shard v =
+  let base = (shard land h.h_mask) * hist_stride in
+  let b = base + Ds_util.Stats.log2_bucket v in
+  h.h_cells.(b) <- h.h_cells.(b) + 1;
+  let s = base + hist_buckets in
+  h.h_cells.(s) <- h.h_cells.(s) + v;
+  let c = s + 1 in
+  h.h_cells.(c) <- h.h_cells.(c) + 1
+
+(* Read side: reduce over shards. Counters and gauges both sum —
+   single-writer gauges (backlog, busy domains, RSS) write shard 0
+   only, per-worker gauges (queue depth) sum to the global value. *)
+
+let counter_value c =
+  let acc = ref 0 in
+  for s = 0 to c.c_mask do
+    acc := !acc + c.c_cells.(s * stride)
+  done;
+  !acc
+
+let gauge_value g =
+  let acc = ref 0 in
+  for s = 0 to g.g_mask do
+    acc := !acc + g.g_cells.(s * stride)
+  done;
+  !acc
+
+type hist_snapshot = { buckets : int array; sum : int; count : int }
+
+let hist_value h =
+  let buckets = Array.make hist_buckets 0 in
+  let sum = ref 0 and count = ref 0 in
+  for s = 0 to h.h_mask do
+    let base = s * hist_stride in
+    for b = 0 to hist_buckets - 1 do
+      buckets.(b) <- buckets.(b) + h.h_cells.(base + b)
+    done;
+    sum := !sum + h.h_cells.(base + hist_buckets);
+    count := !count + h.h_cells.(base + hist_buckets + 1)
+  done;
+  { buckets; sum = !sum; count = !count }
+
+let hist_percentile hs p =
+  if hs.count = 0 then 0 else Ds_util.Stats.percentile_log2 hs.buckets p
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * int) list;
+  histograms : (string * hist_snapshot) list;
+}
+
+let sorted_entries t =
+  List.sort (fun (a, _) (b, _) -> compare a b) t.entries
+
+let snapshot t =
+  let entries = sorted_entries t in
+  {
+    counters =
+      List.filter_map
+        (function n, C c -> Some (n, counter_value c) | _ -> None)
+        entries;
+    gauges =
+      List.filter_map
+        (function n, G g -> Some (n, gauge_value g) | _ -> None)
+        entries;
+    histograms =
+      List.filter_map
+        (function n, H h -> Some (n, hist_value h) | _ -> None)
+        entries;
+  }
+
+let value t name =
+  match List.assoc_opt name t.entries with
+  | Some (C c) -> counter_value c
+  | Some (G g) -> gauge_value g
+  | Some (H h) -> (hist_value h).count
+  | None -> 0
+
+(* Prometheus text exposition. Metric names mangle dots to
+   underscores under a "dss_" prefix; histograms emit cumulative
+   [_bucket{le="..."}] rows up to the highest non-empty bucket plus
+   [+Inf], then [_sum] and [_count]. *)
+
+let prom_name name =
+  "dss_" ^ String.map (fun c -> if c = '.' then '_' else c) name
+
+let prometheus t =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  List.iter
+    (fun (name, entry) ->
+      let pn = prom_name name in
+      match entry with
+      | C c ->
+        line "# TYPE %s counter" pn;
+        line "%s %d" pn (counter_value c)
+      | G g ->
+        line "# TYPE %s gauge" pn;
+        line "%s %d" pn (gauge_value g)
+      | H h ->
+        let hs = hist_value h in
+        line "# TYPE %s histogram" pn;
+        let top = ref (-1) in
+        Array.iteri (fun i n -> if n > 0 then top := i) hs.buckets;
+        let cum = ref 0 in
+        for i = 0 to !top do
+          cum := !cum + hs.buckets.(i);
+          line "%s_bucket{le=\"%d\"} %d" pn
+            (Ds_util.Stats.log2_bucket_upper i)
+            !cum
+        done;
+        line "%s_bucket{le=\"+Inf\"} %d" pn hs.count;
+        line "%s_sum %d" pn hs.sum;
+        line "%s_count %d" pn hs.count)
+    (sorted_entries t);
+  Buffer.contents b
+
+module Name = struct
+  let engine_rounds = "engine.rounds"
+  let engine_deliveries = "engine.deliveries"
+  let engine_words = "engine.words"
+  let engine_backlog = "engine.backlog"
+  let engine_busy_domains = "engine.busy_domains"
+  let serve_admitted = "serve.admitted"
+  let serve_served = "serve.served"
+  let serve_hits = "serve.hits"
+  let serve_misses = "serve.misses"
+  let serve_queue_depth = "serve.queue_depth"
+  let serve_block_ns = "serve.block_ns"
+  let oracle_queries = "oracle.queries"
+  let gc_minor_words = "gc.minor_words"
+  let mem_rss_kb = "mem.rss_kb"
+end

@@ -1,0 +1,139 @@
+(** Process-wide runtime metrics registry: named counters, gauges and
+    fixed-bucket log2 histograms over flat int arrays.
+
+    The design splits hot and cold paths the way {!Ds_congest.Trace}
+    splits traced and untraced runs:
+
+    - {b Hot path} ({!add}, {!incr}, {!set}, {!set_max}, {!observe}):
+      a constant number of plain int-array accesses on a per-worker
+      shard — no lock, no clock read, no allocation. Counter and
+      gauge shards are padded to one cache line (8 words) so workers
+      never false-share; the shard index is wrapped with [land mask],
+      so any worker id is in-bounds. The GC-regression suite pins
+      that an instrumented engine round and an instrumented serve
+      block allocate exactly as much as uninstrumented ones (zero).
+    - {b Cold path} (registration, {!snapshot}, {!prometheus}):
+      mutex-guarded registration, read-time reduction over shards.
+      A read racing the writers sees each cell either before or
+      after its latest store — monotone, possibly mid-round, which
+      is the semantics a live sampler wants. Quiesced reads (after
+      workers join) are exact; that is the reconciliation invariant
+      the serve smoke asserts against [oracle-serve/1].
+
+    Instrumented layers take an [?obs] hook and resolve their handles
+    once at setup; with no registry the per-event cost is a single
+    immutable [match], the same zero-cost-when-absent contract as
+    [?tracer]. *)
+
+type t
+(** A registry: a set of named instruments sharing one shard count. *)
+
+val create : ?shards:int -> unit -> t
+(** [create ()] makes an empty registry. [shards] (default [64]) is
+    rounded up to a power of two; it bounds the number of concurrent
+    writers that never contend (worker [w] writes shard
+    [w land (shards - 1)]). Raises [Invalid_argument] when
+    non-positive. *)
+
+val shards : t -> int
+(** The shard count in use (after rounding). *)
+
+(** {2 Instruments}
+
+    Registration is idempotent by name — asking twice returns the
+    same instrument — and raises [Invalid_argument] when the name is
+    already bound to a different kind. Handles stay valid for the
+    registry's lifetime; resolve them once at setup, never on the hot
+    path. *)
+
+type counter
+(** Monotone sum, sharded per worker. *)
+
+type gauge
+(** Last-written value per shard, summed at read time: single-writer
+    gauges (backlog, RSS) write shard 0 only; per-worker gauges
+    (queue depth) sum to the global value. *)
+
+type histogram
+(** {!Ds_util.Stats.log2_buckets} power-of-two buckets plus sum and
+    count, sharded per worker. *)
+
+val counter : t -> string -> counter
+val gauge : t -> string -> gauge
+val histogram : t -> string -> histogram
+
+(** {2 Hot ops} — one unsynchronized array store each (plus the load
+    it read-modifies); provably allocation-free. *)
+
+val add : counter -> shard:int -> int -> unit
+val incr : counter -> shard:int -> unit
+val set : gauge -> shard:int -> int -> unit
+
+val set_max : gauge -> shard:int -> int -> unit
+(** Store only when the new value is larger — running-max gauges
+    (peak backlog) without a read-side pass. *)
+
+val observe : histogram -> shard:int -> int -> unit
+(** Record one sample: increments its {!Ds_util.Stats.log2_bucket},
+    the shard's sum and its count (three stores). *)
+
+(** {2 Read side} — reduces over shards; cheap relative to a sampling
+    interval but not meant for per-event use. *)
+
+val counter_value : counter -> int
+val gauge_value : gauge -> int
+
+type hist_snapshot = {
+  buckets : int array;  (** length {!Ds_util.Stats.log2_buckets} *)
+  sum : int;
+  count : int;
+}
+
+val hist_value : histogram -> hist_snapshot
+
+val hist_percentile : hist_snapshot -> float -> int
+(** Approximate percentile via {!Ds_util.Stats.percentile_log2};
+    [0] on an empty histogram. Exact to within one bucket. *)
+
+val value : t -> string -> int
+(** Look an instrument up by name and reduce it: counter/gauge value,
+    or a histogram's count. [0] when the name was never registered —
+    an instrument nobody created was never incremented. *)
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * int) list;
+  histograms : (string * hist_snapshot) list;
+}
+
+val snapshot : t -> snapshot
+(** Reduce every instrument, each kind sorted by name. *)
+
+val prometheus : t -> string
+(** Prometheus text exposition: names mangled [serve.block_ns ->
+    dss_serve_block_ns], one [# TYPE] comment per metric, histograms
+    as cumulative [_bucket{le="2^b - 1"}] rows (up to the highest
+    non-empty bucket, then [+Inf]) plus [_sum]/[_count]. Sorted by
+    name, so byte-stable for a given state. *)
+
+val prom_name : string -> string
+(** The name mangling [prometheus] applies, exposed for tests. *)
+
+(** Well-known instrument names used by the instrumented layers, so
+    exporters, tests and dashboards never retype strings. *)
+module Name : sig
+  val engine_rounds : string
+  val engine_deliveries : string
+  val engine_words : string
+  val engine_backlog : string
+  val engine_busy_domains : string
+  val serve_admitted : string
+  val serve_served : string
+  val serve_hits : string
+  val serve_misses : string
+  val serve_queue_depth : string
+  val serve_block_ns : string
+  val oracle_queries : string
+  val gc_minor_words : string
+  val mem_rss_kb : string
+end

@@ -1,0 +1,195 @@
+(* Fixed-interval time-series sampling of an Obs registry. The serve
+   loop's worker 0 calls [tick] between request blocks with the
+   block's already-read clock value, so the not-due path costs one int
+   compare and nothing else; a due tick reduces the registry into a
+   point and stores it in a ring. The final forced [sample] after the
+   worker pool joins is a quiesced read — exact, and the value the CI
+   reconciliation check compares against oracle-serve/1. *)
+
+type point = {
+  seq : int;
+  elapsed_ns : int;
+  counters : (string * int) list;
+  gauges : (string * int) list;
+  p99_block_ns : int;
+  minor_words : float;
+  rss_kb : int;
+}
+
+type t = {
+  obs : Obs.t;
+  interval_ns : int;
+  capacity : int;
+  ring : point option array;
+  g_minor : Obs.gauge;
+  g_rss : Obs.gauge;
+  mutable t0 : int;
+  mutable next_due : int;
+  mutable seq : int;
+}
+
+let now_ns () = Int64.to_int (Monotonic_clock.now ())
+
+let create ?(capacity = 4096) ?(interval_ms = 100) obs =
+  if capacity <= 0 then invalid_arg "Sampler.create: capacity";
+  if interval_ms <= 0 then invalid_arg "Sampler.create: interval_ms";
+  {
+    obs;
+    interval_ns = interval_ms * 1_000_000;
+    capacity;
+    ring = Array.make capacity None;
+    g_minor = Obs.gauge obs Obs.Name.gc_minor_words;
+    g_rss = Obs.gauge obs Obs.Name.mem_rss_kb;
+    t0 = 0;
+    next_due = max_int;  (* ticks are no-ops until [start] *)
+    seq = 0;
+  }
+
+let obs t = t.obs
+let interval_ms t = t.interval_ns / 1_000_000
+
+let start t ~now_ns =
+  t.t0 <- now_ns;
+  t.next_due <- now_ns + t.interval_ns
+
+let sample t now_ns =
+  let st = Gc.quick_stat () in
+  let minor_words = st.Gc.minor_words in
+  let rss_kb = Ds_util.Mem.rss_kb_or_zero () in
+  Obs.set t.g_minor ~shard:0 (int_of_float minor_words);
+  Obs.set t.g_rss ~shard:0 rss_kb;
+  let snap = Obs.snapshot t.obs in
+  let p99_block_ns =
+    match List.assoc_opt Obs.Name.serve_block_ns snap.Obs.histograms with
+    | Some hs -> Obs.hist_percentile hs 99.0
+    | None -> 0
+  in
+  let p =
+    {
+      seq = t.seq;
+      elapsed_ns = now_ns - t.t0;
+      counters = snap.Obs.counters;
+      gauges = snap.Obs.gauges;
+      p99_block_ns;
+      minor_words;
+      rss_kb;
+    }
+  in
+  t.ring.(t.seq mod t.capacity) <- Some p;
+  t.seq <- t.seq + 1;
+  (* No catch-up bursts after a stall: schedule from now, not from
+     the missed deadline. *)
+  t.next_due <- now_ns + t.interval_ns
+
+let tick t now_ns = if now_ns >= t.next_due then sample t now_ns
+
+let dropped t = if t.seq > t.capacity then t.seq - t.capacity else 0
+
+let points t =
+  let kept = if t.seq < t.capacity then t.seq else t.capacity in
+  let first = t.seq - kept in
+  List.init kept (fun i ->
+      match t.ring.((first + i) mod t.capacity) with
+      | Some p -> p
+      | None -> assert false)
+
+(* obs/1 JSON document. Schema-stable: fixed key set and order, every
+   instrument keyed by its registry name, histograms as non-empty
+   [upper_bound, count] pairs. Works without a sampler (points = [])
+   for build-side dumps. *)
+
+let get assoc name = match List.assoc_opt name assoc with Some v -> v | None -> 0
+
+let doc ?sampler ?(meta = []) registry =
+  let open Ds_util.Json in
+  let snap = Obs.snapshot registry in
+  let hist_json hs =
+    let pairs = ref [] in
+    Array.iteri
+      (fun b n ->
+        if n > 0 then
+          pairs :=
+            List [ Int (Ds_util.Stats.log2_bucket_upper b); Int n ] :: !pairs)
+      hs.Obs.buckets;
+    Obj
+      [
+        ("count", Int hs.Obs.count);
+        ("sum", Int hs.Obs.sum);
+        ("p50", Int (Obs.hist_percentile hs 50.0));
+        ("p90", Int (Obs.hist_percentile hs 90.0));
+        ("p99", Int (Obs.hist_percentile hs 99.0));
+        ("p999", Int (Obs.hist_percentile hs 99.9));
+        ("buckets", List (List.rev !pairs));
+      ]
+  in
+  let final =
+    Obj
+      [
+        ("counters", Obj (List.map (fun (n, v) -> (n, Int v)) snap.Obs.counters));
+        ("gauges", Obj (List.map (fun (n, v) -> (n, Int v)) snap.Obs.gauges));
+        ( "histograms",
+          Obj (List.map (fun (n, hs) -> (n, hist_json hs)) snap.Obs.histograms)
+        );
+      ]
+  in
+  let pts = match sampler with Some s -> points s | None -> [] in
+  let point_json prev p =
+    let dt_s = float_of_int (p.elapsed_ns - prev.elapsed_ns) /. 1e9 in
+    let d name = get p.counters name - get prev.counters name in
+    let served = d Obs.Name.serve_served in
+    let hits = d Obs.Name.serve_hits in
+    let qps = if dt_s > 0.0 then float_of_int served /. dt_s else 0.0 in
+    let hit_rate =
+      if served > 0 then float_of_int hits /. float_of_int served else 0.0
+    in
+    let mw_per_s =
+      if dt_s > 0.0 then (p.minor_words -. prev.minor_words) /. dt_s else 0.0
+    in
+    Obj
+      [
+        ("seq", Int p.seq);
+        ("elapsed_ms", Float (float_of_int p.elapsed_ns /. 1e6));
+        ("counters", Obj (List.map (fun (n, v) -> (n, Int v)) p.counters));
+        ("gauges", Obj (List.map (fun (n, v) -> (n, Int v)) p.gauges));
+        ( "derived",
+          Obj
+            [
+              ("qps", Float qps);
+              ("hit_rate", Float hit_rate);
+              ("p99_block_ns", Int p.p99_block_ns);
+              ("queue_depth", Int (get p.gauges Obs.Name.serve_queue_depth));
+              ("minor_words_per_s", Float mw_per_s);
+              ("rss_kb", Int p.rss_kb);
+            ] );
+      ]
+  in
+  let zero =
+    {
+      seq = -1;
+      elapsed_ns = 0;
+      counters = [];
+      gauges = [];
+      p99_block_ns = 0;
+      minor_words = 0.0;
+      rss_kb = 0;
+    }
+  in
+  let point_rows =
+    let rec go prev = function
+      | [] -> []
+      | p :: rest -> point_json prev p :: go p rest
+    in
+    go zero pts
+  in
+  Obj
+    [
+      ("schema", String "obs/1");
+      ("shards", Int (Obs.shards registry));
+      ( "interval_ms",
+        Int (match sampler with Some s -> interval_ms s | None -> 0) );
+      ("meta", Obj meta);
+      ("final", final);
+      ("points", List point_rows);
+      ( "dropped_points",
+        Int (match sampler with Some s -> dropped s | None -> 0) );
+    ]

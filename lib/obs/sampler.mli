@@ -1,0 +1,75 @@
+(** Fixed-interval time-series snapshots of an {!Obs} registry.
+
+    Built for the serve loop: worker 0 calls {!tick} between request
+    blocks with the clock value the block already read, so the
+    not-yet-due path is one int compare — no clock read, no
+    allocation, nothing the GC-regression test can see. A due tick
+    reduces the registry into a {!point} (cumulative counters and
+    gauges, the p99 read from the block-latency histogram, GC minor
+    words and RSS) stored in a fixed-capacity ring; when the ring
+    wraps, the oldest points are dropped and counted.
+
+    Because points hold {e cumulative} counters, any two consecutive
+    points yield rates by subtraction, and the final forced
+    {!sample} — taken after the worker pool joins, so quiesced and
+    exact — must agree with the run's own accounting. That is the
+    reconciliation invariant CI asserts against [oracle-serve/1]. *)
+
+type t
+
+type point = {
+  seq : int;  (** sample index since {!start}, 0-based *)
+  elapsed_ns : int;  (** monotonic time since {!start} *)
+  counters : (string * int) list;  (** cumulative, sorted by name *)
+  gauges : (string * int) list;  (** sorted by name *)
+  p99_block_ns : int;
+      (** histogram p99 of [serve.block_ns] at sample time; [0] when
+          that histogram is not registered *)
+  minor_words : float;  (** [Gc.quick_stat] minor words, cumulative *)
+  rss_kb : int;  (** {!Ds_util.Mem.rss_kb_or_zero} *)
+}
+
+val create : ?capacity:int -> ?interval_ms:int -> Obs.t -> t
+(** [capacity] (default 4096) bounds the ring; [interval_ms] (default
+    100) the sampling period. Registers the [gc.minor_words] and
+    [mem.rss_kb] gauges on the registry. Raises [Invalid_argument]
+    when either is non-positive. *)
+
+val obs : t -> Obs.t
+val interval_ms : t -> int
+
+val now_ns : unit -> int
+(** Monotonic clock in integer nanoseconds — the currency {!start},
+    {!tick} and {!sample} speak, chosen over [float]/[Int64] so
+    passing timestamps through the hot path never boxes. *)
+
+val start : t -> now_ns:int -> unit
+(** Set the epoch and arm the first deadline. Until [start] is
+    called every {!tick} is a no-op. *)
+
+val tick : t -> int -> unit
+(** [tick t now_ns] samples iff the interval has elapsed; otherwise
+    a single int compare. The next deadline is scheduled from the
+    actual sample time, so a stall never causes a catch-up burst. *)
+
+val sample : t -> int -> unit
+(** Force a sample now, regardless of the deadline — the final
+    quiesced snapshot after workers join. *)
+
+val points : t -> point list
+(** Points still in the ring, oldest first. *)
+
+val dropped : t -> int
+(** Points lost to ring wrap-around. *)
+
+val doc :
+  ?sampler:t -> ?meta:(string * Ds_util.Json.t) list -> Obs.t -> Ds_util.Json.t
+(** The [obs/1] JSON document (see docs/ARTIFACTS.md): [schema],
+    [shards], [interval_ms] (0 without a sampler), caller [meta], the
+    registry's [final] snapshot (counters/gauges/histograms with
+    approximate percentiles and non-empty [\[upper, count\]] bucket
+    pairs), the sampler's [points] with per-point [derived] series
+    (QPS, hit rate, p99 block latency, queue depth, minor words/s,
+    RSS) computed from consecutive cumulative points, and
+    [dropped_points]. Without [?sampler], [points] is empty — the
+    build-side dump. *)

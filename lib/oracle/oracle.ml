@@ -176,19 +176,30 @@ let query_probes t u v =
   let est = go 0 in
   (est, !probes)
 
-let query_batch ?(pool = Pool.sequential) t pairs =
+(* Obs hook shared by both batch entry points: one counter add per
+   chunk (not per query), on the chunk's own shard. *)
+let obs_queries = function
+  | None -> None
+  | Some registry ->
+    Some (Ds_obs.Obs.counter registry Ds_obs.Obs.Name.oracle_queries)
+
+let query_batch ?(pool = Pool.sequential) ?obs t pairs =
   let m = Array.length pairs in
   let out = Array.make m 0 in
+  let qc = obs_queries obs in
   (* One tight loop per domain, not one closure dispatch per pair:
      [parallel_for]'s per-index call was most of the per-query cost at
      ~150ns a query, which is why batch throughput used to stay flat
      as domains were added. *)
   ignore
-    (Pool.parallel_chunks pool ~n:m (fun _ lo hi ->
+    (Pool.parallel_chunks pool ~n:m (fun c lo hi ->
          for i = lo to hi - 1 do
            let u, v = pairs.(i) in
            out.(i) <- query t u v
-         done));
+         done;
+         match qc with
+         | Some ctr -> Ds_obs.Obs.add ctr ~shard:c (hi - lo)
+         | None -> ()));
   out
 
 (* The boxed-pairs batch above still did not scale past one domain
@@ -199,17 +210,22 @@ let query_batch ?(pool = Pool.sequential) t pairs =
    both: endpoints live inline in one int array ([u] at [2i], [v] at
    [2i+1]), and work is handed out in blocks of 8 pairs so every
    chunk's [out] writes are 64-byte aligned — no false sharing. *)
-let query_batch_flat ?(pool = Pool.sequential) t flat =
+let query_batch_flat ?(pool = Pool.sequential) ?obs t flat =
   let len = Array.length flat in
   if len land 1 <> 0 then invalid_arg "Oracle.query_batch_flat: odd length";
   let m = len / 2 in
   let out = Array.make (max 1 m) 0 in
   let blocks = (m + 7) / 8 in
+  let qc = obs_queries obs in
   ignore
-    (Pool.parallel_chunks pool ~n:blocks (fun _ blo bhi ->
-         for i = 8 * blo to min m (8 * bhi) - 1 do
+    (Pool.parallel_chunks pool ~n:blocks (fun c blo bhi ->
+         let lo = 8 * blo and hi = min m (8 * bhi) in
+         for i = lo to hi - 1 do
            out.(i) <- query t flat.(2 * i) flat.((2 * i) + 1)
-         done));
+         done;
+         match qc with
+         | Some ctr -> Ds_obs.Obs.add ctr ~shard:c (hi - lo)
+         | None -> ()));
   if m = 0 then [||] else out
 
 type batch_stats = {
@@ -229,10 +245,10 @@ let batch_stats_of ~m ~elapsed_ns ~lat ~sample =
     latency_ns = Stats.summarize (if sample = 0 then [| 0.0 |] else lat);
   }
 
-let run_batch ?pool ?(latency_sample = 1024) t pairs =
+let run_batch ?pool ?obs ?(latency_sample = 1024) t pairs =
   let m = Array.length pairs in
   let t0 = now_ns () in
-  let out = query_batch ?pool t pairs in
+  let out = query_batch ?pool ?obs t pairs in
   let t1 = now_ns () in
   let elapsed_ns = max 1.0 (t1 -. t0) in
   let sample = min latency_sample m in
@@ -246,10 +262,10 @@ let run_batch ?pool ?(latency_sample = 1024) t pairs =
   in
   (out, batch_stats_of ~m ~elapsed_ns ~lat ~sample)
 
-let run_batch_flat ?pool ?(latency_sample = 1024) t flat =
+let run_batch_flat ?pool ?obs ?(latency_sample = 1024) t flat =
   let m = Array.length flat / 2 in
   let t0 = now_ns () in
-  let out = query_batch_flat ?pool t flat in
+  let out = query_batch_flat ?pool ?obs t flat in
   let t1 = now_ns () in
   let elapsed_ns = max 1.0 (t1 -. t0) in
   let sample = min latency_sample m in

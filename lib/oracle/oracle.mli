@@ -61,12 +61,16 @@ val query_probes : t -> int -> int -> int * int
     put the local oracle next to the in-network exchange without a
     wall clock. *)
 
-val query_batch : ?pool:Ds_parallel.Pool.t -> t -> (int * int) array -> int array
+val query_batch :
+  ?pool:Ds_parallel.Pool.t -> ?obs:Ds_obs.Obs.t -> t -> (int * int) array ->
+  int array
 (** Answer every pair, fanning out across the pool (default
     sequential). Result slot [i] depends only on pair [i], so the
-    output is identical for every pool size. *)
+    output is identical for every pool size. [obs] counts answered
+    queries on the [oracle.queries] counter, one add per chunk. *)
 
-val query_batch_flat : ?pool:Ds_parallel.Pool.t -> t -> int array -> int array
+val query_batch_flat :
+  ?pool:Ds_parallel.Pool.t -> ?obs:Ds_obs.Obs.t -> t -> int array -> int array
 (** Same as {!query_batch} over the flat layout of
     {!Workload.pairs_flat} (pair [i] at indices [2i], [2i+1]); the fast
     path. Endpoints are inline ints (no tuple pointer chase) and work
@@ -87,6 +91,7 @@ type batch_stats = {
 
 val run_batch :
   ?pool:Ds_parallel.Pool.t ->
+  ?obs:Ds_obs.Obs.t ->
   ?latency_sample:int ->
   t ->
   (int * int) array ->
@@ -98,6 +103,7 @@ val run_batch :
 
 val run_batch_flat :
   ?pool:Ds_parallel.Pool.t ->
+  ?obs:Ds_obs.Obs.t ->
   ?latency_sample:int ->
   t ->
   int array ->

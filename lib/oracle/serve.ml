@@ -48,21 +48,9 @@ let rec wait_until target =
     wait_until target
   end
 
-(* Percentile by linear interpolation over an already-sorted array —
-   same convention as [Ds_util.Stats.percentile], but sorting once for
-   all five percentiles instead of copying per call (the latency array
-   covers every request, not a sample). *)
-let percentile_sorted a p =
-  let n = Array.length a in
-  if n = 0 then 0.
-  else begin
-    let rank = p /. 100. *. float_of_int (n - 1) in
-    let lo = int_of_float (Float.floor rank) in
-    let hi = min (n - 1) (lo + 1) in
-    let frac = rank -. float_of_int lo in
-    a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
-  end
-
+(* Sort once, then read all five percentiles through the canonical
+   [Ds_util.Stats.percentile_sorted] (the latency array covers every
+   request, not a sample — one copy+sort, five O(1) reads). *)
 let summarize_latency lat =
   let n = Array.length lat in
   if n = 0 then { mean = 0.; p50 = 0.; p90 = 0.; p99 = 0.; p999 = 0.; max = 0. }
@@ -70,22 +58,48 @@ let summarize_latency lat =
     let sorted = Array.copy lat in
     Array.sort Float.compare sorted;
     let sum = Array.fold_left ( +. ) 0. sorted in
+    let pct = Ds_util.Stats.percentile_sorted sorted in
     {
       mean = sum /. float_of_int n;
-      p50 = percentile_sorted sorted 50.;
-      p90 = percentile_sorted sorted 90.;
-      p99 = percentile_sorted sorted 99.;
-      p999 = percentile_sorted sorted 99.9;
+      p50 = pct 50.;
+      p90 = pct 90.;
+      p99 = pct 99.;
+      p999 = pct 99.9;
       max = sorted.(n - 1);
     }
   end
+
+(* Resolved obs handles, one immutable record fetched at setup; every
+   hot site below gates on the single [option] match. *)
+module Obs = Ds_obs.Obs
+module Sampler = Ds_obs.Sampler
+
+type serve_obs = {
+  so_admitted : Obs.counter;
+  so_served : Obs.counter;
+  so_hits : Obs.counter;
+  so_misses : Obs.counter;
+  so_queue : Obs.gauge;
+  so_block : Obs.histogram;
+}
+
+let resolve_obs registry =
+  {
+    so_admitted = Obs.counter registry Obs.Name.serve_admitted;
+    so_served = Obs.counter registry Obs.Name.serve_served;
+    so_hits = Obs.counter registry Obs.Name.serve_hits;
+    so_misses = Obs.counter registry Obs.Name.serve_misses;
+    so_queue = Obs.gauge registry Obs.Name.serve_queue_depth;
+    so_block = Obs.histogram registry Obs.Name.serve_block_ns;
+  }
 
 (* Direct-mapped slot for a packed pair key: multiplicative hash
    (SplitMix64's odd constant), top [bits] of the 62-bit product so
    nearby keys spread. *)
 let cache_slot key bits = (key * 0x2545F4914F6CDD1D) lsr (63 - bits)
 
-let run ?(pool = Pool.sequential) ?(config = default_config) oracle flat =
+let run ?(pool = Pool.sequential) ?(config = default_config) ?obs ?sampler
+    oracle flat =
   let len = Array.length flat in
   if len land 1 <> 0 then invalid_arg "Serve.run: odd-length pair stream";
   if config.batch < 1 then invalid_arg "Serve.run: batch must be >= 1";
@@ -96,7 +110,23 @@ let run ?(pool = Pool.sequential) ?(config = default_config) oracle flat =
     invalid_arg "Serve.run: rate must be finite and >= 0";
   let m = len / 2 in
   let workers = Pool.domains pool in
-  if m = 0 then
+  (* [?obs] names the registry explicitly; with only a sampler, its
+     registry is the one instrumented. *)
+  let ob =
+    match obs with
+    | Some registry -> Some (resolve_obs registry)
+    | None -> (
+      match sampler with
+      | Some s -> Some (resolve_obs (Sampler.obs s))
+      | None -> None)
+  in
+  if m = 0 then begin
+    (match sampler with
+    | Some s ->
+      let now = Sampler.now_ns () in
+      Sampler.start s ~now_ns:now;
+      Sampler.sample s now
+    | None -> ());
     ( [||],
       {
         pairs = 0;
@@ -117,6 +147,7 @@ let run ?(pool = Pool.sequential) ?(config = default_config) oracle flat =
                 worker_qps = 0.;
               });
       } )
+  end
   else begin
     let batch = config.batch in
     let n_oracle = Oracle.n oracle in
@@ -132,6 +163,9 @@ let run ?(pool = Pool.sequential) ?(config = default_config) oracle flat =
     (* ns between consecutive arrivals; 0 = closed loop, no pacing. *)
     let gap_ns = if config.rate > 0. then 1e9 /. config.rate else 0. in
     let t0 = now_ns () in
+    (match sampler with
+    | Some s -> Sampler.start s ~now_ns:(int_of_float t0)
+    | None -> ());
     let run_worker w =
       let cache_size = if config.cache_bits = 0 then 0 else 1 lsl config.cache_bits in
       (* Keys are packed pairs u*n + v >= 0, so -1 marks an empty slot. *)
@@ -139,6 +173,21 @@ let run ?(pool = Pool.sequential) ?(config = default_config) oracle flat =
       let cache_val = Array.make (max 1 cache_size) 0 in
       let bits = config.cache_bits in
       let served = ref 0 and hits = ref 0 and busy = ref 0. in
+      (* Requests statically assigned to this worker (block-cyclic):
+         its queue depth gauge counts down from here. Pure arithmetic,
+         computed once. *)
+      let assigned =
+        if w >= blocks then 0
+        else begin
+          let owned = ((blocks - 1 - w) / workers) + 1 in
+          (* The globally last block may be short; it belongs to
+             worker [(blocks - 1) mod workers]. *)
+          let last_short =
+            if (blocks - 1) mod workers = w then (blocks * batch) - m else 0
+          in
+          (owned * batch) - last_short
+        end
+      in
       let j = ref w in
       while !j < blocks do
         let lo = !j * batch in
@@ -148,6 +197,10 @@ let run ?(pool = Pool.sequential) ?(config = default_config) oracle flat =
            latency base. *)
         if gap_ns > 0. then wait_until (t0 +. (gap_ns *. float_of_int (hi - 1)));
         let t_adm = now_ns () in
+        (match ob with
+        | Some o -> Obs.add o.so_admitted ~shard:w (hi - lo)
+        | None -> ());
+        let hits_before = !hits in
         if cache_size = 0 then
           for i = lo to hi - 1 do
             out.(i) <- Oracle.query oracle flat.(2 * i) flat.((2 * i) + 1)
@@ -171,6 +224,22 @@ let run ?(pool = Pool.sequential) ?(config = default_config) oracle flat =
         let t_done = now_ns () in
         busy := !busy +. (t_done -. t_adm);
         served := !served + (hi - lo);
+        (* Obs block: counter adds, a gauge store and one histogram
+           observe — no clock reads beyond the ones the loop already
+           took, no allocation (the GC-regression test pins the
+           instrumented block's minor words equal to the plain one). *)
+        (match ob with
+        | None -> ()
+        | Some o ->
+          let dh = !hits - hits_before in
+          Obs.add o.so_served ~shard:w (hi - lo);
+          Obs.add o.so_hits ~shard:w dh;
+          Obs.add o.so_misses ~shard:w (hi - lo - dh);
+          Obs.set o.so_queue ~shard:w (assigned - !served);
+          Obs.observe o.so_block ~shard:w (int_of_float (t_done -. t_adm)));
+        (match sampler with
+        | Some s when w = 0 -> Sampler.tick s (int_of_float t_done)
+        | _ -> ());
         (* One latency write per request, against its arrival (open
            loop: queueing included) or its block's admission (closed
            loop: pure service time). *)
@@ -194,6 +263,12 @@ let run ?(pool = Pool.sequential) ?(config = default_config) oracle flat =
              run_worker w
            done));
     let elapsed_ns = max 1. (now_ns () -. t0) in
+    (* Forced final sample after the pool joins: a quiesced, exact
+       read — the point CI reconciles against this run's own
+       accounting. *)
+    (match sampler with
+    | Some s -> Sampler.sample s (int_of_float (now_ns ()))
+    | None -> ());
     let per_worker =
       Array.init workers (fun w ->
           {

@@ -94,6 +94,8 @@ type stats = {
 val run :
   ?pool:Ds_parallel.Pool.t ->
   ?config:config ->
+  ?obs:Ds_obs.Obs.t ->
+  ?sampler:Ds_obs.Sampler.t ->
   Oracle.t ->
   int array ->
   int array * stats
@@ -105,4 +107,14 @@ val run :
     configuration; only the statistics depend on [pool]/[config].
     Workers run one per pool domain (default {!Ds_parallel.Pool.sequential}:
     one worker, inline). Raises [Invalid_argument] on an odd-length
-    stream or an out-of-range config field. *)
+    stream or an out-of-range config field.
+
+    [obs] registers the [serve.*] instruments (admitted / served /
+    hits / misses counters, per-worker queue-depth gauge, block
+    latency histogram) and updates them per block from each worker's
+    own shard — zero-cost when absent, and allocation-free when
+    present (no clock reads beyond the two the block already takes).
+    [sampler] is ticked by worker 0 between blocks and force-sampled
+    once after the pool joins, so its last point reconciles exactly
+    with the returned {!stats}; when [obs] is omitted the sampler's
+    own registry is the one instrumented. *)

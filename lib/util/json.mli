@@ -38,3 +38,14 @@ val float_repr : float -> string
 val escape : string -> string
 (** JSON string-body escaping (quotes, backslash, control chars);
     no surrounding quotes. *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON document (standard grammar; numbers containing
+    [.]/[e]/[E] become [Float], others [Int]). Errors carry a byte
+    offset. Round-trips everything the emitter writes — what
+    [distsketch obs-cat] and schema checks read artifacts back with;
+    not tuned for adversarial input. *)
+
+val member : string -> t -> t option
+(** [member key (Obj fields)] is the first binding of [key]; [None]
+    on missing keys and non-objects. *)

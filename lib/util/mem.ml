@@ -1,8 +1,10 @@
-(* Process-memory introspection for the bench harness and the scale
-   experiment. Linux exposes resident-set numbers in
-   [/proc/self/status]; elsewhere the probes degrade to [None] so the
-   callers can keep their JSON schema (null fields) without gating on
-   the platform. *)
+(* Process-memory introspection for the bench harness, the scale
+   experiment and the obs sampler. Linux exposes resident-set numbers
+   in [/proc/self/status]; elsewhere the probes degrade to [None] (or
+   0 via the [_or_zero] variants) so the callers can keep their JSON
+   schema without gating on the platform. The parsing is split out as
+   pure functions over strings so malformed or truncated status
+   content is unit-testable without a fake /proc. *)
 
 let parse_kb line =
   (* "VmRSS:     123456 kB" -> 123456 *)
@@ -14,15 +16,32 @@ let parse_kb line =
   let hi = stop lo in
   if hi > lo then int_of_string_opt (String.sub line lo (hi - lo)) else None
 
+let find_kb ~key text =
+  let prefix = key ^ ":" in
+  let plen = String.length prefix in
+  let lines = String.split_on_char '\n' text in
+  let rec scan = function
+    | [] -> None
+    | line :: rest ->
+      if String.length line > plen && String.sub line 0 plen = prefix then
+        parse_kb line
+      else scan rest
+  in
+  scan lines
+
 let status_kb key =
+  (* Catch-all: a vanished or unreadable /proc entry (open failure,
+     mid-read IO error, permission change) must degrade to [None],
+     never leak an exception into a CLI path. *)
   match open_in "/proc/self/status" with
-  | exception Sys_error _ -> None
+  | exception _ -> None
   | ic ->
     let prefix = key ^ ":" in
     let plen = String.length prefix in
     let rec scan () =
       match input_line ic with
       | exception End_of_file -> None
+      | exception _ -> None
       | line ->
         if String.length line > plen && String.sub line 0 plen = prefix then
           parse_kb line
@@ -32,6 +51,8 @@ let status_kb key =
 
 let rss_kb () = status_kb "VmRSS"
 let hwm_kb () = status_kb "VmHWM"
+let rss_kb_or_zero () = match rss_kb () with Some v -> v | None -> 0
+let hwm_kb_or_zero () = match hwm_kb () with Some v -> v | None -> 0
 
 let heap_words () =
   let st = Gc.quick_stat () in

@@ -1,5 +1,6 @@
 (** Process-memory probes (Linux [/proc/self/status]; [None] when the
-    file is absent, so callers stay portable). *)
+    file is absent, truncated or unreadable, so callers stay portable
+    and no CLI path can die on a /proc hiccup). *)
 
 val rss_kb : unit -> int option
 (** Current resident set size, in kB. *)
@@ -7,6 +8,25 @@ val rss_kb : unit -> int option
 val hwm_kb : unit -> int option
 (** Peak resident set size ("high-water mark"), in kB. *)
 
+val rss_kb_or_zero : unit -> int
+(** {!rss_kb} degraded to a zero gauge — what the obs sampler records
+    so the [obs/1] schema keeps an int field on every platform. *)
+
+val hwm_kb_or_zero : unit -> int
+(** {!hwm_kb} degraded to a zero gauge. *)
+
 val heap_words : unit -> int
 (** Major-heap size of the OCaml runtime, in words (from
     [Gc.quick_stat]; cheap, no heap walk). *)
+
+(** {2 Pure parsing} — exposed for unit tests on synthetic status
+    snippets; the probes above are [find_kb] over the live file. *)
+
+val parse_kb : string -> int option
+(** [parse_kb "VmRSS:   123456 kB"] is [Some 123456]: the first digit
+    run in the line, [None] when there is none. *)
+
+val find_kb : key:string -> string -> int option
+(** [find_kb ~key text] scans the lines of a [/proc/self/status]-shaped
+    string for ["key:"] and parses its kB value. Missing key,
+    malformed value or empty input all yield [None]. *)

@@ -21,11 +21,9 @@ let max_of a =
   check_nonempty a;
   Array.fold_left max a.(0) a
 
-let percentile a p =
-  check_nonempty a;
+let percentile_sorted sorted p =
+  check_nonempty sorted;
   if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile";
-  let sorted = Array.copy a in
-  Array.sort compare sorted;
   let n = Array.length sorted in
   let rank = p /. 100.0 *. float_of_int (n - 1) in
   let lo = int_of_float (floor rank) and hi = int_of_float (ceil rank) in
@@ -34,6 +32,12 @@ let percentile a p =
     let frac = rank -. float_of_int lo in
     (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
   end
+
+let percentile a p =
+  check_nonempty a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  percentile_sorted sorted p
 
 let median a = percentile a 50.0
 
@@ -50,21 +54,59 @@ type summary = {
 
 let summarize a =
   check_nonempty a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
   {
-    n = Array.length a;
+    n = Array.length sorted;
     mean = mean a;
     stddev = stddev a;
-    min = min_of a;
-    p50 = percentile a 50.0;
-    p90 = percentile a 90.0;
-    p99 = percentile a 99.0;
-    max = max_of a;
+    min = sorted.(0);
+    p50 = percentile_sorted sorted 50.0;
+    p90 = percentile_sorted sorted 90.0;
+    p99 = percentile_sorted sorted 99.0;
+    max = sorted.(Array.length sorted - 1);
   }
 
 let pp_summary ppf s =
   Format.fprintf ppf
     "n=%d mean=%.3f sd=%.3f min=%.3f p50=%.3f p90=%.3f p99=%.3f max=%.3f" s.n
     s.mean s.stddev s.min s.p50 s.p90 s.p99 s.max
+
+(* Log2 histograms: bucket 0 holds values <= 0, bucket b >= 1 holds
+   [2^(b-1), 2^b - 1] — i.e. the bit length of the value. 63 buckets
+   cover the whole non-negative int range. *)
+
+let log2_buckets = 64
+
+let log2_bucket v =
+  if v <= 0 then 0
+  else begin
+    let rec bits acc v = if v = 0 then acc else bits (acc + 1) (v lsr 1) in
+    let b = bits 0 v in
+    if b >= log2_buckets then log2_buckets - 1 else b
+  end
+
+let log2_bucket_upper b =
+  if b <= 0 then 0
+  else if b >= 63 then max_int
+  else (1 lsl b) - 1
+
+let percentile_log2 counts p =
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile_log2";
+  let total = Array.fold_left ( + ) 0 counts in
+  if total = 0 then invalid_arg "Stats.percentile_log2: empty histogram";
+  let rank =
+    let r = int_of_float (ceil (p /. 100.0 *. float_of_int total)) in
+    if r < 1 then 1 else r
+  in
+  let rec find b acc =
+    if b >= Array.length counts then log2_bucket_upper (Array.length counts - 1)
+    else begin
+      let acc = acc + counts.(b) in
+      if acc >= rank then log2_bucket_upper b else find (b + 1) acc
+    end
+  in
+  find 0 0
 
 let histogram ~buckets a =
   check_nonempty a;

@@ -8,7 +8,14 @@ val max_of : float array -> float
 
 val percentile : float array -> float -> float
 (** [percentile a p] with [p] in [\[0,100\]]; linear interpolation.
-    Does not mutate [a]. *)
+    Does not mutate [a] (copies and sorts per call — prefer
+    {!percentile_sorted} when extracting several percentiles). *)
+
+val percentile_sorted : float array -> float -> float
+(** Same interpolation over an array the caller has {e already
+    sorted} ascending — no copy, no sort. The canonical percentile
+    implementation: sort once, then read p50/p90/p99/p999 with four
+    O(1) calls (what {!Ds_oracle.Serve} and {!summarize} do). *)
 
 val median : float array -> float
 
@@ -28,3 +35,34 @@ val pp_summary : Format.formatter -> summary -> unit
 
 val histogram : buckets:int -> float array -> (float * float * int) array
 (** [(lo, hi, count)] per bucket over the data range. *)
+
+(** {2 Log2 histograms}
+
+    Fixed-shape power-of-two bucketing for non-negative int samples
+    (latencies in nanoseconds, sizes in words): bucket [0] holds
+    values [<= 0]; bucket [b >= 1] holds the range
+    [2^(b-1) .. 2^b - 1] — the value's bit length. {!log2_buckets}
+    buckets cover the whole int range, so the bucket index is always
+    in-bounds and the hot-path increment needs no branch beyond the
+    clamp. Approximate percentiles read back from the counts are
+    exact to within one bucket (a factor-of-2 value band), which the
+    [obs] test suite pins against {!percentile_sorted}. *)
+
+val log2_buckets : int
+(** Number of buckets ([64]). *)
+
+val log2_bucket : int -> int
+(** [log2_bucket v] is the bucket index for sample [v]: [0] for
+    [v <= 0], else the bit length of [v], clamped to
+    [log2_buckets - 1]. Allocation-free. *)
+
+val log2_bucket_upper : int -> int
+(** Inclusive upper bound of a bucket: [0], [1], [3], [7], ...,
+    [2^b - 1] ([max_int] for the last bucket). *)
+
+val percentile_log2 : int array -> float -> int
+(** [percentile_log2 counts p] reads an approximate percentile from
+    per-bucket counts (as built with {!log2_bucket}): the upper bound
+    of the first bucket whose cumulative count reaches
+    [ceil (p/100 * total)]. Raises [Invalid_argument] on an empty
+    histogram or [p] outside [\[0,100\]]. *)

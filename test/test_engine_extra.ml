@@ -162,6 +162,91 @@ let test_zero_alloc_steady_state () =
   let per_round = (b -. a -. call_overhead) /. float_of_int rounds in
   Alcotest.(check (float 0.0)) "minor words per steady round" 0.0 per_round
 
+(* The same pin with the metrics plane attached: an instrumented round
+   is a handful of extra int-array stores, so steady-state rounds must
+   still allocate exactly zero minor words. *)
+let test_zero_alloc_instrumented_round () =
+  let g = Graph.of_edges ~n:2 [ (0, 1, 1) ] in
+  let proto : (unit, int) Engine.protocol =
+    {
+      Engine.name = "ping-pong";
+      max_msg_words = 1;
+      msg_words = (fun _ -> 1);
+      halted = (fun _ -> false);
+      init = (fun api -> if api.Engine.id = 0 then api.Engine.send 0 0);
+      on_round =
+        (fun api _ inbox ->
+          for i = 0 to Engine.Inbox.length inbox - 1 do
+            api.Engine.send (Engine.Inbox.from inbox i)
+              (Engine.Inbox.msg inbox i)
+          done);
+    }
+  in
+  let obs = Ds_obs.Obs.create () in
+  let eng = Engine.create ~obs g proto in
+  for _ = 1 to 100 do
+    Engine.step eng
+  done;
+  let w0 = Gc.minor_words () in
+  let w1 = Gc.minor_words () in
+  let call_overhead = w1 -. w0 in
+  let rounds = 1000 in
+  let a = Gc.minor_words () in
+  for _ = 1 to rounds do
+    Engine.step eng
+  done;
+  let b = Gc.minor_words () in
+  let per_round = (b -. a -. call_overhead) /. float_of_int rounds in
+  Alcotest.(check (float 0.0)) "minor words per instrumented round" 0.0
+    per_round;
+  Alcotest.(check bool) "counters advanced" true
+    (Ds_obs.Obs.value obs Ds_obs.Obs.Name.engine_deliveries >= rounds)
+
+(* And for the serving tier: the per-block instrumentation Serve.run
+   executes — three counter adds, a gauge store, a histogram observe,
+   plus the int_of_float narrowing of the clock delta the block
+   already holds — must allocate zero minor words. (The whole of
+   Serve.run cannot be pinned this way: its post-join latency sort
+   boxes a data-dependent number of floats. The sampler's own
+   minor-words series covers the full loop end to end; this test
+   pins the instrumentation itself, with warm handles, exactly as the
+   engine-round pin above does.) *)
+let test_zero_alloc_instrumented_serve_block () =
+  let obs = Ds_obs.Obs.create () in
+  let module Obs = Ds_obs.Obs in
+  let admitted = Obs.counter obs Obs.Name.serve_admitted in
+  let served = Obs.counter obs Obs.Name.serve_served in
+  let hits = Obs.counter obs Obs.Name.serve_hits in
+  let misses = Obs.counter obs Obs.Name.serve_misses in
+  let queue = Obs.gauge obs Obs.Name.serve_queue_depth in
+  let block = Obs.histogram obs Obs.Name.serve_block_ns in
+  let t_adm = 1234.5 and t_done = 987654.25 in
+  let instrumented_block w i =
+    Obs.add admitted ~shard:w 64;
+    Obs.add served ~shard:w 64;
+    Obs.add hits ~shard:w (i land 63);
+    Obs.add misses ~shard:w (64 - (i land 63));
+    Obs.set queue ~shard:w (100_000 - i);
+    Obs.observe block ~shard:w (int_of_float (t_done -. t_adm))
+  in
+  for i = 1 to 100 do
+    instrumented_block (i land 3) i
+  done;
+  let w0 = Gc.minor_words () in
+  let w1 = Gc.minor_words () in
+  let call_overhead = w1 -. w0 in
+  let blocks = 10_000 in
+  let a = Gc.minor_words () in
+  for i = 1 to blocks do
+    instrumented_block (i land 3) i
+  done;
+  let b = Gc.minor_words () in
+  let per_block = (b -. a -. call_overhead) /. float_of_int blocks in
+  Alcotest.(check (float 0.0)) "minor words per instrumented serve block" 0.0
+    per_block;
+  Alcotest.(check int) "served counted" ((100 + blocks) * 64)
+    (Obs.counter_value served)
+
 let suite =
   [
     Alcotest.test_case "fifo synchronous" `Quick test_fifo_synchronous;
@@ -174,4 +259,8 @@ let suite =
     Alcotest.test_case "round limit fires" `Quick test_round_limit;
     Alcotest.test_case "steady-state rounds allocate zero minor words" `Quick
       test_zero_alloc_steady_state;
+    Alcotest.test_case "instrumented rounds allocate zero minor words" `Quick
+      test_zero_alloc_instrumented_round;
+    Alcotest.test_case "instrumented serve block allocates zero minor words"
+      `Quick test_zero_alloc_instrumented_serve_block;
   ]

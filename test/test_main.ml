@@ -12,6 +12,7 @@ let () =
       ("determinism", Test_determinism.suite);
       ("backend", Test_backend.suite);
       ("trace", Test_trace.suite);
+      ("obs", Test_obs.suite);
       ("tz", Test_tz.suite);
       ("oracle", Test_oracle.suite);
       ("serve", Test_serve.suite);
