@@ -24,6 +24,8 @@ module Registry = Ds_experiments.Registry
 module Pool = Ds_parallel.Pool
 module Oracle = Ds_oracle.Oracle
 module Workload = Ds_oracle.Workload
+module Sketch_family = Ds_sketch.Family
+module Sketch_build = Ds_sketch.Build
 
 (* Bound before the opens: Bechamel's [Toolkit] shadows the stub
    library's [Monotonic_clock] with its measure witness. *)
@@ -557,6 +559,96 @@ let scale_build_row ~quick () =
           None );
       ])
 
+(* B19/B20: the multi-family platform, one row pair per sketch family.
+   B19 is a full distributed build (directly timed, best of passes,
+   like B14); B20 is the serving cost of the resulting oracle in
+   ns/pair over the flat batch path (the same measurement style as
+   B12, one fixed pool width). A "families" table in the JSON carries
+   the structured view: build ns, sketch words, serve ns/pair. *)
+let family_rows ~quick () =
+  let n = if quick then 512 else 2048 in
+  let pairs_count = if quick then 20_000 else 100_000 in
+  let k = 3 and seed = 19 in
+  let g =
+    Gen.streaming_sparse ~rng:(Rng.create 19) ~n ~avg_degree:6.0 ()
+  in
+  let domains =
+    match Sys.getenv_opt "DS_DOMAINS" with
+    | Some s -> (try max 1 (int_of_string (String.trim s)) with _ -> 1)
+    | None -> min 4 (Domain.recommended_domain_count ())
+  in
+  let passes = if quick then 1 else 3 in
+  Pool.with_pool ~domains (fun pool ->
+      let flat =
+        Workload.pairs_flat ~rng:(Rng.create 20) Workload.Uniform ~n
+          ~count:pairs_count
+      in
+      let per_family =
+        List.map
+          (fun family ->
+            let fname = Sketch_family.name family in
+            let best_build = ref infinity in
+            let built = ref None in
+            for _ = 1 to passes do
+              let t0 = now_ns () in
+              let r = Sketch_build.run ~pool ~family g ~k ~seed in
+              let dt = now_ns () -. t0 in
+              if dt < !best_build then best_build := dt;
+              built := Some r
+            done;
+            let r = Option.get !built in
+            let oracle = Oracle.of_sketch r.Sketch_build.sketch in
+            let best_serve = ref infinity in
+            for _ = 1 to passes + 1 do
+              let t0 = now_ns () in
+              ignore (Oracle.query_batch_flat ~pool oracle flat);
+              let dt = now_ns () -. t0 in
+              if dt < !best_serve then best_serve := dt
+            done;
+            let ns_per_pair = !best_serve /. float_of_int pairs_count in
+            (fname, !best_build, Oracle.size_words oracle, ns_per_pair))
+          Sketch_family.all
+      in
+      let rows =
+        List.concat_map
+          (fun (fname, build_ns, _, ns_per_pair) ->
+            [
+              ( Printf.sprintf "B19 %s build (n=%d,k=%d,domains=%d)" fname n
+                  k domains,
+                build_ns,
+                None );
+              ( Printf.sprintf "B20 %s serve per pair (n=%d,%dk pairs,\
+                                domains=%d)"
+                  fname n (pairs_count / 1000) domains,
+                ns_per_pair,
+                None );
+            ])
+          per_family
+      in
+      let table =
+        Json.Obj
+          [
+            ("bench", Json.String "B19/B20");
+            ("n", Json.Int n);
+            ("k", Json.Int k);
+            ("pairs", Json.Int pairs_count);
+            ("domains", Json.Int domains);
+            ( "rows",
+              Json.List
+                (List.map
+                   (fun (fname, build_ns, words, ns_per_pair) ->
+                     Json.Obj
+                       [
+                         ("sketch_family", Json.String fname);
+                         ("build_ns", Json.Float build_ns);
+                         ("size_words", Json.Int words);
+                         ("serve_ns_per_pair", Json.Float ns_per_pair);
+                       ])
+                   per_family) );
+          ]
+      in
+      (rows, table))
+
 let run_microbenches ~quick () =
   print_endline "### Microbenchmarks (Bechamel, monotonic clock)\n";
   let slow_tests, fast_tests = bench_tests () in
@@ -617,11 +709,13 @@ let run_microbenches ~quick () =
   in
   let b12_rows, b12_table = oracle_batch_rows ~quick () in
   let b16_rows, serve_table = serve_rows ~quick () in
+  let b19_rows, families_table = family_rows ~quick () in
   let batch_rows =
     b12_rows
     @ backend_build_rows ~quick ()
     @ scale_build_row ~quick ()
     @ b16_rows
+    @ b19_rows
   in
   List.iter
     (fun (name, est, _) ->
@@ -629,7 +723,12 @@ let run_microbenches ~quick () =
     batch_rows;
   Ds_util.Table.print t;
   save_json ~path:"BENCH_engine.json"
-    ~extra:[ ("b12_scaling", b12_table); ("serve", serve_table) ]
+    ~extra:
+      [
+        ("b12_scaling", b12_table);
+        ("serve", serve_table);
+        ("families", families_table);
+      ]
     (json_rows @ batch_rows)
 
 (* --trace: one traced multi-bf execution, exported as the round log

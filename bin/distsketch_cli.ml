@@ -12,6 +12,9 @@ module Label = Ds_core.Label
 module Eval = Ds_core.Eval
 module Registry = Ds_experiments.Registry
 module Pool = Ds_parallel.Pool
+module Sketch = Ds_sketch.Sketch
+module Sketch_family = Ds_sketch.Family
+module Sketch_build = Ds_sketch.Build
 module Store = Ds_oracle.Sketch_store
 module Oracle = Ds_oracle.Oracle
 module Workload = Ds_oracle.Workload
@@ -56,6 +59,21 @@ let family_arg =
         ~doc:
           "Graph family: er, geometric, grid, torus, ring-chords, tree, \
            power-law, star-ring.")
+
+let sketch_conv =
+  let parse s = Result.map_error (fun m -> `Msg m) (Sketch_family.of_string s) in
+  Arg.conv
+    (parse, fun ppf f -> Format.pp_print_string ppf (Sketch_family.name f))
+
+let sketch_arg =
+  Arg.(
+    value & opt sketch_conv Sketch_family.Tz
+    & info [ "sketch" ] ~docv:"SKETCH"
+        ~doc:
+          "Sketch family: $(b,tz) (Thorup-Zwick pivots/bunches), \
+           $(b,landmark) (Das Sarma random landmarks), $(b,bottomk) \
+           (rank-ordered bottom-k all-distance sketches). All three build \
+           on either backend and serve through the same oracle.")
 
 let domains_arg =
   Arg.(
@@ -213,7 +231,7 @@ let report_cmd =
   Cmd.v
     (Cmd.info "report"
        ~doc:
-         "Run every experiment (e1-e14) and regenerate EXPERIMENTS.md and \
+         "Run every experiment (e1-e15) and regenerate EXPERIMENTS.md and \
           EXPERIMENTS.json in place; with $(b,--check), verify the committed \
           files instead of rewriting them.")
     Term.(const run $ domains_arg $ check_arg $ profile_arg $ dir_arg)
@@ -266,15 +284,19 @@ let build_cmd =
             "Write an obs/1 JSON dump of the build's engine metrics \
              (rounds, deliveries, words, peak backlog) to $(docv).")
   in
-  let run family n seed k mode domains backend shards save obs_out =
+  let run family n seed k mode sketch_family domains backend shards save
+      obs_out =
     with_domains domains @@ fun pool ->
     let g = make_graph family n seed in
     let gn = Graph.n g in
-    let levels = Levels.sample ~rng:(Rng.create (seed + 1)) ~n:gn ~k in
     let obs = match obs_out with Some _ -> Some (Obs.create ()) | None -> None in
-    let describe labels metrics =
-      let sizes = Eval.size_summary Label.size_words labels in
-      Format.printf "labels built: %d nodes, k=%d@." gn k;
+    let describe sketch metrics =
+      let sizes =
+        Eval.size_summary (Sketch.node_size_words sketch) (Array.init gn Fun.id)
+      in
+      Format.printf "%s sketches built: %d nodes, k=%d@."
+        (Sketch_family.name (Sketch.family sketch))
+        gn k;
       Format.printf "sizes (words): %a@." Ds_util.Stats.pp_summary sizes;
       (match metrics with
       | None -> ()
@@ -283,28 +305,42 @@ let build_cmd =
       | None -> ()
       | Some path ->
         let store =
-          Store.v ~seed ~family:(Gen.family_name family) labels
+          Store.v ~seed ~graph_family:(Gen.family_name family) sketch
         in
         Store.save path store;
         Format.printf "snapshot: wrote %s (%d bytes)@." path
           (String.length (Store.to_bytes store))
     in
-    (match mode with
-    | `Central -> describe (Ds_core.Tz_centralized.build g ~levels) None
-    | `Dist ->
-      let r = Ds_core.Tz_distributed.build ~backend ~pool ?shards ?obs g ~levels in
-      describe r.Ds_core.Tz_distributed.labels
-        (Some r.Ds_core.Tz_distributed.metrics)
-    | `Echo ->
+    (match (sketch_family, mode) with
+    | Sketch_family.Tz, `Central ->
+      let levels = Levels.sample ~rng:(Rng.create (seed + 1)) ~n:gn ~k in
+      describe (Sketch.of_tz_labels (Ds_core.Tz_centralized.build g ~levels))
+        None
+    | Sketch_family.Tz, `Echo ->
+      let levels = Levels.sample ~rng:(Rng.create (seed + 1)) ~n:gn ~k in
       let r = Ds_core.Tz_echo.build ~backend ~pool ?shards ?obs g ~levels in
       Format.printf "leader: %d@." r.Ds_core.Tz_echo.leader;
-      describe r.Ds_core.Tz_echo.labels (Some r.Ds_core.Tz_echo.metrics));
+      describe
+        (Sketch.of_tz_labels r.Ds_core.Tz_echo.labels)
+        (Some r.Ds_core.Tz_echo.metrics)
+    | _, `Dist ->
+      let r =
+        Sketch_build.run ~backend ~pool ?shards ?obs ~family:sketch_family g
+          ~k ~seed
+      in
+      describe r.Sketch_build.sketch (Some r.Sketch_build.metrics)
+    | _, (`Central | `Echo) ->
+      Printf.eprintf
+        "--sketch %s is a distributed-only construction; use --mode dist\n"
+        (Sketch_family.name sketch_family);
+      exit 1);
     match (obs, obs_out) with
     | Some registry, Some path ->
       let meta =
         [
           ("cmd", Json.String "build");
-          ("family", Json.String (Gen.family_name family));
+          ("graph_family", Json.String (Gen.family_name family));
+          ("sketch_family", Json.String (Sketch_family.name sketch_family));
           ("n", Json.Int gn);
           ("k", Json.Int k);
           ("backend", Json.String (Ds_congest.Plane.backend_name backend));
@@ -317,11 +353,12 @@ let build_cmd =
   in
   Cmd.v
     (Cmd.info "build"
-       ~doc:"Build Thorup-Zwick sketches on a generated graph and report \
-             sizes and CONGEST cost.")
+       ~doc:"Build distance sketches (any --sketch family) on a generated \
+             graph and report sizes and CONGEST cost.")
     Term.(
       const run $ family_arg $ n_arg $ seed_arg $ k_arg $ mode_arg
-      $ domains_arg $ backend_arg $ shards_arg $ save_arg $ obs_out_arg)
+      $ sketch_arg $ domains_arg $ backend_arg $ shards_arg $ save_arg
+      $ obs_out_arg)
 
 (* ---- scale ---- *)
 
@@ -709,6 +746,27 @@ let oracle_cmd =
       value & opt int 1
       & info [ "qseed" ] ~docv:"Q" ~doc:"Workload (pair-stream) seed.")
   in
+  let pairs_file_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "pairs-file" ] ~docv:"FILE"
+          ~doc:
+            "Replay an explicit pair set (one \"u v\" line per query, \
+             $(b,#) comments allowed) instead of drawing from \
+             $(b,--workload)/$(b,--qseed) — the escape hatch for \
+             byte-identical head-to-head runs across sketch families \
+             or processes.")
+  in
+  let dump_pairs_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dump-pairs" ] ~docv:"FILE"
+          ~doc:
+            "Write the pair set this run served (drawn or replayed) in \
+             the $(b,--pairs-file) format, for later replay.")
+  in
   let skip_exact_arg =
     Arg.(
       value & flag
@@ -778,8 +836,9 @@ let oracle_cmd =
       & info [ "obs-prom" ] ~docv:"FILE"
           ~doc:"Write the final registry as Prometheus text exposition.")
   in
-  let run family n seed k domains load save workload pairs qseed skip_exact
-      serve rate cache_bits batch obs_out obs_interval obs_prom =
+  let run family n seed k sketch_family domains load save workload pairs qseed
+      pairs_file dump_pairs skip_exact serve rate cache_bits batch obs_out
+      obs_interval obs_prom =
     with_domains domains @@ fun pool ->
     let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt in
     let store, source =
@@ -791,11 +850,11 @@ let oracle_cmd =
         "snapshot:" ^ path )
       | None ->
         let g = make_graph family n seed in
-        let gn = Graph.n g in
-        let levels = Levels.sample ~rng:(Rng.create (seed + 1)) ~n:gn ~k in
-        let built = Ds_core.Tz_distributed.build ~pool g ~levels in
-        ( Store.v ~seed ~family:(Gen.family_name family)
-            built.Ds_core.Tz_distributed.labels,
+        let built =
+          Sketch_build.run ~pool ~family:sketch_family g ~k ~seed
+        in
+        ( Store.v ~seed ~graph_family:(Gen.family_name family)
+            built.Sketch_build.sketch,
           "built" )
     in
     (match save with
@@ -808,18 +867,40 @@ let oracle_cmd =
     let oracle = Oracle.of_store store in
     if pairs < 1 then fail "--pairs must be >= 1";
     if meta.Store.n < 2 then fail "need at least 2 nodes to query";
-    let stream =
-      Workload.pairs ~rng:(Rng.create qseed) workload ~n:meta.Store.n
-        ~count:pairs
-    in
     (* Serve through the flat layout (the fast path); [stream] keeps
        the boxed pairs for the exact-stretch comparison below. Same
        pairs either way, so the answers fingerprint is unchanged. *)
-    let flat =
-      Array.init (2 * pairs) (fun i ->
-          let u, v = stream.(i / 2) in
-          if i land 1 = 0 then u else v)
+    let flat, stream, pairs =
+      match pairs_file with
+      | None ->
+        let stream =
+          Workload.pairs ~rng:(Rng.create qseed) workload ~n:meta.Store.n
+            ~count:pairs
+        in
+        let flat =
+          Array.init (2 * pairs) (fun i ->
+              let u, v = stream.(i / 2) in
+              if i land 1 = 0 then u else v)
+        in
+        (flat, stream, pairs)
+      | Some path ->
+        let flat =
+          try Workload.load_pairs ~n:meta.Store.n path with
+          | Failure msg -> fail "%s" msg
+          | Sys_error msg -> fail "cannot read %s: %s" path msg
+        in
+        let count = Array.length flat / 2 in
+        if count = 0 then fail "%s: empty pair file" path;
+        let stream =
+          Array.init count (fun i -> (flat.(2 * i), flat.((2 * i) + 1)))
+        in
+        (flat, stream, count)
     in
+    (match dump_pairs with
+    | None -> ()
+    | Some path ->
+      Workload.save_pairs path flat;
+      Printf.eprintf "wrote %s (%d pairs)\n" path pairs);
     if obs_interval < 1 then fail "--obs-interval-ms must be >= 1";
     let obs_registry =
       match (obs_out, obs_prom) with
@@ -870,7 +951,8 @@ let oracle_cmd =
         | Some _ -> (
           match
             Arg.conv_parser family_conv
-              (if meta.Store.family = "" then "?" else meta.Store.family)
+              (if meta.Store.graph_family = "" then "?"
+               else meta.Store.graph_family)
           with
           | Error _ -> None
           | Ok fam ->
@@ -884,6 +966,14 @@ let oracle_cmd =
         let report =
           Eval.on_pairs ~query:(Oracle.query oracle) (exact_triples g stream)
         in
+        (* Only tz carries a worst-case multiplicative guarantee
+           (2k-1); landmark and bottom-k estimates are upper bounds
+           with no fixed stretch bound, so the field goes null. *)
+        let bound =
+          match meta.Store.sketch_family with
+          | Sketch_family.Tz -> Json.Int ((2 * meta.Store.k) - 1)
+          | Sketch_family.Landmark | Sketch_family.Bottomk -> Json.Null
+        in
         Json.Obj
           [
             ("max", Json.Float report.Eval.max_stretch);
@@ -891,18 +981,25 @@ let oracle_cmd =
             ("p99", Json.Float report.Eval.p99);
             ("violations", Json.Int report.Eval.violations);
             ("unreachable", Json.Int report.Eval.unreachable);
-            ("bound", Json.Int ((2 * meta.Store.k) - 1));
+            ("bound", bound);
           ]
+    in
+    let workload_name =
+      match pairs_file with
+      | None -> Workload.name workload
+      | Some path -> "file:" ^ path
     in
     let id_fields =
       [
         ("source", Json.String source);
         ("n", Json.Int meta.Store.n);
         ("k", Json.Int meta.Store.k);
-        ("family", Json.String meta.Store.family);
+        ("graph_family", Json.String meta.Store.graph_family);
+        ( "sketch_family",
+          Json.String (Sketch_family.name meta.Store.sketch_family) );
         ("seed", Json.Int meta.Store.seed);
         ("size_words", Json.Int (Oracle.size_words oracle));
-        ("workload", Json.String (Workload.name workload));
+        ("workload", Json.String workload_name);
       ]
     in
     let summary =
@@ -999,9 +1096,11 @@ let oracle_cmd =
           ("source", Json.String source);
           ("n", Json.Int meta.Store.n);
           ("k", Json.Int meta.Store.k);
+          ( "sketch_family",
+            Json.String (Sketch_family.name meta.Store.sketch_family) );
           ("pairs", Json.Int pairs);
           ("domains", Json.Int domains);
-          ("workload", Json.String (Workload.name workload));
+          ("workload", Json.String workload_name);
           ("serve", Json.Bool serve);
         ]
       in
@@ -1028,10 +1127,11 @@ let oracle_cmd =
           rate) and report per-domain QPS, cache hit rate and p999 \
           latency.")
     Term.(
-      const run $ family_arg $ n_arg $ seed_arg $ k_arg $ domains_arg
-      $ load_arg $ save_arg $ workload_arg $ pairs_arg $ qseed_arg
-      $ skip_exact_arg $ serve_arg $ rate_arg $ cache_bits_arg $ batch_arg
-      $ obs_out_arg $ obs_interval_arg $ obs_prom_arg)
+      const run $ family_arg $ n_arg $ seed_arg $ k_arg $ sketch_arg
+      $ domains_arg $ load_arg $ save_arg $ workload_arg $ pairs_arg
+      $ qseed_arg $ pairs_file_arg $ dump_pairs_arg $ skip_exact_arg
+      $ serve_arg $ rate_arg $ cache_bits_arg $ batch_arg $ obs_out_arg
+      $ obs_interval_arg $ obs_prom_arg)
 
 (* ---- obs-cat ---- *)
 
@@ -1076,61 +1176,29 @@ let obs_cat_cmd =
       | Some v -> v
       | None -> fail "%s: %s: missing field %S" file ctx name
     in
-    (match obj_field "document" "schema" doc with
-    | Json.String "obs/1" -> ()
-    | Json.String other -> fail "%s: schema %S, want \"obs/1\"" file other
-    | _ -> fail "%s: schema is not a string" file);
-    let points =
-      match obj_field "document" "points" doc with
-      | Json.List l -> l
-      | _ -> fail "%s: points is not a list" file
-    in
-    let final = obj_field "document" "final" doc in
-    let final_counters =
-      match obj_field "final" "counters" final with
-      | Json.Obj fields -> fields
-      | _ -> fail "%s: final.counters is not an object" file
-    in
     if check then begin
-      let prev_elapsed = ref neg_infinity in
-      let prev_counters = ref [] in
-      List.iteri
-        (fun i point ->
-          let ctx = Printf.sprintf "points[%d]" i in
-          let elapsed = num (obj_field ctx "elapsed_ms" point) in
-          if elapsed <= !prev_elapsed then
-            fail "%s: %s: elapsed_ms not increasing" file ctx;
-          prev_elapsed := elapsed;
-          ignore (obj_field ctx "derived" point);
-          let counters =
-            match obj_field ctx "counters" point with
-            | Json.Obj fields -> fields
-            | _ -> fail "%s: %s.counters is not an object" file ctx
-          in
-          List.iter
-            (fun (name, v) ->
-              let prev =
-                match List.assoc_opt name !prev_counters with
-                | Some p -> num p
-                | None -> 0.0
-              in
-              if num v < prev then
-                fail "%s: %s: counter %S decreased" file ctx name)
-            counters;
-          prev_counters := counters)
-        points;
-      (* The final quiesced snapshot can only be at or past the last
-         sampled point. *)
-      List.iter
-        (fun (name, v) ->
-          match List.assoc_opt name !prev_counters with
-          | Some last when num v < num last ->
-            fail "%s: final.counters.%s below last point" file name
-          | _ -> ())
-        final_counters;
-      Printf.printf "%s: ok (obs/1, %d points)\n" file (List.length points)
+      (* The whole invariant battery lives in {!Ds_obs.Obs_doc} (so the
+         test suite can drive it on synthetic dumps): schema tag,
+         per-point derived block, strictly increasing elapsed times,
+         monotone cumulative counters, final >= last point, well-formed
+         counter label suffixes, and labeled-variant sums bounded by
+         their plain base counter. *)
+      match Ds_obs.Obs_doc.check doc with
+      | Ok points -> Printf.printf "%s: ok (obs/1, %d points)\n" file points
+      | Error msg -> fail "%s: %s" file msg
     end
     else begin
+      let points =
+        match obj_field "document" "points" doc with
+        | Json.List l -> l
+        | _ -> fail "%s: points is not a list" file
+      in
+      let final = obj_field "document" "final" doc in
+      let final_counters =
+        match obj_field "final" "counters" final with
+        | Json.Obj fields -> fields
+        | _ -> fail "%s: final.counters is not an object" file
+      in
       let dnum point name =
         match Json.member "derived" point with
         | Some d -> (

@@ -188,6 +188,18 @@ let all =
             | Full -> E14_backlog.default
             | Quick -> E14_backlog.quick));
     };
+    {
+      id = E15_families.id;
+      title = E15_families.title;
+      claim_id = E15_families.claim_id;
+      claim = E15_families.claim;
+      run =
+        (fun ~profile pool ->
+          E15_families.run ~pool
+            (match profile with
+            | Full -> E15_families.default
+            | Quick -> E15_families.quick));
+    };
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all

@@ -180,25 +180,71 @@ let value t name =
    [_bucket{le="..."}] rows up to the highest non-empty bucket plus
    [+Inf], then [_sum] and [_count]. *)
 
+let mangle_base base =
+  "dss_" ^ String.map (fun c -> if c = '.' then '_' else c) base
+
+(* A registry name may carry a label suffix, [base{key=value,…}]; only
+   the base is mangled, and label values come out quoted, so the
+   result is Prometheus-legal: [oracle.queries{family=tz}] ->
+   [dss_oracle_queries{family="tz"}]. A suffix that does not parse as
+   labels is mangled whole (dots to underscores), never dropped. *)
 let prom_name name =
-  "dss_" ^ String.map (fun c -> if c = '.' then '_' else c) name
+  match String.index_opt name '{' with
+  | None -> mangle_base name
+  | Some i when String.length name > i + 2 && name.[String.length name - 1] = '}'
+    -> begin
+      let base = String.sub name 0 i in
+      let inner = String.sub name (i + 1) (String.length name - i - 2) in
+      let labels = String.split_on_char ',' inner in
+      match
+        List.map
+          (fun l ->
+            match String.index_opt l '=' with
+            | Some j when j > 0 ->
+              Printf.sprintf "%s=%S" (String.sub l 0 j)
+                (String.sub l (j + 1) (String.length l - j - 1))
+            | _ -> raise Exit)
+          labels
+      with
+      | quoted ->
+        Printf.sprintf "%s{%s}" (mangle_base base) (String.concat "," quoted)
+      | exception Exit -> mangle_base name
+    end
+  | Some _ -> mangle_base name
+
+(* The metric-family name: everything before a label suffix. *)
+let prom_base pn =
+  match String.index_opt pn '{' with
+  | None -> pn
+  | Some i -> String.sub pn 0 i
 
 let prometheus t =
   let b = Buffer.create 1024 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  (* One [# TYPE] per metric family: labeled variants
+     ([base{key="v"}]) sort right after their plain base, so emitting
+     the comment only when the base changes dedups them. *)
+  let last_type = ref "" in
+  let type_line pn kind =
+    let base = prom_base pn in
+    if base <> !last_type then begin
+      last_type := base;
+      line "# TYPE %s %s" base kind
+    end
+  in
   List.iter
     (fun (name, entry) ->
       let pn = prom_name name in
       match entry with
       | C c ->
-        line "# TYPE %s counter" pn;
+        type_line pn "counter";
         line "%s %d" pn (counter_value c)
       | G g ->
-        line "# TYPE %s gauge" pn;
+        type_line pn "gauge";
         line "%s %d" pn (gauge_value g)
       | H h ->
         let hs = hist_value h in
-        line "# TYPE %s histogram" pn;
+        type_line pn "histogram";
         let top = ref (-1) in
         Array.iteri (fun i n -> if n > 0 then top := i) hs.buckets;
         let cum = ref 0 in
@@ -227,6 +273,10 @@ module Name = struct
   let serve_queue_depth = "serve.queue_depth"
   let serve_block_ns = "serve.block_ns"
   let oracle_queries = "oracle.queries"
+
+  let oracle_queries_family family =
+    Printf.sprintf "oracle.queries{family=%s}" family
+
   let gc_minor_words = "gc.minor_words"
   let mem_rss_kb = "mem.rss_kb"
 end

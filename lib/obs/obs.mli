@@ -117,7 +117,10 @@ val prometheus : t -> string
     name, so byte-stable for a given state. *)
 
 val prom_name : string -> string
-(** The name mangling [prometheus] applies, exposed for tests. *)
+(** The name mangling [prometheus] applies, exposed for tests. A
+    label suffix ([base{key=value}]) keeps its keys and gets its
+    values quoted ([dss_base{key="value"}]); only the base is
+    dot-mangled. *)
 
 (** Well-known instrument names used by the instrumented layers, so
     exporters, tests and dashboards never retype strings. *)
@@ -134,6 +137,12 @@ module Name : sig
   val serve_queue_depth : string
   val serve_block_ns : string
   val oracle_queries : string
+
+  val oracle_queries_family : string -> string
+  (** [oracle_queries_family f] is [oracle.queries{family=f}] — the
+      per-family served-query counter. The label suffix survives
+      {!prom_name} mangling as a quoted Prometheus label. *)
+
   val gc_minor_words : string
   val mem_rss_kb : string
 end

@@ -1,0 +1,115 @@
+module Json = Ds_util.Json
+
+exception Bad of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
+
+let num ctx = function
+  | Json.Int i -> float_of_int i
+  | Json.Float f -> f
+  | _ -> fail "%s: expected a number" ctx
+
+let obj_field ctx name j =
+  match Json.member name j with
+  | Some v -> v
+  | None -> fail "%s: missing field %S" ctx name
+
+(* A counter name is exportable when it is label-free or its suffix
+   parses as [base{key=value,…}] — exactly the shape [Obs.prom_name]
+   rewrites into quoted Prometheus labels. *)
+let check_name ctx name =
+  match String.index_opt name '{' with
+  | None -> ()
+  | Some i ->
+    let len = String.length name in
+    let ok =
+      i > 0 && len > i + 2
+      && name.[len - 1] = '}'
+      && List.for_all
+           (fun l ->
+             match String.index_opt l '=' with
+             | Some j -> j > 0 && j < String.length l - 1
+             | None -> false)
+           (String.split_on_char ',' (String.sub name (i + 1) (len - i - 2)))
+    in
+    if not ok then
+      fail "%s: counter %S has a malformed label suffix" ctx name
+
+let base_of name =
+  match String.index_opt name '{' with
+  | None -> name
+  | Some i -> String.sub name 0 i
+
+let counters_of ctx j =
+  match obj_field ctx "counters" j with
+  | Json.Obj fields ->
+    List.iter (fun (name, _) -> check_name ctx name) fields;
+    fields
+  | _ -> fail "%s: counters is not an object" ctx
+
+let check doc =
+  try
+    (match obj_field "document" "schema" doc with
+    | Json.String "obs/1" -> ()
+    | Json.String other -> fail "schema %S, want \"obs/1\"" other
+    | _ -> fail "schema is not a string");
+    let points =
+      match obj_field "document" "points" doc with
+      | Json.List l -> l
+      | _ -> fail "points is not a list"
+    in
+    let final = obj_field "document" "final" doc in
+    let final_counters = counters_of "final" final in
+    let prev_elapsed = ref neg_infinity in
+    let prev_counters = ref [] in
+    List.iteri
+      (fun i point ->
+        let ctx = Printf.sprintf "points[%d]" i in
+        let elapsed = num ctx (obj_field ctx "elapsed_ms" point) in
+        if elapsed <= !prev_elapsed then
+          fail "%s: elapsed_ms not increasing" ctx;
+        prev_elapsed := elapsed;
+        ignore (obj_field ctx "derived" point);
+        let counters = counters_of ctx point in
+        List.iter
+          (fun (name, v) ->
+            let prev =
+              match List.assoc_opt name !prev_counters with
+              | Some p -> num ctx p
+              | None -> 0.0
+            in
+            if num ctx v < prev then fail "%s: counter %S decreased" ctx name)
+          counters;
+        prev_counters := counters)
+      points;
+    (* The final quiesced snapshot can only be at or past the last
+       sampled point. *)
+    List.iter
+      (fun (name, v) ->
+        match List.assoc_opt name !prev_counters with
+        | Some last when num "final" v < num "final" last ->
+          fail "final.counters.%s below last point" name
+        | _ -> ())
+      final_counters;
+    (* Labeled counters are a breakdown of their base: per base name,
+       the labeled variants cannot sum past the plain total. *)
+    List.iter
+      (fun (name, v) ->
+        match String.index_opt name '{' with
+        | Some _ -> ()
+        | None ->
+          let total = num "final" v in
+          let labeled =
+            List.fold_left
+              (fun acc (name', v') ->
+                if name' <> name && base_of name' = name then
+                  acc +. num "final" v'
+                else acc)
+              0.0 final_counters
+          in
+          if labeled > total then
+            fail "final.counters: labeled variants of %S sum to %.0f > %.0f"
+              name labeled total)
+      final_counters;
+    Ok (List.length points)
+  with Bad msg -> Error msg

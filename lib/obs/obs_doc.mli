@@ -1,0 +1,24 @@
+(** Validator for obs/1 metric dumps ([--obs-out] files).
+
+    The schema gate behind [obs-cat --check], factored out of the CLI
+    so it is unit-testable on synthetic documents. A dump passes when
+
+    - the [schema] tag is ["obs/1"] and the [points] /
+      [final.counters] shapes are present;
+    - [elapsed_ms] is strictly increasing across points and every
+      point carries a [derived] block;
+    - every cumulative counter is monotone point-to-point and the
+      final quiesced snapshot is at or past the last sampled point;
+    - every counter name is exportable: a label suffix, if any, parses
+      as [base{key=value,…}] (the form {!Obs.prom_name} turns into a
+      quoted Prometheus label — e.g. the per-family
+      [oracle.queries{family=tz}] counters);
+    - labeled counters never exceed their plain base: for each base
+      present in [final.counters], the sum of its labeled variants is
+      at most the base value (per-family counts are a breakdown of the
+      total, not an addition to it). *)
+
+val check : Ds_util.Json.t -> (int, string) result
+(** [check doc] is [Ok points] (the number of sampled points) when the
+    document satisfies every invariant above, [Error msg] naming the
+    first violation otherwise. *)

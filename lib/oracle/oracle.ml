@@ -1,192 +1,52 @@
 module Dist = Ds_graph.Dist
-module Label = Ds_core.Label
 module Pool = Ds_parallel.Pool
 module Stats = Ds_util.Stats
+module Family = Ds_sketch.Family
+module Sketch = Ds_sketch.Sketch
 
-type t = {
-  n : int;
-  k : int;
-  pivot_dist : int array;
-  pivot_node : int array;
-  bunch_off : int array;
-  bunch_node : int array;
-  bunch_dist : int array;
-}
+type t = Sketch.t
 
-let of_labels labels =
-  let n = Array.length labels in
-  if n = 0 then invalid_arg "Oracle.of_labels: empty label set";
-  let k = labels.(0).Label.k in
-  Array.iteri
-    (fun i l ->
-      if l.Label.owner <> i then
-        invalid_arg
-          (Printf.sprintf "Oracle.of_labels: labels.(%d) has owner %d" i
-             l.Label.owner);
-      if l.Label.k <> k then
-        invalid_arg
-          (Printf.sprintf "Oracle.of_labels: labels.(%d) has k=%d, expected %d"
-             i l.Label.k k))
-    labels;
-  let pivot_dist = Array.make (n * k) Dist.infinity in
-  let pivot_node = Array.make (n * k) max_int in
-  let bunch_off = Array.make (n + 1) 0 in
-  for u = 0 to n - 1 do
-    bunch_off.(u + 1) <- bunch_off.(u) + Label.bunch_size labels.(u)
-  done;
-  let total = bunch_off.(n) in
-  let bunch_node = Array.make (max 1 total) 0 in
-  let bunch_dist = Array.make (max 1 total) 0 in
-  Array.iteri
-    (fun u l ->
-      Array.iteri
-        (fun i (d, p) ->
-          pivot_dist.((u * k) + i) <- d;
-          pivot_node.((u * k) + i) <- p)
-        l.Label.pivots;
-      (* bunch_nodes is sorted by node id — the slice stays strictly
-         increasing, which is what the binary search needs. *)
-      List.iteri
-        (fun j (w, d, _) ->
-          bunch_node.(bunch_off.(u) + j) <- w;
-          bunch_dist.(bunch_off.(u) + j) <- d)
-        (Label.bunch_nodes l))
-    labels;
-  { n; k; pivot_dist; pivot_node; bunch_off; bunch_node; bunch_dist }
+let of_sketch s = s
+let of_labels labels = Sketch.of_tz_labels labels
+let of_store (s : Sketch_store.t) = s.Sketch_store.sketch
+let sketch t = t
 
-let of_store (s : Sketch_store.t) = of_labels s.Sketch_store.labels
-
-let n t = t.n
-let k t = t.k
-
-let size_words t = (2 * t.n * t.k) + (2 * t.bunch_off.(t.n))
-
-(* Binary search for [w] in the node-[u] slice; [Dist.infinity] when
-   absent. Tail recursion over plain ints, not [ref] cursors: a query
-   must not touch the minor heap, because every minor collection stops
-   all domains and a batch fanned over the pool would serialise on GC
-   instead of scaling. *)
-let rec find_in t w lo hi =
-  if lo >= hi then Dist.infinity
-  else begin
-    let mid = (lo + hi) / 2 in
-    let x = t.bunch_node.(mid) in
-    if x = w then t.bunch_dist.(mid)
-    else if x < w then find_in t w (mid + 1) hi
-    else find_in t w lo mid
-  end
-
-let find t u w = find_in t w t.bunch_off.(u) t.bunch_off.(u + 1)
+let family = Sketch.family
+let n = Sketch.n
+let k = Sketch.k
+let size_words = Sketch.size_words
 
 let bunch_dist t u w =
-  let d = find t u w in
+  let d = Sketch.find t u w in
   if Dist.is_finite d then Some d else None
 
-let check_pair t u v name =
-  if u < 0 || u >= t.n || v < 0 || v >= t.n then
-    invalid_arg
-      (Printf.sprintf "Oracle.%s: pair (%d, %d) out of range [0, %d)" name u v
-         t.n)
+let query = Sketch.estimate
+let query_bidirectional = Sketch.estimate_bidirectional
+let query_probes = Sketch.estimate_probes
 
-(* Both query loops are top-level recursions for the same reason as
-   [find_in]: a local [let rec go] would close over [t]/[u]/[v] and
-   allocate per query. *)
-let rec query_from t u v k i =
-  if i >= k then Dist.infinity
-  else begin
-    let du = t.pivot_dist.((u * k) + i)
-    and pu = t.pivot_node.((u * k) + i)
-    and dv = t.pivot_dist.((v * k) + i)
-    and pv = t.pivot_node.((v * k) + i) in
-    let via_pu =
-      if Dist.is_finite du then Dist.add du (find t v pu) else Dist.infinity
-    in
-    let via_pv =
-      if Dist.is_finite dv then Dist.add dv (find t u pv) else Dist.infinity
-    in
-    let est = min via_pu via_pv in
-    if Dist.is_finite est then est else query_from t u v k (i + 1)
-  end
-
-let query t u v =
-  check_pair t u v "query";
-  query_from t u v t.k 0
-
-let rec query_bidi_from t u v k i best =
-  if i >= k then best
-  else begin
-    let du = t.pivot_dist.((u * k) + i)
-    and pu = t.pivot_node.((u * k) + i)
-    and dv = t.pivot_dist.((v * k) + i)
-    and pv = t.pivot_node.((v * k) + i) in
-    let best =
-      if Dist.is_finite du then min best (Dist.add du (find t v pu)) else best
-    in
-    let best =
-      if Dist.is_finite dv then min best (Dist.add dv (find t u pv)) else best
-    in
-    query_bidi_from t u v k (i + 1) best
-  end
-
-let query_bidirectional t u v =
-  check_pair t u v "query_bidirectional";
-  query_bidi_from t u v t.k 0 Dist.infinity
-
-let find_probed t u w probes =
-  let lo = ref t.bunch_off.(u) and hi = ref t.bunch_off.(u + 1) in
-  let res = ref Dist.infinity in
-  while !lo < !hi do
-    incr probes;
-    let mid = (!lo + !hi) / 2 in
-    let x = t.bunch_node.(mid) in
-    if x = w then begin
-      res := t.bunch_dist.(mid);
-      lo := !hi
-    end
-    else if x < w then lo := mid + 1
-    else hi := mid
-  done;
-  !res
-
-let query_probes t u v =
-  check_pair t u v "query_probes";
-  let k = t.k in
-  let probes = ref 0 in
-  let rec go i =
-    if i >= k then Dist.infinity
-    else begin
-      (* Two pivot-pair loads per level. *)
-      probes := !probes + 2;
-      let du = t.pivot_dist.((u * k) + i)
-      and pu = t.pivot_node.((u * k) + i)
-      and dv = t.pivot_dist.((v * k) + i)
-      and pv = t.pivot_node.((v * k) + i) in
-      let via_pu =
-        if Dist.is_finite du then Dist.add du (find_probed t v pu probes)
-        else Dist.infinity
-      in
-      let via_pv =
-        if Dist.is_finite dv then Dist.add dv (find_probed t u pv probes)
-        else Dist.infinity
-      in
-      let est = min via_pu via_pv in
-      if Dist.is_finite est then est else go (i + 1)
-    end
-  in
-  let est = go 0 in
-  (est, !probes)
-
-(* Obs hook shared by both batch entry points: one counter add per
-   chunk (not per query), on the chunk's own shard. *)
-let obs_queries = function
+(* Obs hooks shared by both batch entry points: one add per chunk
+   (not per query) on the chunk's own shard, to the total counter and
+   to this oracle's family breakdown. *)
+let obs_queries t = function
   | None -> None
   | Some registry ->
-    Some (Ds_obs.Obs.counter registry Ds_obs.Obs.Name.oracle_queries)
+    let name = Ds_obs.Obs.Name.oracle_queries in
+    let fam =
+      Ds_obs.Obs.Name.oracle_queries_family (Family.name (family t))
+    in
+    Some (Ds_obs.Obs.counter registry name, Ds_obs.Obs.counter registry fam)
+
+let count qc ~shard n =
+  match qc with
+  | Some (total, fam) ->
+    Ds_obs.Obs.add total ~shard n;
+    Ds_obs.Obs.add fam ~shard n
+  | None -> ()
 
 let query_batch ?(pool = Pool.sequential) ?obs t pairs =
   let m = Array.length pairs in
   let out = Array.make m 0 in
-  let qc = obs_queries obs in
+  let qc = obs_queries t obs in
   (* One tight loop per domain, not one closure dispatch per pair:
      [parallel_for]'s per-index call was most of the per-query cost at
      ~150ns a query, which is why batch throughput used to stay flat
@@ -197,9 +57,7 @@ let query_batch ?(pool = Pool.sequential) ?obs t pairs =
            let u, v = pairs.(i) in
            out.(i) <- query t u v
          done;
-         match qc with
-         | Some ctr -> Ds_obs.Obs.add ctr ~shard:c (hi - lo)
-         | None -> ()));
+         count qc ~shard:c (hi - lo)));
   out
 
 (* The boxed-pairs batch above still did not scale past one domain
@@ -216,16 +74,14 @@ let query_batch_flat ?(pool = Pool.sequential) ?obs t flat =
   let m = len / 2 in
   let out = Array.make (max 1 m) 0 in
   let blocks = (m + 7) / 8 in
-  let qc = obs_queries obs in
+  let qc = obs_queries t obs in
   ignore
     (Pool.parallel_chunks pool ~n:blocks (fun c blo bhi ->
          let lo = 8 * blo and hi = min m (8 * bhi) in
          for i = lo to hi - 1 do
            out.(i) <- query t flat.(2 * i) flat.((2 * i) + 1)
          done;
-         match qc with
-         | Some ctr -> Ds_obs.Obs.add ctr ~shard:c (hi - lo)
-         | None -> ()));
+         count qc ~shard:c (hi - lo)));
   if m = 0 then [||] else out
 
 type batch_stats = {

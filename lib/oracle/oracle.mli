@@ -1,65 +1,65 @@
-(** Compact immutable distance oracle compiled from a built label set.
+(** Compact immutable distance oracle over a built sketch set.
 
-    The serving-side counterpart of {!Ds_core.Label}: the per-node
-    hashtables are flattened into five plain int arrays — pivots
-    node-major, bunches concatenated in node-id-sorted order behind a
-    per-node offset table — so a query is [O(k log |B|)] binary
-    searches over contiguous memory with no hashing, no boxing and no
-    per-query allocation. {!query} is query-equivalent to
-    {!Ds_core.Label.query} (same level scan, same tie behaviour, pinned
-    by test), and {!query_batch} fans a pair array out across a
-    {!Ds_parallel.Pool} with one result slot per index, so answers are
-    bit-identical under any pool size. *)
+    The serving tier's entry point, family-polymorphic since the
+    multi-family platform: an oracle wraps a {!Ds_sketch.Sketch.t} of
+    any family and dispatches {!query} to that family's estimator —
+    the Thorup–Zwick level scan, or the common-entry minimum for
+    landmark / bottom-k sketches. Queries are answered from flat int
+    arrays with no hashing, no boxing and no per-query allocation, and
+    {!query_batch} fans a pair array out across a
+    {!Ds_parallel.Pool} with one result slot per index, so answers
+    are bit-identical under any pool size.
 
-type t = private {
-  n : int;
-  k : int;
-  pivot_dist : int array;  (** [n·k], node-major: [d(u, A_i)] at [u·k + i] *)
-  pivot_node : int array;  (** [n·k], node-major: [p_i(u)] at [u·k + i] *)
-  bunch_off : int array;  (** [n+1] cumulative bunch sizes *)
-  bunch_node : int array;
-      (** bunch members, strictly increasing within each node's slice
-          [bunch_off.(u) .. bunch_off.(u+1) - 1] *)
-  bunch_dist : int array;  (** distances aligned with [bunch_node] *)
-}
+    For family [tz], {!query} is query-equivalent to
+    {!Ds_core.Label.query} (same level scan, same tie behaviour,
+    pinned by test). *)
+
+type t
 
 val of_labels : Ds_core.Label.t array -> t
-(** Compile a label set. Requires [labels.(i).owner = i] and a uniform
-    [k]; raises [Invalid_argument] otherwise. *)
+(** Compile a Thorup–Zwick label set (family [tz]). Requires
+    [labels.(i).owner = i] and a uniform [k]; raises
+    [Invalid_argument] otherwise. *)
+
+val of_sketch : Ds_sketch.Sketch.t -> t
+(** Serve any built sketch set — the family-polymorphic entry. *)
 
 val of_store : Sketch_store.t -> t
-(** Compile a loaded snapshot's labels — the serving process's whole
-    startup path: [load] then [of_store]. *)
+(** Compile a loaded snapshot — the serving process's whole startup
+    path: [load] then [of_store], any family. *)
+
+val sketch : t -> Ds_sketch.Sketch.t
+(** The underlying sketch set. *)
+
+val family : t -> Ds_sketch.Family.t
 
 val n : t -> int
 (** Node count; valid query endpoints are [0 .. n-1]. *)
 
 val k : t -> int
-(** Hierarchy depth shared by every compiled label. *)
+(** Depth (tz) / bottom-k parameter / iteration count. *)
 
 val size_words : t -> int
-(** Total size in the paper's units: the sum of
-    {!Ds_core.Label.size_words} over all nodes. *)
+(** Total size in the paper's units: the sum of per-node sketch sizes. *)
 
 val bunch_dist : t -> int -> int -> int option
-(** [bunch_dist t u w] is [d(u,w)] when [w ∈ B(u)] — one binary
-    search. *)
+(** [bunch_dist t u w] is [d(u,w)] when [w] is an entry of [u]'s
+    sketch (bunch / landmark set / ADS) — one binary search. *)
 
 val query : t -> int -> int -> int
-(** [query t u v] = [Label.query labels.(u) labels.(v)] on the labels
-    the oracle was compiled from: scan levels upward, return the first
-    finite triangle estimate (the smaller of the two directions). *)
+(** Family-dispatched estimate; see {!Ds_sketch.Sketch.estimate}.
+    [Ds_graph.Dist.infinity] when the sketches share no usable
+    evidence. Raises [Invalid_argument] on out-of-range endpoints. *)
 
 val query_bidirectional : t -> int -> int -> int
-(** [= Label.query_bidirectional labels.(u) labels.(v)]: minimum over
-    every level and both directions. *)
+(** [tz]: minimum triangle estimate over every level and both
+    directions. Other families: same as {!query}. *)
 
 val query_probes : t -> int -> int -> int * int
 (** [(estimate, probes)] where [probes] counts the array lookups the
-    query performed (pivot-pair loads plus binary-search comparisons) —
-    a deterministic per-query work measure, used by experiment E8 to
-    put the local oracle next to the in-network exchange without a
-    wall clock. *)
+    query performed — a deterministic per-query work measure, used by
+    experiment E8 to put the local oracle next to the in-network
+    exchange without a wall clock. *)
 
 val query_batch :
   ?pool:Ds_parallel.Pool.t -> ?obs:Ds_obs.Obs.t -> t -> (int * int) array ->
@@ -67,7 +67,8 @@ val query_batch :
 (** Answer every pair, fanning out across the pool (default
     sequential). Result slot [i] depends only on pair [i], so the
     output is identical for every pool size. [obs] counts answered
-    queries on the [oracle.queries] counter, one add per chunk. *)
+    queries on the [oracle.queries] counter and on the per-family
+    [oracle.queries{family=…}] breakdown, one add each per chunk. *)
 
 val query_batch_flat :
   ?pool:Ds_parallel.Pool.t -> ?obs:Ds_obs.Obs.t -> t -> int array -> int array

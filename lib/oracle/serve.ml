@@ -79,16 +79,23 @@ type serve_obs = {
   so_served : Obs.counter;
   so_hits : Obs.counter;
   so_misses : Obs.counter;
+  so_queries : Obs.counter;
+  so_queries_fam : Obs.counter;
   so_queue : Obs.gauge;
   so_block : Obs.histogram;
 }
 
-let resolve_obs registry =
+let resolve_obs registry oracle =
+  let fam = Ds_sketch.Family.name (Oracle.family oracle) in
   {
     so_admitted = Obs.counter registry Obs.Name.serve_admitted;
     so_served = Obs.counter registry Obs.Name.serve_served;
     so_hits = Obs.counter registry Obs.Name.serve_hits;
     so_misses = Obs.counter registry Obs.Name.serve_misses;
+    (* Cache hits never reach the oracle, so the oracle-query counters
+       advance by the block's misses only. *)
+    so_queries = Obs.counter registry Obs.Name.oracle_queries;
+    so_queries_fam = Obs.counter registry (Obs.Name.oracle_queries_family fam);
     so_queue = Obs.gauge registry Obs.Name.serve_queue_depth;
     so_block = Obs.histogram registry Obs.Name.serve_block_ns;
   }
@@ -114,10 +121,10 @@ let run ?(pool = Pool.sequential) ?(config = default_config) ?obs ?sampler
      registry is the one instrumented. *)
   let ob =
     match obs with
-    | Some registry -> Some (resolve_obs registry)
+    | Some registry -> Some (resolve_obs registry oracle)
     | None -> (
       match sampler with
-      | Some s -> Some (resolve_obs (Sampler.obs s))
+      | Some s -> Some (resolve_obs (Sampler.obs s) oracle)
       | None -> None)
   in
   if m = 0 then begin
@@ -235,6 +242,8 @@ let run ?(pool = Pool.sequential) ?(config = default_config) ?obs ?sampler
           Obs.add o.so_served ~shard:w (hi - lo);
           Obs.add o.so_hits ~shard:w dh;
           Obs.add o.so_misses ~shard:w (hi - lo - dh);
+          Obs.add o.so_queries ~shard:w (hi - lo - dh);
+          Obs.add o.so_queries_fam ~shard:w (hi - lo - dh);
           Obs.set o.so_queue ~shard:w (assigned - !served);
           Obs.observe o.so_block ~shard:w (int_of_float (t_done -. t_adm)));
         (match sampler with

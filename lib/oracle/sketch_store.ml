@@ -1,31 +1,41 @@
 module Label = Ds_core.Label
+module Family = Ds_sketch.Family
+module Sketch = Ds_sketch.Sketch
 
-type meta = { n : int; k : int; seed : int; family : string }
-type t = { meta : meta; labels : Label.t array }
+type meta = {
+  n : int;
+  k : int;
+  seed : int;
+  graph_family : string;
+  sketch_family : Family.t;
+}
+
+type t = { meta : meta; sketch : Sketch.t }
 
 exception Error of string
 
 let error fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
 
 let magic = "DSKETCH1"
-let version = 1
+let version = 2
 
-let v ?(seed = 0) ?(family = "") labels =
-  let n = Array.length labels in
-  if n = 0 then invalid_arg "Sketch_store.v: empty label set";
-  let k = labels.(0).Label.k in
-  Array.iteri
-    (fun i l ->
-      if l.Label.owner <> i then
-        invalid_arg
-          (Printf.sprintf "Sketch_store.v: labels.(%d) has owner %d" i
-             l.Label.owner);
-      if l.Label.k <> k then
-        invalid_arg
-          (Printf.sprintf "Sketch_store.v: labels.(%d) has k=%d, expected %d"
-             i l.Label.k k))
-    labels;
-  { meta = { n; k; seed; family }; labels }
+let v ?(seed = 0) ?(graph_family = "") sketch =
+  {
+    meta =
+      {
+        n = Sketch.n sketch;
+        k = Sketch.k sketch;
+        seed;
+        graph_family;
+        sketch_family = Sketch.family sketch;
+      };
+    sketch;
+  }
+
+let of_labels ?seed ?graph_family labels =
+  if Array.length labels = 0 then
+    invalid_arg "Sketch_store.of_labels: empty label set";
+  v ?seed ?graph_family (Sketch.of_tz_labels labels)
 
 (* FNV-1a, 64-bit. *)
 let fnv1a64 s =
@@ -40,8 +50,26 @@ let fnv1a64 s =
 
 let pad8 len = (8 - (len land 7)) land 7
 
+let add_padded_string b s =
+  Buffer.add_string b s;
+  Buffer.add_string b (String.make (pad8 (String.length s)) '\000')
+
+let add_sections (s : Sketch.t) ~word =
+  let n = s.Sketch.n in
+  for u = 0 to n do
+    word s.Sketch.off.(u)
+  done;
+  for i = 0 to Array.length s.Sketch.pivot_dist - 1 do
+    word s.Sketch.pivot_dist.(i);
+    word s.Sketch.pivot_node.(i)
+  done;
+  for j = 0 to s.Sketch.off.(n) - 1 do
+    word s.Sketch.ent_node.(j);
+    word s.Sketch.ent_dist.(j)
+  done
+
 let to_bytes t =
-  let { n; k; seed; family } = t.meta in
+  let { n; k; seed; graph_family; sketch_family } = t.meta in
   let b = Buffer.create 4096 in
   let word i = Buffer.add_int64_le b (Int64.of_int i) in
   Buffer.add_string b magic;
@@ -49,39 +77,89 @@ let to_bytes t =
   word n;
   word k;
   word seed;
-  word (String.length family);
-  Buffer.add_string b family;
-  Buffer.add_string b (String.make (pad8 (String.length family)) '\000');
-  (* Bunch entries in the canonical to_words order: sorted by node id. *)
-  let bunches =
-    Array.map
-      (fun l ->
-        Label.bunch_nodes l |> List.map (fun (w, d, _) -> (w, d)))
-      t.labels
-  in
-  let off = ref 0 in
-  word 0;
-  Array.iter
-    (fun entries ->
-      off := !off + List.length entries;
-      word !off)
-    bunches;
-  Array.iter
-    (fun l ->
-      Array.iter
-        (fun (d, p) ->
-          word d;
-          word p)
-        l.Label.pivots)
-    t.labels;
-  Array.iter
-    (List.iter (fun (w, d) ->
-         word w;
-         word d))
-    bunches;
+  let sf = Family.name sketch_family in
+  word (String.length sf);
+  add_padded_string b sf;
+  word (String.length graph_family);
+  add_padded_string b graph_family;
+  word (Array.length t.sketch.Sketch.pivot_dist * 2);
+  add_sections t.sketch ~word;
   let payload = Buffer.contents b in
   Buffer.add_int64_le b (fnv1a64 payload);
   Buffer.contents b
+
+let to_bytes_v1 t =
+  let { n; k; seed; graph_family; sketch_family } = t.meta in
+  if sketch_family <> Family.Tz then
+    invalid_arg "Sketch_store.to_bytes_v1: only family tz has a v1 layout";
+  let b = Buffer.create 4096 in
+  let word i = Buffer.add_int64_le b (Int64.of_int i) in
+  Buffer.add_string b magic;
+  word 1;
+  word n;
+  word k;
+  word seed;
+  (* v1's lone family field was the graph family. *)
+  word (String.length graph_family);
+  add_padded_string b graph_family;
+  add_sections t.sketch ~word;
+  let payload = Buffer.contents b in
+  Buffer.add_int64_le b (fnv1a64 payload);
+  Buffer.contents b
+
+(* Shared by both reader paths: the offset table, optional pivot
+   section and entry section that follow the version-specific header,
+   starting at byte [body]. [pivot_words] is [2nk] (v1, tz) or
+   whatever the v2 header declared. *)
+let read_sections s ~len ~body ~n ~k ~pivot_words ~sketch_family =
+  let word off = Int64.to_int (String.get_int64_le s off) in
+  if len < body + (8 * (n + 1)) then
+    error "truncated snapshot: offset table cut short (%d bytes)" len;
+  let off = Array.init (n + 1) (fun i -> word (body + (8 * i))) in
+  if off.(0) <> 0 then error "corrupt bunch offsets: first is %d" off.(0);
+  for i = 0 to n - 1 do
+    if off.(i + 1) < off.(i) then
+      error "corrupt bunch offsets: not monotone at node %d" i
+  done;
+  let total = off.(n) in
+  let pivots_at = body + (8 * (n + 1)) in
+  let ents_at = pivots_at + (8 * pivot_words) in
+  let expected = ents_at + (8 * 2 * total) + 8 in
+  if len <> expected then
+    error "truncated or oversized snapshot: expected %d bytes, got %d" expected
+      len;
+  let stored = String.get_int64_le s (len - 8) in
+  let computed = fnv1a64 (String.sub s 0 (len - 8)) in
+  if stored <> computed then
+    error "checksum mismatch: stored %Lx, computed %Lx — corrupt snapshot"
+      stored computed;
+  let half = pivot_words / 2 in
+  let pivot_dist = Array.make half 0 and pivot_node = Array.make half 0 in
+  for i = 0 to half - 1 do
+    pivot_dist.(i) <- word (pivots_at + (8 * 2 * i));
+    pivot_node.(i) <- word (pivots_at + (8 * ((2 * i) + 1)))
+  done;
+  let ent_node = Array.make total 0 and ent_dist = Array.make total 0 in
+  for u = 0 to n - 1 do
+    let prev = ref (-1) in
+    for j = off.(u) to off.(u + 1) - 1 do
+      let at = ents_at + (8 * 2 * j) in
+      let w = word at and d = word (at + 8) in
+      if w < 0 || w >= n then
+        error "corrupt bunch section: node %d out of range at entry %d" w j;
+      if w <= !prev then
+        error "corrupt bunch section: entries of node %d not sorted" u;
+      prev := w;
+      ent_node.(j) <- w;
+      ent_dist.(j) <- d
+    done
+  done;
+  match
+    Sketch.of_arrays ~family:sketch_family ~k ~pivot_dist ~pivot_node ~off
+      ~ent_node ~ent_dist
+  with
+  | sketch -> sketch
+  | exception Invalid_argument m -> error "corrupt snapshot: %s" m
 
 let of_bytes s =
   let len = String.length s in
@@ -90,59 +168,48 @@ let of_bytes s =
     error "bad magic %S: not a distsketch snapshot" (String.sub s 0 8);
   let word off = Int64.to_int (String.get_int64_le s off) in
   let ver = word 8 in
-  if ver <> version then
-    error "unsupported snapshot version %d (this reader expects %d)" ver
+  if ver <> 1 && ver <> version then
+    error "unsupported snapshot version %d (this reader expects <= %d)" ver
       version;
   if len < 48 then error "truncated snapshot header: %d bytes" len;
   let n = word 16 and k = word 24 and seed = word 32 in
-  let family_len = word 40 in
   if n < 1 || k < 1 then error "bad snapshot header: n=%d k=%d" n k;
-  if family_len < 0 || family_len > len - 48 then
-    error "bad snapshot header: family length %d" family_len;
-  let family = String.sub s 48 family_len in
-  let body = 48 + family_len + pad8 family_len in
-  (* bunch_off needs n+1 words; check before reading the total. *)
-  if len < body + (8 * (n + 1)) then
-    error "truncated snapshot: offset table cut short (%d bytes)" len;
-  let bunch_off = Array.init (n + 1) (fun i -> word (body + (8 * i))) in
-  if bunch_off.(0) <> 0 then error "corrupt bunch offsets: first is %d" bunch_off.(0);
-  for i = 0 to n - 1 do
-    if bunch_off.(i + 1) < bunch_off.(i) then
-      error "corrupt bunch offsets: not monotone at node %d" i
-  done;
-  let total = bunch_off.(n) in
-  let pivots_at = body + (8 * (n + 1)) in
-  let bunch_at = pivots_at + (8 * 2 * n * k) in
-  let expected = bunch_at + (8 * 2 * total) + 8 in
-  if len <> expected then
-    error "truncated or oversized snapshot: expected %d bytes, got %d"
-      expected len;
-  let stored = String.get_int64_le s (len - 8) in
-  let computed = fnv1a64 (String.sub s 0 (len - 8)) in
-  if stored <> computed then
-    error "checksum mismatch: stored %Lx, computed %Lx — corrupt snapshot"
-      stored computed;
-  let labels =
-    Array.init n (fun u ->
-        let l = Label.create ~owner:u ~k in
-        for i = 0 to k - 1 do
-          let at = pivots_at + (8 * 2 * ((u * k) + i)) in
-          Label.set_pivot l ~level:i ~dist:(word at) ~node:(word (at + 8))
-        done;
-        let prev = ref (-1) in
-        for j = bunch_off.(u) to bunch_off.(u + 1) - 1 do
-          let at = bunch_at + (8 * 2 * j) in
-          let w = word at and d = word (at + 8) in
-          if w < 0 || w >= n then
-            error "corrupt bunch section: node %d out of range at entry %d" w j;
-          if w <= !prev then
-            error "corrupt bunch section: entries of node %d not sorted" u;
-          prev := w;
-          Label.add_bunch l ~node:w ~dist:d ~level:(-1)
-        done;
-        l)
+  let read_string at =
+    let slen = word at in
+    if slen < 0 || slen > len - at - 8 then
+      error "bad snapshot header: family length %d" slen;
+    (String.sub s (at + 8) slen, at + 8 + slen + pad8 slen)
   in
-  { meta = { n; k; seed; family }; labels }
+  if ver = 1 then begin
+    (* v1: one family string — the graph family — then the
+       unconditional tz pivot section. *)
+    let graph_family, body = read_string 40 in
+    let sketch =
+      read_sections s ~len ~body ~n ~k ~pivot_words:(2 * n * k)
+        ~sketch_family:Family.Tz
+    in
+    { meta = { n; k; seed; graph_family; sketch_family = Family.Tz }; sketch }
+  end
+  else begin
+    let sf_name, after_sf = read_string 40 in
+    let sketch_family =
+      match Family.of_string sf_name with
+      | Ok f -> f
+      | Error _ -> error "unknown sketch family %S in snapshot header" sf_name
+    in
+    let graph_family, after_gf = read_string after_sf in
+    if len < after_gf + 8 then error "truncated snapshot header: %d bytes" len;
+    let pivot_words = word after_gf in
+    let want_pivots = if sketch_family = Family.Tz then 2 * n * k else 0 in
+    if pivot_words <> want_pivots then
+      error "bad snapshot header: pivot section %d words, family %s wants %d"
+        pivot_words sf_name want_pivots;
+    let sketch =
+      read_sections s ~len ~body:(after_gf + 8) ~n ~k ~pivot_words
+        ~sketch_family
+    in
+    { meta = { n; k; seed; graph_family; sketch_family }; sketch }
+  end
 
 let save path t =
   let oc = open_out_bin path in

@@ -1,47 +1,58 @@
-(** Persistent snapshots of a built sketch set.
+(** Persistent snapshots of a built sketch set, any family.
 
     The build/serve split: construction (the CONGEST protocols) runs
-    once and saves its labels here; every later serving process loads
-    the snapshot and skips reconstruction entirely. The format is
+    once and saves its sketches here; every later serving process
+    loads the snapshot and skips reconstruction entirely. The format
+    is
 
     - {b versioned}: an 8-byte magic plus a version word, so a stale
-      reader fails loudly instead of misparsing;
+      reader fails loudly instead of misparsing. This build writes
+      version 2 (family-polymorphic) and still reads version 1 (the
+      pre-platform Thorup–Zwick-only layout) as sketch family [tz];
     - {b checksummed}: the last 8 bytes are an FNV-1a64 digest of
       everything before them, so truncation and bit rot are detected
       on load;
     - {b byte-deterministic}: equal stores serialize to equal bytes —
-      bunch entries are written in {!Ds_core.Label.to_words} canonical
-      order (sorted by node id) and every integer is a fixed-width
-      little-endian 64-bit word, so [save] ∘ [load] ∘ [save] is the
-      identity on bytes and snapshots diff cleanly in CI.
+      entries are written in the {!Ds_sketch.Sketch} canonical order
+      (sorted by node id within each owner) and every integer is a
+      fixed-width little-endian 64-bit word, so [save] ∘ [load] ∘
+      [save] is the identity on bytes and snapshots diff cleanly in
+      CI.
 
-    Byte layout (all integers u64 LE):
+    Version-2 byte layout (all integers u64 LE):
     {v
     0      magic "DSKETCH1"                  (8 bytes)
-    8      version                           (currently 1)
-    16     n  — number of labels
-    24     k  — hierarchy depth
+    8      version                           (currently 2)
+    16     n  — number of nodes
+    24     k  — depth / bottom-k parameter / iterations
     32     seed — generation seed (0 if unknown)
-    40     family_len, then that many family-name bytes,
+    40     sketch_family_len, then that many bytes ("tz",
+           "landmark", "bottomk"), zero-padded to an 8-byte boundary
+    .      graph_family_len, then that many topology-name bytes,
            zero-padded to an 8-byte boundary
-    .      bunch_off: n+1 cumulative bunch-entry counts
-    .      pivots: per node, k (dist, node) pairs     (2·n·k words)
-    .      bunch:  per node, (node, dist) pairs sorted
-           by node id within each owner               (2·total words)
+    .      pivot_words — 2·n·k for family tz, 0 otherwise
+    .      off: n+1 cumulative entry counts
+    .      pivots: per node, k (dist, node) pairs  (pivot_words words)
+    .      entries: per node, (node, dist) pairs sorted
+           by node id within each owner            (2·total words)
     end-8  FNV-1a64 checksum of all preceding bytes
     v}
 
-    Bunch levels are analysis metadata and are not persisted; they
-    come back as [-1], exactly like {!Ds_core.Label.of_words}. *)
+    Version 1 is the same minus the sketch-family and pivot-words
+    fields: its single [family] string was the {e graph} family (the
+    field rename is why v2 carries both), and its pivot section is
+    unconditional. TZ bunch levels are analysis metadata and are not
+    persisted in either version. *)
 
 type meta = {
-  n : int;  (** number of nodes / labels *)
-  k : int;  (** hierarchy depth shared by every label *)
+  n : int;  (** number of nodes *)
+  k : int;  (** depth / bottom-k parameter shared by every sketch *)
   seed : int;  (** generation seed, [0] when unknown *)
-  family : string;  (** graph family name, [""] when unknown *)
+  graph_family : string;  (** topology family name, [""] when unknown *)
+  sketch_family : Ds_sketch.Family.t;
 }
 
-type t = private { meta : meta; labels : Ds_core.Label.t array }
+type t = private { meta : meta; sketch : Ds_sketch.Sketch.t }
 
 exception Error of string
 (** Raised by {!of_bytes} / {!load} on malformed input, with a message
@@ -49,24 +60,38 @@ exception Error of string
     checksum mismatch, corrupt section). Never raised by well-formed
     snapshots produced by {!to_bytes} / {!save}. *)
 
-val v : ?seed:int -> ?family:string -> Ds_core.Label.t array -> t
-(** Wrap a built label set. Validates that [labels.(i).owner = i] and
-    that every label shares the same [k]; raises [Invalid_argument]
-    otherwise. *)
+val v : ?seed:int -> ?graph_family:string -> Ds_sketch.Sketch.t -> t
+(** Wrap a built sketch set of any family; [meta] is derived from the
+    sketch plus the provenance arguments. *)
+
+val of_labels :
+  ?seed:int -> ?graph_family:string -> Ds_core.Label.t array -> t
+(** Convenience for the Thorup–Zwick path: compile the labels with
+    {!Ds_sketch.Sketch.of_tz_labels} and wrap. Raises
+    [Invalid_argument] on an empty label set, a non-uniform [k], or
+    [labels.(i).owner <> i]. *)
 
 val magic : string
 (** The 8-byte file magic (["DSKETCH1"]). *)
 
 val version : int
-(** The format version this build reads and writes. *)
+(** The format version this build writes (2). *)
 
 val to_bytes : t -> string
-(** Serialize to the layout above. Deterministic: equal stores (in the
-    sense of {!Ds_core.Label.equal} per node) produce identical
-    bytes. *)
+(** Serialize to the version-2 layout above. Deterministic: stores
+    with {!Ds_sketch.Sketch.equal} sketches and equal meta produce
+    identical bytes. *)
+
+val to_bytes_v1 : t -> string
+(** Serialize to the legacy version-1 layout ([sketch_family] must be
+    [Tz]; raises [Invalid_argument] otherwise). Exists so the
+    backward-compat path stays testable without fixture files: v1
+    bytes written today are read back like any historical snapshot. *)
 
 val of_bytes : string -> t
-(** Inverse of {!to_bytes}; raises {!Error} on malformed input. *)
+(** Inverse of {!to_bytes}; also accepts version-1 bytes, which load
+    with [sketch_family = Tz] and the v1 family string as
+    [graph_family]. Raises {!Error} on malformed input. *)
 
 val save : string -> t -> unit
 (** [save path t] writes [to_bytes t] atomically-ish (binary mode,

@@ -74,3 +74,57 @@ let pairs_flat ~rng kind ~n ~count =
     flat.((2 * i) + 1) <- v
   done;
   if count = 0 then [||] else flat
+
+(* Explicit pair files: one "u v" line per query, '#' comments and
+   blank lines skipped. The escape hatch that lets head-to-head
+   stretch comparisons (and CLI reruns) replay the exact same pair
+   set instead of trusting seed discipline across processes. *)
+
+let save_pairs path flat =
+  if Array.length flat land 1 <> 0 then
+    invalid_arg "Workload.save_pairs: odd-length flat array";
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      for i = 0 to (Array.length flat / 2) - 1 do
+        Printf.fprintf oc "%d %d\n" flat.(2 * i) flat.((2 * i) + 1)
+      done)
+
+let load_pairs ~n path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let acc = ref [] in
+      let count = ref 0 in
+      let lineno = ref 0 in
+      (try
+         while true do
+           let line = input_line ic in
+           incr lineno;
+           let line = String.trim line in
+           if line <> "" && line.[0] <> '#' then begin
+             match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+             | [ us; vs ] -> (
+               match (int_of_string_opt us, int_of_string_opt vs) with
+               | Some u, Some v when u >= 0 && u < n && v >= 0 && v < n ->
+                 acc := v :: u :: !acc;
+                 incr count
+               | _ ->
+                 failwith
+                   (Printf.sprintf
+                      "%s:%d: bad pair %S (endpoints must be in [0, %d))" path
+                      !lineno line n))
+             | _ ->
+               failwith
+                 (Printf.sprintf "%s:%d: expected \"u v\", got %S" path !lineno
+                    line)
+           end
+         done
+       with End_of_file -> ());
+      let flat = Array.make (max 1 (2 * !count)) 0 in
+      List.iteri
+        (fun i x -> flat.((2 * !count) - 1 - i) <- x)
+        !acc;
+      if !count = 0 then [||] else flat)

@@ -35,3 +35,17 @@ val pairs_flat : rng:Ds_util.Rng.t -> kind -> n:int -> count:int -> int array
     seed yields the same workload), laid out flat: pair [i] is
     [(flat.(2i), flat.(2i+1))]. The layout {!Oracle.query_batch_flat}
     consumes without boxing. *)
+
+val save_pairs : string -> int array -> unit
+(** [save_pairs path flat] writes a flat pair array as one ["u v"]
+    line per query — the explicit-workload interchange format behind
+    the CLI's [--dump-pairs]. Raises [Invalid_argument] on an
+    odd-length array. *)
+
+val load_pairs : n:int -> string -> int array
+(** [load_pairs ~n path] reads a pair file back into the flat layout.
+    Blank lines and [#] comments are skipped; any other line must be
+    two ints in [\[0, n)]. Raises [Failure] with file/line context on
+    malformed input, [Sys_error] if unreadable. The escape hatch
+    ([--pairs-file]) that replays an identical pair set across
+    families and CLI runs. *)

@@ -1,0 +1,14 @@
+type t = Tz | Landmark | Bottomk
+
+let name = function Tz -> "tz" | Landmark -> "landmark" | Bottomk -> "bottomk"
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "tz" -> Ok Tz
+  | "landmark" -> Ok Landmark
+  | "bottomk" | "bottom-k" -> Ok Bottomk
+  | other ->
+    Error
+      (Printf.sprintf "unknown sketch family %S (tz, landmark, bottomk)" other)
+
+let all = [ Tz; Landmark; Bottomk ]

@@ -1,0 +1,298 @@
+module Dist = Ds_graph.Dist
+module Label = Ds_core.Label
+
+type t = {
+  family : Family.t;
+  n : int;
+  k : int;
+  pivot_dist : int array;
+  pivot_node : int array;
+  off : int array;
+  ent_node : int array;
+  ent_dist : int array;
+}
+
+let family t = t.family
+let n t = t.n
+let k t = t.k
+
+let size_words t =
+  (2 * Array.length t.pivot_dist) + (2 * t.off.(t.n))
+
+let node_size_words t u =
+  (2 * (if t.family = Family.Tz then t.k else 0))
+  + (2 * (t.off.(u + 1) - t.off.(u)))
+
+let check_entry_order ~who ~n ~off ~ent_node ~ent_dist =
+  let total = off.(Array.length off - 1) in
+  if Array.length ent_node <> total || Array.length ent_dist <> total then
+    invalid_arg (Printf.sprintf "%s: entry arrays disagree with offsets" who);
+  for u = 0 to Array.length off - 2 do
+    if off.(u) > off.(u + 1) then
+      invalid_arg (Printf.sprintf "%s: decreasing offsets" who);
+    for j = off.(u) to off.(u + 1) - 1 do
+      let w = ent_node.(j) in
+      if w < 0 || w >= n then
+        invalid_arg (Printf.sprintf "%s: entry node %d out of range" who w);
+      if j > off.(u) && ent_node.(j - 1) >= w then
+        invalid_arg (Printf.sprintf "%s: entries not strictly increasing" who);
+      if ent_dist.(j) < 0 then
+        invalid_arg (Printf.sprintf "%s: negative entry distance" who)
+    done
+  done
+
+let of_tz_labels labels =
+  let n = Array.length labels in
+  if n = 0 then invalid_arg "Sketch.of_tz_labels: empty label set";
+  let k = labels.(0).Label.k in
+  Array.iteri
+    (fun i l ->
+      if l.Label.owner <> i then
+        invalid_arg
+          (Printf.sprintf "Sketch.of_tz_labels: labels.(%d) has owner %d" i
+             l.Label.owner);
+      if l.Label.k <> k then
+        invalid_arg
+          (Printf.sprintf
+             "Sketch.of_tz_labels: labels.(%d) has k=%d, expected %d" i
+             l.Label.k k))
+    labels;
+  let pivot_dist = Array.make (n * k) Dist.infinity in
+  let pivot_node = Array.make (n * k) max_int in
+  let off = Array.make (n + 1) 0 in
+  for u = 0 to n - 1 do
+    off.(u + 1) <- off.(u) + Label.bunch_size labels.(u)
+  done;
+  let total = off.(n) in
+  let ent_node = Array.make total 0 in
+  let ent_dist = Array.make total 0 in
+  Array.iteri
+    (fun u l ->
+      Array.iteri
+        (fun i (d, p) ->
+          pivot_dist.((u * k) + i) <- d;
+          pivot_node.((u * k) + i) <- p)
+        l.Label.pivots;
+      (* bunch_nodes is sorted by node id — the slice stays strictly
+         increasing, which is what the binary search needs. *)
+      List.iteri
+        (fun j (w, d, _) ->
+          ent_node.(off.(u) + j) <- w;
+          ent_dist.(off.(u) + j) <- d)
+        (Label.bunch_nodes l))
+    labels;
+  { family = Family.Tz; n; k; pivot_dist; pivot_node; off; ent_node; ent_dist }
+
+let v ~family ~k entries =
+  if family = Family.Tz then
+    invalid_arg "Sketch.v: family tz needs pivots, use of_tz_labels";
+  let n = Array.length entries in
+  if n = 0 then invalid_arg "Sketch.v: empty node set";
+  if k < 1 then invalid_arg "Sketch.v: k < 1";
+  let off = Array.make (n + 1) 0 in
+  for u = 0 to n - 1 do
+    off.(u + 1) <- off.(u) + Array.length entries.(u)
+  done;
+  let total = off.(n) in
+  let ent_node = Array.make total 0 in
+  let ent_dist = Array.make total 0 in
+  Array.iteri
+    (fun u es ->
+      Array.iteri
+        (fun j (w, d) ->
+          ent_node.(off.(u) + j) <- w;
+          ent_dist.(off.(u) + j) <- d)
+        es)
+    entries;
+  check_entry_order ~who:"Sketch.v" ~n ~off ~ent_node ~ent_dist;
+  { family; n; k; pivot_dist = [||]; pivot_node = [||]; off; ent_node;
+    ent_dist }
+
+let of_arrays ~family ~k ~pivot_dist ~pivot_node ~off ~ent_node ~ent_dist =
+  let who = "Sketch.of_arrays" in
+  let n = Array.length off - 1 in
+  if n < 1 then invalid_arg (who ^ ": empty offset table");
+  if k < 1 then invalid_arg (who ^ ": k < 1");
+  if off.(0) <> 0 then invalid_arg (who ^ ": offsets do not start at 0");
+  let want_pivots = if family = Family.Tz then n * k else 0 in
+  if
+    Array.length pivot_dist <> want_pivots
+    || Array.length pivot_node <> want_pivots
+  then invalid_arg (who ^ ": pivot table has the wrong size for the family");
+  check_entry_order ~who ~n ~off ~ent_node ~ent_dist;
+  { family; n; k; pivot_dist; pivot_node; off; ent_node; ent_dist }
+
+(* Binary search for [w] in the node-[u] slice; [Dist.infinity] when
+   absent. Tail recursion over plain ints, not [ref] cursors: a query
+   must not touch the minor heap, because every minor collection stops
+   all domains and a batch fanned over the pool would serialise on GC
+   instead of scaling. *)
+let rec find_in t w lo hi =
+  if lo >= hi then Dist.infinity
+  else begin
+    let mid = (lo + hi) / 2 in
+    let x = t.ent_node.(mid) in
+    if x = w then t.ent_dist.(mid)
+    else if x < w then find_in t w (mid + 1) hi
+    else find_in t w lo mid
+  end
+
+let find t u w = find_in t w t.off.(u) t.off.(u + 1)
+
+let node_entries t u =
+  Array.init
+    (t.off.(u + 1) - t.off.(u))
+    (fun j -> (t.ent_node.(t.off.(u) + j), t.ent_dist.(t.off.(u) + j)))
+
+let check_pair t u v name =
+  if u < 0 || u >= t.n || v < 0 || v >= t.n then
+    invalid_arg
+      (Printf.sprintf "Sketch.%s: pair (%d, %d) out of range [0, %d)" name u v
+         t.n)
+
+(* The query loops are top-level recursions for the same reason as
+   [find_in]: a local [let rec go] would close over [t]/[u]/[v] and
+   allocate per query. *)
+let rec tz_from t u v k i =
+  if i >= k then Dist.infinity
+  else begin
+    let du = t.pivot_dist.((u * k) + i)
+    and pu = t.pivot_node.((u * k) + i)
+    and dv = t.pivot_dist.((v * k) + i)
+    and pv = t.pivot_node.((v * k) + i) in
+    let via_pu =
+      if Dist.is_finite du then Dist.add du (find t v pu) else Dist.infinity
+    in
+    let via_pv =
+      if Dist.is_finite dv then Dist.add dv (find t u pv) else Dist.infinity
+    in
+    let est = min via_pu via_pv in
+    if Dist.is_finite est then est else tz_from t u v k (i + 1)
+  end
+
+let rec tz_bidi_from t u v k i best =
+  if i >= k then best
+  else begin
+    let du = t.pivot_dist.((u * k) + i)
+    and pu = t.pivot_node.((u * k) + i)
+    and dv = t.pivot_dist.((v * k) + i)
+    and pv = t.pivot_node.((v * k) + i) in
+    let best =
+      if Dist.is_finite du then min best (Dist.add du (find t v pu)) else best
+    in
+    let best =
+      if Dist.is_finite dv then min best (Dist.add dv (find t u pv)) else best
+    in
+    tz_bidi_from t u v k (i + 1) best
+  end
+
+(* Merge intersection of the two sorted entry slices: both families'
+   estimate is [min over common w of d(u,w) + d(w,v)]. Linear in the
+   slice lengths, no allocation. *)
+let rec common_from t iu hu iv hv best =
+  if iu >= hu || iv >= hv then best
+  else begin
+    let wu = t.ent_node.(iu) and wv = t.ent_node.(iv) in
+    if wu = wv then
+      common_from t (iu + 1) hu (iv + 1) hv
+        (min best (Dist.add t.ent_dist.(iu) t.ent_dist.(iv)))
+    else if wu < wv then common_from t (iu + 1) hu iv hv best
+    else common_from t iu hu (iv + 1) hv best
+  end
+
+let common_min t u v =
+  (* [u = v] short-circuits to 0: a landmark sketch holds landmark
+     distances only, so the merge would report [2·d(u, nearest
+     landmark)] for a node asked about itself. *)
+  if u = v then 0
+  else common_from t t.off.(u) t.off.(u + 1) t.off.(v) t.off.(v + 1)
+      Dist.infinity
+
+let estimate t u v =
+  check_pair t u v "estimate";
+  match t.family with
+  | Family.Tz -> tz_from t u v t.k 0
+  | Family.Landmark | Family.Bottomk -> common_min t u v
+
+let estimate_bidirectional t u v =
+  check_pair t u v "estimate_bidirectional";
+  match t.family with
+  | Family.Tz -> tz_bidi_from t u v t.k 0 Dist.infinity
+  | Family.Landmark | Family.Bottomk -> common_min t u v
+
+let find_probed t u w probes =
+  let lo = ref t.off.(u) and hi = ref t.off.(u + 1) in
+  let res = ref Dist.infinity in
+  while !lo < !hi do
+    incr probes;
+    let mid = (!lo + !hi) / 2 in
+    let x = t.ent_node.(mid) in
+    if x = w then begin
+      res := t.ent_dist.(mid);
+      lo := !hi
+    end
+    else if x < w then lo := mid + 1
+    else hi := mid
+  done;
+  !res
+
+let tz_probes t u v =
+  let k = t.k in
+  let probes = ref 0 in
+  let rec go i =
+    if i >= k then Dist.infinity
+    else begin
+      (* Two pivot-pair loads per level. *)
+      probes := !probes + 2;
+      let du = t.pivot_dist.((u * k) + i)
+      and pu = t.pivot_node.((u * k) + i)
+      and dv = t.pivot_dist.((v * k) + i)
+      and pv = t.pivot_node.((v * k) + i) in
+      let via_pu =
+        if Dist.is_finite du then Dist.add du (find_probed t v pu probes)
+        else Dist.infinity
+      in
+      let via_pv =
+        if Dist.is_finite dv then Dist.add dv (find_probed t u pv probes)
+        else Dist.infinity
+      in
+      let est = min via_pu via_pv in
+      if Dist.is_finite est then est else go (i + 1)
+    end
+  in
+  let est = go 0 in
+  (est, !probes)
+
+let common_probes t u v =
+  if u = v then (0, 0)
+  else begin
+    let iu = ref t.off.(u) and iv = ref t.off.(v) in
+    let hu = t.off.(u + 1) and hv = t.off.(v + 1) in
+    let best = ref Dist.infinity and probes = ref 0 in
+    while !iu < hu && !iv < hv do
+      incr probes;
+      let wu = t.ent_node.(!iu) and wv = t.ent_node.(!iv) in
+      if wu = wv then begin
+        best := min !best (Dist.add t.ent_dist.(!iu) t.ent_dist.(!iv));
+        incr iu;
+        incr iv
+      end
+      else if wu < wv then incr iu
+      else incr iv
+    done;
+    (!best, !probes)
+  end
+
+let estimate_probes t u v =
+  check_pair t u v "estimate_probes";
+  match t.family with
+  | Family.Tz -> tz_probes t u v
+  | Family.Landmark | Family.Bottomk -> common_probes t u v
+
+let equal a b =
+  a.family = b.family && a.n = b.n && a.k = b.k
+  && a.pivot_dist = b.pivot_dist
+  && a.pivot_node = b.pivot_node
+  && a.off = b.off
+  && a.ent_node = b.ent_node
+  && a.ent_dist = b.ent_dist

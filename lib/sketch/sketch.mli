@@ -1,0 +1,98 @@
+(** Compact immutable sketch container, shared by every family.
+
+    One flat layout serves all three families: an optional node-major
+    pivot table (Thorup–Zwick only) plus per-node entry slices behind a
+    cumulative offset table, each entry a [(node, dist)] pair with the
+    node ids strictly increasing inside a slice. For [Tz] the entries
+    are the bunch; for [Landmark] they are the per-node (landmark,
+    exact dist) map merged over all [k·r] sets; for [Bottomk] they are
+    the bottom-k all-distance sketch. The family tag dispatches the
+    estimator: level scan with triangle estimates for [Tz], a
+    merge-intersection [min d(u,w) + d(w,v)] over common entries for
+    the other two.
+
+    Queries are allocation-free (top-level tail recursions over plain
+    ints — see the note in [lib/oracle/oracle.ml] about minor-heap
+    stalls serialising batch domains), so this is the serving-path
+    representation as well as the snapshot one. *)
+
+type t = private {
+  family : Family.t;
+  n : int;
+  k : int;  (** hierarchy depth (tz) / bottom-k parameter / iterations *)
+  pivot_dist : int array;  (** [n·k] node-major for [Tz], empty otherwise *)
+  pivot_node : int array;  (** aligned with [pivot_dist] *)
+  off : int array;  (** [n+1] cumulative entry counts *)
+  ent_node : int array;
+      (** entry nodes, strictly increasing within each slice
+          [off.(u) .. off.(u+1) - 1] *)
+  ent_dist : int array;  (** distances aligned with [ent_node] *)
+}
+
+val of_tz_labels : Ds_core.Label.t array -> t
+(** Compile a Thorup–Zwick label set (family [Tz]). Requires
+    [labels.(i).owner = i] and a uniform [k]; raises
+    [Invalid_argument] otherwise. *)
+
+val v : family:Family.t -> k:int -> (int * int) array array -> t
+(** [v ~family ~k entries] builds a non-TZ sketch from per-node
+    [(node, dist)] entry arrays, each sorted strictly increasing by
+    node id. Raises [Invalid_argument] on family [Tz] (use
+    {!of_tz_labels}), an empty node set, unsorted/duplicate entries,
+    out-of-range entry nodes, or negative distances. *)
+
+val of_arrays :
+  family:Family.t ->
+  k:int ->
+  pivot_dist:int array ->
+  pivot_node:int array ->
+  off:int array ->
+  ent_node:int array ->
+  ent_dist:int array ->
+  t
+(** Validating constructor over the flat arrays themselves — the
+    snapshot-load path. Checks array-length coherence, offset
+    monotonicity and per-slice entry order; raises [Invalid_argument]
+    with a ["Sketch.of_arrays: …"] message on any violation. *)
+
+val family : t -> Family.t
+val n : t -> int
+val k : t -> int
+
+val size_words : t -> int
+(** Total size in the paper's units: two words per pivot plus two
+    words per entry. *)
+
+val node_size_words : t -> int -> int
+(** One node's share of {!size_words}. *)
+
+val find : t -> int -> int -> int
+(** [find t u w] is the entry distance of [w] in node [u]'s slice
+    (bunch/landmark/ADS membership), [Ds_graph.Dist.infinity] when
+    absent. One binary search. *)
+
+val node_entries : t -> int -> (int * int) array
+(** Fresh [(node, dist)] array of node [u]'s slice, in node-id order —
+    test/debug accessor, allocates. *)
+
+val estimate : t -> int -> int -> int
+(** Family-dispatched point-to-point estimate; [Dist.infinity] when
+    the sketches share no usable evidence. [Tz]: the Lemma 3.2 level
+    scan (identical to the pre-platform [Oracle.query]). [Landmark] /
+    [Bottomk]: min over common entries [w] of [d(u,w) + d(w,v)] —
+    always an upper bound on the true distance, exact whenever some
+    shortest-path vertex is a common entry. Raises [Invalid_argument]
+    on out-of-range endpoints. *)
+
+val estimate_bidirectional : t -> int -> int -> int
+(** [Tz]: minimum triangle estimate over every level and both
+    directions. Other families: same as {!estimate} (the
+    merge-intersection is already symmetric and exhaustive). *)
+
+val estimate_probes : t -> int -> int -> int * int
+(** [(estimate, probes)] where [probes] counts array lookups (pivot
+    loads plus binary-search or merge-scan comparisons) — the
+    deterministic work measure experiment E8 uses. *)
+
+val equal : t -> t -> bool
+(** Structural equality of family, shape and all payload words. *)

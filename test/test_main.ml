@@ -14,6 +14,7 @@ let () =
       ("trace", Test_trace.suite);
       ("obs", Test_obs.suite);
       ("tz", Test_tz.suite);
+      ("sketch", Test_sketch.suite);
       ("oracle", Test_oracle.suite);
       ("serve", Test_serve.suite);
       ("slack", Test_slack.suite);

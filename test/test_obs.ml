@@ -15,6 +15,7 @@ module Trace = Ds_congest.Trace
 module Multi_bf = Ds_congest.Multi_bf
 module Plane = Ds_congest.Plane
 module Obs = Ds_obs.Obs
+module Obs_doc = Ds_obs.Obs_doc
 module Sampler = Ds_obs.Sampler
 module Oracle = Ds_oracle.Oracle
 module Serve = Ds_oracle.Serve
@@ -187,6 +188,122 @@ let test_prometheus_format () =
   Alcotest.(check bool) "count row" true
     (contains s "dss_serve_block_ns_count 2");
   Alcotest.(check string) "byte-stable for a given state" s (Obs.prometheus t)
+
+(* --- labeled counters (per-family breakdowns) ---------------------- *)
+
+let count_occurrences haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec scan i acc =
+    if i + nl > hl then acc
+    else if String.sub haystack i nl = needle then scan (i + 1) (acc + 1)
+    else scan (i + 1) acc
+  in
+  scan 0 0
+
+let test_prom_labels () =
+  Alcotest.(check string) "family label comes out quoted"
+    "dss_oracle_queries{family=\"tz\"}"
+    (Obs.prom_name (Obs.Name.oracle_queries_family "tz"));
+  Alcotest.(check string) "multiple labels" "dss_a_b{x=\"1\",y=\"2\"}"
+    (Obs.prom_name "a.b{x=1,y=2}");
+  (* A suffix that does not parse as labels is mangled whole, never
+     dropped. *)
+  Alcotest.(check string) "malformed suffix mangled whole" "dss_a_b{x}"
+    (Obs.prom_name "a.b{x}");
+  Alcotest.(check string) "unterminated suffix mangled whole" "dss_a_b{x=1"
+    (Obs.prom_name "a.b{x=1");
+  (* Exposition: a labeled variant rides under its base's TYPE comment
+     — one comment per metric family, not one per label value. *)
+  let t = Obs.create () in
+  let total = Obs.counter t Obs.Name.oracle_queries in
+  let fam = Obs.counter t (Obs.Name.oracle_queries_family "bottomk") in
+  Obs.add total ~shard:0 10;
+  Obs.add fam ~shard:0 4;
+  let s = Obs.prometheus t in
+  Alcotest.(check bool) "plain row" true (contains s "dss_oracle_queries 10");
+  Alcotest.(check bool) "labeled row" true
+    (contains s "dss_oracle_queries{family=\"bottomk\"} 4");
+  Alcotest.(check int) "one TYPE line for the family" 1
+    (count_occurrences s "# TYPE dss_oracle_queries counter")
+
+(* --- obs/1 invariant checker (the obs-cat --check engine) ---------- *)
+
+let doc_of ~points ~final =
+  Json.Obj
+    [
+      ("schema", Json.String "obs/1");
+      ("points", Json.List points);
+      ("final", Json.Obj [ ("counters", Json.Obj final) ]);
+    ]
+
+let point ~elapsed counters =
+  Json.Obj
+    [
+      ("elapsed_ms", Json.Float elapsed);
+      ("derived", Json.Obj []);
+      ("counters", Json.Obj counters);
+    ]
+
+let test_obs_doc_check () =
+  let fam = Obs.Name.oracle_queries_family in
+  let ok_doc =
+    doc_of
+      ~points:
+        [
+          point ~elapsed:5.0
+            [ ("oracle.queries", Json.Int 10); (fam "tz", Json.Int 10) ];
+          point ~elapsed:10.0
+            [ ("oracle.queries", Json.Int 20); (fam "tz", Json.Int 20) ];
+        ]
+      ~final:[ ("oracle.queries", Json.Int 20); (fam "tz", Json.Int 20) ]
+  in
+  (match Obs_doc.check ok_doc with
+  | Ok n -> Alcotest.(check int) "point count reported" 2 n
+  | Error msg -> Alcotest.failf "valid doc rejected: %s" msg);
+  let expect name doc substring =
+    match Obs_doc.check doc with
+    | Ok _ -> Alcotest.failf "%s: accepted" name
+    | Error msg ->
+      if not (contains msg substring) then
+        Alcotest.failf "%s: error %S does not mention %S" name msg substring
+  in
+  expect "decreasing counter"
+    (doc_of
+       ~points:
+         [
+           point ~elapsed:1.0 [ ("oracle.queries", Json.Int 5) ];
+           point ~elapsed:2.0 [ ("oracle.queries", Json.Int 3) ];
+         ]
+       ~final:[ ("oracle.queries", Json.Int 5) ])
+    "decreased";
+  expect "elapsed not increasing"
+    (doc_of
+       ~points:[ point ~elapsed:2.0 []; point ~elapsed:2.0 [] ]
+       ~final:[])
+    "elapsed_ms";
+  expect "final below last"
+    (doc_of
+       ~points:[ point ~elapsed:1.0 [ ("oracle.queries", Json.Int 5) ] ]
+       ~final:[ ("oracle.queries", Json.Int 3) ])
+    "below last point";
+  expect "malformed label suffix"
+    (doc_of ~points:[] ~final:[ ("oracle.queries{family}", Json.Int 1) ])
+    "malformed label suffix";
+  expect "labeled variants overshoot their base"
+    (doc_of ~points:[]
+       ~final:
+         [
+           ("oracle.queries", Json.Int 5);
+           (fam "tz", Json.Int 3);
+           (fam "bottomk", Json.Int 4);
+         ])
+    "labeled variants";
+  expect "wrong schema"
+    (Json.Obj [ ("schema", Json.String "nope/9") ])
+    "schema";
+  expect "missing final"
+    (Json.Obj [ ("schema", Json.String "obs/1"); ("points", Json.List []) ])
+    "final"
 
 (* --- Json parser (the obs-cat reading side) ------------------------ *)
 
@@ -527,6 +644,9 @@ let suite =
     QCheck_alcotest.to_alcotest test_exact_vs_histogram_percentiles;
     Alcotest.test_case "prometheus exposition format" `Quick
       test_prometheus_format;
+    Alcotest.test_case "labeled counter names stay Prometheus-legal" `Quick
+      test_prom_labels;
+    Alcotest.test_case "obs/1 invariant checker" `Quick test_obs_doc_check;
     Alcotest.test_case "json parser round-trips" `Quick test_json_of_string;
     Alcotest.test_case "proc status parser robustness" `Quick test_mem_parser;
     Alcotest.test_case "sampler ring, deadlines, drops" `Quick

@@ -12,6 +12,9 @@ module Store = Ds_oracle.Sketch_store
 module Oracle = Ds_oracle.Oracle
 module Workload = Ds_oracle.Workload
 module Pool = Ds_parallel.Pool
+module Sketch = Ds_sketch.Sketch
+module Family = Ds_sketch.Family
+module Sketch_build = Ds_sketch.Build
 
 let labels_for ?(seed = 7) g k =
   let n = Graph.n g in
@@ -21,7 +24,7 @@ let labels_for ?(seed = 7) g k =
 let suite_stores () =
   List.map
     (fun (name, g) ->
-      (name, g, Store.v ~seed:91 ~family:name (labels_for g 3)))
+      (name, g, Store.of_labels ~seed:91 ~graph_family:name (labels_for g 3)))
     (Helpers.graph_suite 91)
 
 (* ---- snapshot store ---- *)
@@ -45,15 +48,17 @@ let test_store_roundtrip_bytes () =
         (Printf.sprintf "%s: meta seed" name)
         store.Store.meta.Store.seed reloaded.Store.meta.Store.seed;
       Alcotest.(check string)
-        (Printf.sprintf "%s: meta family" name)
-        store.Store.meta.Store.family reloaded.Store.meta.Store.family;
-      Array.iteri
-        (fun u l ->
-          Alcotest.(check bool)
-            (Printf.sprintf "%s: label %d survives round-trip" name u)
-            true
-            (Label.equal l reloaded.Store.labels.(u)))
-        store.Store.labels)
+        (Printf.sprintf "%s: meta graph family" name)
+        store.Store.meta.Store.graph_family
+        reloaded.Store.meta.Store.graph_family;
+      Alcotest.(check string)
+        (Printf.sprintf "%s: meta sketch family" name)
+        (Family.name store.Store.meta.Store.sketch_family)
+        (Family.name reloaded.Store.meta.Store.sketch_family);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: sketch survives round-trip" name)
+        true
+        (Sketch.equal store.Store.sketch reloaded.Store.sketch))
     (suite_stores ())
 
 let test_store_file_roundtrip () =
@@ -110,13 +115,72 @@ let test_store_validation () =
   let g = Helpers.random_graph ~seed:5 20 in
   let labels = labels_for g 2 in
   Alcotest.check_raises "empty label set"
-    (Invalid_argument "Sketch_store.v: empty label set") (fun () ->
-      ignore (Store.v [||]));
+    (Invalid_argument "Sketch_store.of_labels: empty label set") (fun () ->
+      ignore (Store.of_labels [||]));
   let swapped = Array.copy labels in
   swapped.(0) <- labels.(1);
-  (match Store.v swapped with
+  (match Store.of_labels swapped with
   | _ -> Alcotest.fail "owner mismatch accepted"
   | exception Invalid_argument _ -> ())
+
+(* v2 snapshots carry any sketch family: round-trip landmark and
+   bottom-k stores the same way the tz suite above does, checking the
+   family tag and the sketch payload both survive. *)
+let test_store_v2_all_families () =
+  let g = Helpers.random_graph ~seed:23 40 in
+  List.iter
+    (fun family ->
+      let built = Sketch_build.run ~family g ~k:3 ~seed:23 in
+      let store =
+        Store.v ~seed:23 ~graph_family:"random" built.Sketch_build.sketch
+      in
+      let name = Family.name family in
+      let reloaded = Store.of_bytes (Store.to_bytes store) in
+      Alcotest.(check string)
+        (Printf.sprintf "%s: sketch family survives" name)
+        name
+        (Family.name reloaded.Store.meta.Store.sketch_family);
+      Alcotest.(check string)
+        (Printf.sprintf "%s: graph family survives" name)
+        "random" reloaded.Store.meta.Store.graph_family;
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: sketch survives" name)
+        true
+        (Sketch.equal store.Store.sketch reloaded.Store.sketch);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: re-serialization byte-identical" name)
+        true
+        (String.equal (Store.to_bytes store) (Store.to_bytes reloaded)))
+    Family.all
+
+(* A pre-platform (v1) snapshot must still load: same sketch, family
+   mapped to [graph_family], sketch family pinned to tz. And rewriting
+   it through the v2 writer must round-trip from there. *)
+let test_store_v1_compat () =
+  let _, _, store = List.hd (suite_stores ()) in
+  let v1 = Store.to_bytes_v1 store in
+  let from_v1 = Store.of_bytes v1 in
+  Alcotest.(check string)
+    "v1 family reads back as graph_family"
+    store.Store.meta.Store.graph_family from_v1.Store.meta.Store.graph_family;
+  Alcotest.(check string)
+    "v1 sketch family is tz" "tz"
+    (Family.name from_v1.Store.meta.Store.sketch_family);
+  Alcotest.(check bool)
+    "v1 sketch payload identical" true
+    (Sketch.equal store.Store.sketch from_v1.Store.sketch);
+  (* v1 -> v2 rewrite: serializing the loaded store emits v2 bytes
+     identical to serializing the original. *)
+  Alcotest.(check bool)
+    "v1 -> v2 rewrite is byte-identical" true
+    (String.equal (Store.to_bytes store) (Store.to_bytes from_v1));
+  (* Only tz has a v1 layout. *)
+  let g = Helpers.random_graph ~seed:29 20 in
+  let built = Sketch_build.run ~family:Family.Bottomk g ~k:2 ~seed:29 in
+  let bk = Store.v ~seed:29 built.Sketch_build.sketch in
+  match Store.to_bytes_v1 bk with
+  | _ -> Alcotest.fail "v1 writer accepted a non-tz store"
+  | exception Invalid_argument _ -> ()
 
 (* ---- compact oracle ---- *)
 
@@ -148,7 +212,7 @@ let test_oracle_from_store_matches () =
   let labels = labels_for ~seed:32 g 3 in
   let o1 = Oracle.of_labels labels in
   let o2 =
-    Oracle.of_store (Store.of_bytes (Store.to_bytes (Store.v labels)))
+    Oracle.of_store (Store.of_bytes (Store.to_bytes (Store.of_labels labels)))
   in
   for u = 0 to 49 do
     for v = 0 to 49 do
@@ -294,6 +358,44 @@ let test_workload_zipf () =
   let p3 = Workload.pairs ~rng:(Rng.create 84) kind ~n ~count in
   Alcotest.(check bool) "seed moves the hot set" true (p1 <> p3)
 
+let test_workload_pairs_file () =
+  let flat =
+    Workload.pairs_flat ~rng:(Rng.create 87) Workload.Uniform ~n:30 ~count:200
+  in
+  let path = Filename.temp_file "distsketch" ".pairs" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Workload.save_pairs path flat;
+      Alcotest.(check (array int))
+        "save -> load round-trips the flat layout" flat
+        (Workload.load_pairs ~n:30 path);
+      (* Comments and blank lines are part of the format. *)
+      let oc = open_out path in
+      output_string oc "# replayed pair set\n\n3 4\n  7   9 \n";
+      close_out oc;
+      Alcotest.(check (array int))
+        "comments, blanks and stray spaces are tolerated" [| 3; 4; 7; 9 |]
+        (Workload.load_pairs ~n:30 path);
+      (* Out-of-range endpoints and malformed lines fail with context. *)
+      let oc = open_out path in
+      output_string oc "3 99\n";
+      close_out oc;
+      (match Workload.load_pairs ~n:30 path with
+      | _ -> Alcotest.fail "out-of-range endpoint accepted"
+      | exception Failure msg ->
+        Alcotest.(check bool) "error names the file" true
+          (String.length msg > 0 && String.sub msg 0 (String.length path) = path));
+      let oc = open_out path in
+      output_string oc "3 4 5\n";
+      close_out oc;
+      match Workload.load_pairs ~n:30 path with
+      | _ -> Alcotest.fail "three-field line accepted"
+      | exception Failure _ -> ());
+  Alcotest.check_raises "odd-length array rejected"
+    (Invalid_argument "Workload.save_pairs: odd-length flat array") (fun () ->
+      Workload.save_pairs "/dev/null" [| 1 |])
+
 let test_workload_kind_of_string () =
   Alcotest.(check bool) "uniform parses" true
     (Workload.kind_of_string "uniform" = Ok Workload.Uniform);
@@ -321,6 +423,10 @@ let suite =
       test_store_malformed;
     Alcotest.test_case "store: label-set validation" `Quick
       test_store_validation;
+    Alcotest.test_case "store: v2 round-trip, every sketch family" `Quick
+      test_store_v2_all_families;
+    Alcotest.test_case "store: v1 snapshots still load" `Quick
+      test_store_v1_compat;
     Alcotest.test_case "oracle = Label.query, all families x k" `Slow
       test_oracle_matches_label_query;
     Alcotest.test_case "oracle from snapshot = oracle from labels" `Quick
@@ -336,6 +442,8 @@ let suite =
     Alcotest.test_case "run_batch stats sane" `Quick test_run_batch_stats;
     Alcotest.test_case "workload: uniform" `Quick test_workload_uniform;
     Alcotest.test_case "workload: zipf hotspots" `Quick test_workload_zipf;
+    Alcotest.test_case "workload: pairs-file round-trip" `Quick
+      test_workload_pairs_file;
     Alcotest.test_case "workload: kind parsing" `Quick
       test_workload_kind_of_string;
   ]

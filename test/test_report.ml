@@ -242,7 +242,7 @@ let test_round_trip () =
           (contains msg Registry.md_file))
 
 let test_registry_metadata () =
-  Alcotest.(check int) "fourteen experiments" 14 (List.length Registry.all);
+  Alcotest.(check int) "fifteen experiments" 15 (List.length Registry.all);
   List.iter
     (fun e ->
       Alcotest.(check bool)
