@@ -722,6 +722,18 @@ let oracle_cmd =
              arguments are ignored (the snapshot's own family/seed are \
              used to regenerate the graph for the exact-stretch check).")
   in
+  let mmap_arg =
+    Arg.(
+      value & flag
+      & info [ "mmap" ]
+          ~doc:
+            "With $(b,--load): map the snapshot file and serve queries \
+             straight out of the mapping instead of copying it onto the \
+             heap. O(header + n) start-up, zero payload copies, pages \
+             shared across processes serving the same snapshot. Requires \
+             a version-3 snapshot (re-save an older one to upgrade). \
+             Answers are byte-identical to a heap load.")
+  in
   let save_arg =
     Arg.(
       value
@@ -836,15 +848,17 @@ let oracle_cmd =
       & info [ "obs-prom" ] ~docv:"FILE"
           ~doc:"Write the final registry as Prometheus text exposition.")
   in
-  let run family n seed k sketch_family domains load save workload pairs qseed
-      pairs_file dump_pairs skip_exact serve rate cache_bits batch obs_out
-      obs_interval obs_prom =
+  let run family n seed k sketch_family domains load mmap save workload pairs
+      qseed pairs_file dump_pairs skip_exact serve rate cache_bits batch
+      obs_out obs_interval obs_prom =
     with_domains domains @@ fun pool ->
     let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt in
+    if mmap && load = None then fail "--mmap requires --load";
     let store, source =
       match load with
       | Some path -> (
-        (try Store.load path with
+        (try Store.load ~mode:(if mmap then Store.Mmap else Store.Heap) path
+         with
         | Store.Error msg -> fail "cannot load %s: %s" path msg
         | Sys_error msg -> fail "cannot load %s: %s" path msg),
         "snapshot:" ^ path )
@@ -907,6 +921,15 @@ let oracle_cmd =
       | None, None -> None
       | _ -> Some (Obs.create ())
     in
+    (* The mapped-bytes gauge is set once at startup (0 for heap
+       loads/builds): dashboards read the zero-copy footprint next to
+       RSS. *)
+    (match obs_registry with
+    | Some registry ->
+      Obs.set
+        (Obs.gauge registry Obs.Name.store_mapped_bytes)
+        ~shard:0 (Store.mapped_bytes store)
+    | None -> ());
     let sampler =
       match obs_registry with
       | Some registry when serve ->
@@ -999,6 +1022,7 @@ let oracle_cmd =
           Json.String (Sketch_family.name meta.Store.sketch_family) );
         ("seed", Json.Int meta.Store.seed);
         ("size_words", Json.Int (Oracle.size_words oracle));
+        ("load_mode", Json.String (Store.mode_name store.Store.load_mode));
         ("workload", Json.String workload_name);
       ]
     in
@@ -1102,6 +1126,7 @@ let oracle_cmd =
           ("domains", Json.Int domains);
           ("workload", Json.String workload_name);
           ("serve", Json.Bool serve);
+          ("load_mode", Json.String (Store.mode_name store.Store.load_mode));
         ]
       in
       (match obs_out with
@@ -1128,10 +1153,10 @@ let oracle_cmd =
           latency.")
     Term.(
       const run $ family_arg $ n_arg $ seed_arg $ k_arg $ sketch_arg
-      $ domains_arg $ load_arg $ save_arg $ workload_arg $ pairs_arg
-      $ qseed_arg $ pairs_file_arg $ dump_pairs_arg $ skip_exact_arg
-      $ serve_arg $ rate_arg $ cache_bits_arg $ batch_arg $ obs_out_arg
-      $ obs_interval_arg $ obs_prom_arg)
+      $ domains_arg $ load_arg $ mmap_arg $ save_arg $ workload_arg
+      $ pairs_arg $ qseed_arg $ pairs_file_arg $ dump_pairs_arg
+      $ skip_exact_arg $ serve_arg $ rate_arg $ cache_bits_arg $ batch_arg
+      $ obs_out_arg $ obs_interval_arg $ obs_prom_arg)
 
 (* ---- obs-cat ---- *)
 

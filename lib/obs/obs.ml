@@ -106,6 +106,36 @@ let observe h ~shard v =
   let c = s + 1 in
   h.h_cells.(c) <- h.h_cells.(c) + 1
 
+(* Shard-resolved handles: a worker that knows its shard up front
+   resolves the cell index once outside its loop, leaving the per-op
+   cost at one array load+store with no mask/multiply. Records of an
+   array and an int — resolving allocates (do it at worker setup),
+   the ops themselves do not. *)
+
+type counter_shard = { cs_cells : int array; cs_at : int }
+type gauge_shard = { gs_cells : int array; gs_at : int }
+type hist_shard = { hs_cells : int array; hs_base : int }
+
+let counter_shard c ~shard =
+  { cs_cells = c.c_cells; cs_at = (shard land c.c_mask) * stride }
+
+let gauge_shard g ~shard =
+  { gs_cells = g.g_cells; gs_at = (shard land g.g_mask) * stride }
+
+let hist_shard h ~shard =
+  { hs_cells = h.h_cells; hs_base = (shard land h.h_mask) * hist_stride }
+
+let shard_add cs v = cs.cs_cells.(cs.cs_at) <- cs.cs_cells.(cs.cs_at) + v
+let shard_set gs v = gs.gs_cells.(gs.gs_at) <- v
+
+let shard_observe hs v =
+  let b = hs.hs_base + Ds_util.Stats.log2_bucket v in
+  hs.hs_cells.(b) <- hs.hs_cells.(b) + 1;
+  let s = hs.hs_base + hist_buckets in
+  hs.hs_cells.(s) <- hs.hs_cells.(s) + v;
+  let c = s + 1 in
+  hs.hs_cells.(c) <- hs.hs_cells.(c) + 1
+
 (* Read side: reduce over shards. Counters and gauges both sum —
    single-writer gauges (backlog, busy domains, RSS) write shard 0
    only, per-worker gauges (queue depth) sum to the global value. *)
@@ -279,4 +309,5 @@ module Name = struct
 
   let gc_minor_words = "gc.minor_words"
   let mem_rss_kb = "mem.rss_kb"
+  let store_mapped_bytes = "store.mapped_bytes"
 end

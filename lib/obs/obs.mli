@@ -77,6 +77,29 @@ val observe : histogram -> shard:int -> int -> unit
 (** Record one sample: increments its {!Ds_util.Stats.log2_bucket},
     the shard's sum and its count (three stores). *)
 
+(** {2 Shard-resolved handles}
+
+    A worker whose shard is fixed for its whole run (serve workers,
+    engine domains) can resolve each instrument to its own cells once
+    at setup and drop the per-op [land mask]/[* stride] index math.
+    Resolution allocates a two-field record — do it outside the hot
+    loop; the shard ops themselves are as allocation-free as the
+    plain ones and covered by the same GC-regression pins. *)
+
+type counter_shard
+type gauge_shard
+type hist_shard
+
+val counter_shard : counter -> shard:int -> counter_shard
+val gauge_shard : gauge -> shard:int -> gauge_shard
+val hist_shard : histogram -> shard:int -> hist_shard
+
+val shard_add : counter_shard -> int -> unit
+val shard_set : gauge_shard -> int -> unit
+
+val shard_observe : hist_shard -> int -> unit
+(** Same three stores as {!observe}, base precomputed. *)
+
 (** {2 Read side} — reduces over shards; cheap relative to a sampling
     interval but not meant for per-event use. *)
 
@@ -145,4 +168,8 @@ module Name : sig
 
   val gc_minor_words : string
   val mem_rss_kb : string
+
+  val store_mapped_bytes : string
+  (** Gauge: bytes of snapshot currently mapped into the serving
+      process (0 for heap loads). *)
 end

@@ -100,6 +100,33 @@ let resolve_obs registry oracle =
     so_block = Obs.histogram registry Obs.Name.serve_block_ns;
   }
 
+(* A worker's shard is fixed for its whole run, so each instrument is
+   further resolved to the worker's own cells before the block loop —
+   the per-block obs cost is then plain unmasked array
+   read-modify-writes (the B18 overhead gate counts on this). *)
+type worker_obs = {
+  wo_admitted : Obs.counter_shard;
+  wo_served : Obs.counter_shard;
+  wo_hits : Obs.counter_shard;
+  wo_misses : Obs.counter_shard;
+  wo_queries : Obs.counter_shard;
+  wo_queries_fam : Obs.counter_shard;
+  wo_queue : Obs.gauge_shard;
+  wo_block : Obs.hist_shard;
+}
+
+let resolve_worker_obs o ~shard =
+  {
+    wo_admitted = Obs.counter_shard o.so_admitted ~shard;
+    wo_served = Obs.counter_shard o.so_served ~shard;
+    wo_hits = Obs.counter_shard o.so_hits ~shard;
+    wo_misses = Obs.counter_shard o.so_misses ~shard;
+    wo_queries = Obs.counter_shard o.so_queries ~shard;
+    wo_queries_fam = Obs.counter_shard o.so_queries_fam ~shard;
+    wo_queue = Obs.gauge_shard o.so_queue ~shard;
+    wo_block = Obs.hist_shard o.so_block ~shard;
+  }
+
 (* Direct-mapped slot for a packed pair key: multiplicative hash
    (SplitMix64's odd constant), top [bits] of the 62-bit product so
    nearby keys spread. *)
@@ -174,6 +201,11 @@ let run ?(pool = Pool.sequential) ?(config = default_config) ?obs ?sampler
     | Some s -> Sampler.start s ~now_ns:(int_of_float t0)
     | None -> ());
     let run_worker w =
+      let wob =
+        match ob with
+        | Some o -> Some (resolve_worker_obs o ~shard:w)
+        | None -> None
+      in
       let cache_size = if config.cache_bits = 0 then 0 else 1 lsl config.cache_bits in
       (* Keys are packed pairs u*n + v >= 0, so -1 marks an empty slot. *)
       let cache_key = Array.make (max 1 cache_size) (-1) in
@@ -204,8 +236,8 @@ let run ?(pool = Pool.sequential) ?(config = default_config) ?obs ?sampler
            latency base. *)
         if gap_ns > 0. then wait_until (t0 +. (gap_ns *. float_of_int (hi - 1)));
         let t_adm = now_ns () in
-        (match ob with
-        | Some o -> Obs.add o.so_admitted ~shard:w (hi - lo)
+        (match wob with
+        | Some o -> Obs.shard_add o.wo_admitted (hi - lo)
         | None -> ());
         let hits_before = !hits in
         if cache_size = 0 then
@@ -235,17 +267,17 @@ let run ?(pool = Pool.sequential) ?(config = default_config) ?obs ?sampler
            observe — no clock reads beyond the ones the loop already
            took, no allocation (the GC-regression test pins the
            instrumented block's minor words equal to the plain one). *)
-        (match ob with
+        (match wob with
         | None -> ()
         | Some o ->
           let dh = !hits - hits_before in
-          Obs.add o.so_served ~shard:w (hi - lo);
-          Obs.add o.so_hits ~shard:w dh;
-          Obs.add o.so_misses ~shard:w (hi - lo - dh);
-          Obs.add o.so_queries ~shard:w (hi - lo - dh);
-          Obs.add o.so_queries_fam ~shard:w (hi - lo - dh);
-          Obs.set o.so_queue ~shard:w (assigned - !served);
-          Obs.observe o.so_block ~shard:w (int_of_float (t_done -. t_adm)));
+          Obs.shard_add o.wo_served (hi - lo);
+          Obs.shard_add o.wo_hits dh;
+          Obs.shard_add o.wo_misses (hi - lo - dh);
+          Obs.shard_add o.wo_queries (hi - lo - dh);
+          Obs.shard_add o.wo_queries_fam (hi - lo - dh);
+          Obs.shard_set o.wo_queue (assigned - !served);
+          Obs.shard_observe o.wo_block (int_of_float (t_done -. t_adm)));
         (match sampler with
         | Some s when w = 0 -> Sampler.tick s (int_of_float t_done)
         | _ -> ());

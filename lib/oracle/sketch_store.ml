@@ -10,14 +10,18 @@ type meta = {
   sketch_family : Family.t;
 }
 
-type t = { meta : meta; sketch : Sketch.t }
+type mode = Heap | Mmap
+
+type t = { meta : meta; sketch : Sketch.t; load_mode : mode }
 
 exception Error of string
 
 let error fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
 
 let magic = "DSKETCH1"
-let version = 2
+let version = 3
+
+let mode_name = function Heap -> "heap" | Mmap -> "mmap"
 
 let v ?(seed = 0) ?(graph_family = "") sketch =
   {
@@ -30,12 +34,15 @@ let v ?(seed = 0) ?(graph_family = "") sketch =
         sketch_family = Sketch.family sketch;
       };
     sketch;
+    load_mode = Heap;
   }
 
 let of_labels ?seed ?graph_family labels =
   if Array.length labels = 0 then
     invalid_arg "Sketch_store.of_labels: empty label set";
   v ?seed ?graph_family (Sketch.of_tz_labels labels)
+
+let mapped_bytes t = Sketch.mapped_bytes t.sketch
 
 (* FNV-1a, 64-bit. *)
 let fnv1a64 s =
@@ -54,26 +61,19 @@ let add_padded_string b s =
   Buffer.add_string b s;
   Buffer.add_string b (String.make (pad8 (String.length s)) '\000')
 
-let add_sections (s : Sketch.t) ~word =
-  let n = s.Sketch.n in
-  for u = 0 to n do
-    word s.Sketch.off.(u)
-  done;
-  for i = 0 to Array.length s.Sketch.pivot_dist - 1 do
-    word s.Sketch.pivot_dist.(i);
-    word s.Sketch.pivot_node.(i)
-  done;
-  for j = 0 to s.Sketch.off.(n) - 1 do
-    word s.Sketch.ent_node.(j);
-    word s.Sketch.ent_dist.(j)
-  done
+(* Canonical section order, shared by every version's writer:
+   offsets, interleaved (dist, node) pivot pairs, interleaved
+   (node, dist) entry pairs. Backing-independent — serialising a
+   mapped store streams the very words it was mapped from. *)
+let add_sections (s : Sketch.t) ~word = Sketch.iter_section_words s word
 
-let to_bytes t =
-  let { n; k; seed; graph_family; sketch_family } = t.meta in
-  let b = Buffer.create 4096 in
+(* Common header prefix: magic through the two padded family
+   strings. Returns the buffer positioned right after the graph
+   family, i.e. at the pivot-words field. *)
+let add_header_prefix b ~ver ~meta:{ n; k; seed; graph_family; sketch_family } =
   let word i = Buffer.add_int64_le b (Int64.of_int i) in
   Buffer.add_string b magic;
-  word version;
+  word ver;
   word n;
   word k;
   word seed;
@@ -81,8 +81,28 @@ let to_bytes t =
   word (String.length sf);
   add_padded_string b sf;
   word (String.length graph_family);
-  add_padded_string b graph_family;
-  word (Array.length t.sketch.Sketch.pivot_dist * 2);
+  add_padded_string b graph_family
+
+let to_bytes t =
+  let b = Buffer.create 4096 in
+  let word i = Buffer.add_int64_le b (Int64.of_int i) in
+  add_header_prefix b ~ver:version ~meta:t.meta;
+  word (2 * Sketch.pivot_pairs t.sketch);
+  word (Sketch.total_entries t.sketch);
+  (* v3: a checksum over the header alone, so the mmap loader can
+     validate everything it parses eagerly in O(1) without touching
+     the payload pages. *)
+  Buffer.add_int64_le b (fnv1a64 (Buffer.contents b));
+  add_sections t.sketch ~word;
+  let payload = Buffer.contents b in
+  Buffer.add_int64_le b (fnv1a64 payload);
+  Buffer.contents b
+
+let to_bytes_v2 t =
+  let b = Buffer.create 4096 in
+  let word i = Buffer.add_int64_le b (Int64.of_int i) in
+  add_header_prefix b ~ver:2 ~meta:t.meta;
+  word (2 * Sketch.pivot_pairs t.sketch);
   add_sections t.sketch ~word;
   let payload = Buffer.contents b in
   Buffer.add_int64_le b (fnv1a64 payload);
@@ -107,11 +127,13 @@ let to_bytes_v1 t =
   Buffer.add_int64_le b (fnv1a64 payload);
   Buffer.contents b
 
-(* Shared by both reader paths: the offset table, optional pivot
+(* Shared by the heap reader paths: the offset table, optional pivot
    section and entry section that follow the version-specific header,
    starting at byte [body]. [pivot_words] is [2nk] (v1, tz) or
-   whatever the v2 header declared. *)
-let read_sections s ~len ~body ~n ~k ~pivot_words ~sketch_family =
+   whatever the v2/v3 header declared; [declared_total] is the v3
+   header's entry total, cross-checked against the offsets. *)
+let read_sections s ~len ~body ~n ~k ~pivot_words ?declared_total
+    ~sketch_family () =
   let word off = Int64.to_int (String.get_int64_le s off) in
   if len < body + (8 * (n + 1)) then
     error "truncated snapshot: offset table cut short (%d bytes)" len;
@@ -122,6 +144,11 @@ let read_sections s ~len ~body ~n ~k ~pivot_words ~sketch_family =
       error "corrupt bunch offsets: not monotone at node %d" i
   done;
   let total = off.(n) in
+  (match declared_total with
+  | Some d when d <> total ->
+    error "corrupt snapshot: header entry total %d disagrees with offsets %d" d
+      total
+  | _ -> ());
   let pivots_at = body + (8 * (n + 1)) in
   let ents_at = pivots_at + (8 * pivot_words) in
   let expected = ents_at + (8 * 2 * total) + 8 in
@@ -161,22 +188,34 @@ let read_sections s ~len ~body ~n ~k ~pivot_words ~sketch_family =
   | sketch -> sketch
   | exception Invalid_argument m -> error "corrupt snapshot: %s" m
 
-let of_bytes s =
-  let len = String.length s in
-  if len < 16 then error "truncated snapshot: %d bytes, no header" len;
+(* Version-agnostic header parse over a prefix string [s] of the file
+   ([avail] bytes of it; [file_len] is the whole file). Returns the
+   parsed meta, the declared pivot/total words (v3), the byte offset
+   where the sections begin, and the version. Validates the v3 header
+   checksum — everything the mmap loader trusts eagerly. *)
+type header = {
+  h_ver : int;
+  h_meta : meta;
+  h_pivot_words : int;
+  h_total : int;  (* -1 before v3 *)
+  h_body : int;
+}
+
+let parse_header s ~avail =
+  if avail < 16 then error "truncated snapshot: %d bytes, no header" avail;
   if String.sub s 0 8 <> magic then
     error "bad magic %S: not a distsketch snapshot" (String.sub s 0 8);
   let word off = Int64.to_int (String.get_int64_le s off) in
   let ver = word 8 in
-  if ver <> 1 && ver <> version then
+  if ver <> 1 && ver <> 2 && ver <> version then
     error "unsupported snapshot version %d (this reader expects <= %d)" ver
       version;
-  if len < 48 then error "truncated snapshot header: %d bytes" len;
+  if avail < 48 then error "truncated snapshot header: %d bytes" avail;
   let n = word 16 and k = word 24 and seed = word 32 in
   if n < 1 || k < 1 then error "bad snapshot header: n=%d k=%d" n k;
   let read_string at =
     let slen = word at in
-    if slen < 0 || slen > len - at - 8 then
+    if slen < 0 || slen > avail - at - 8 then
       error "bad snapshot header: family length %d" slen;
     (String.sub s (at + 8) slen, at + 8 + slen + pad8 slen)
   in
@@ -184,11 +223,13 @@ let of_bytes s =
     (* v1: one family string — the graph family — then the
        unconditional tz pivot section. *)
     let graph_family, body = read_string 40 in
-    let sketch =
-      read_sections s ~len ~body ~n ~k ~pivot_words:(2 * n * k)
-        ~sketch_family:Family.Tz
-    in
-    { meta = { n; k; seed; graph_family; sketch_family = Family.Tz }; sketch }
+    {
+      h_ver = 1;
+      h_meta = { n; k; seed; graph_family; sketch_family = Family.Tz };
+      h_pivot_words = 2 * n * k;
+      h_total = -1;
+      h_body = body;
+    }
   end
   else begin
     let sf_name, after_sf = read_string 40 in
@@ -198,18 +239,48 @@ let of_bytes s =
       | Error _ -> error "unknown sketch family %S in snapshot header" sf_name
     in
     let graph_family, after_gf = read_string after_sf in
-    if len < after_gf + 8 then error "truncated snapshot header: %d bytes" len;
+    let tail_words = if ver = 2 then 8 else 24 in
+    if avail < after_gf + tail_words then
+      error "truncated snapshot header: %d bytes" avail;
     let pivot_words = word after_gf in
     let want_pivots = if sketch_family = Family.Tz then 2 * n * k else 0 in
     if pivot_words <> want_pivots then
       error "bad snapshot header: pivot section %d words, family %s wants %d"
         pivot_words sf_name want_pivots;
-    let sketch =
-      read_sections s ~len ~body:(after_gf + 8) ~n ~k ~pivot_words
-        ~sketch_family
+    let total =
+      if ver = 2 then -1
+      else begin
+        let total = word (after_gf + 8) in
+        if total < 0 then error "bad snapshot header: entry total %d" total;
+        let stored = String.get_int64_le s (after_gf + 16) in
+        let computed = fnv1a64 (String.sub s 0 (after_gf + 16)) in
+        if stored <> computed then
+          error
+            "header checksum mismatch: stored %Lx, computed %Lx — corrupt \
+             snapshot header"
+            stored computed;
+        total
+      end
     in
-    { meta = { n; k; seed; graph_family; sketch_family }; sketch }
+    {
+      h_ver = ver;
+      h_meta = { n; k; seed; graph_family; sketch_family };
+      h_pivot_words = pivot_words;
+      h_total = total;
+      h_body = (after_gf + tail_words);
+    }
   end
+
+let of_bytes s =
+  let len = String.length s in
+  let h = parse_header s ~avail:len in
+  let declared_total = if h.h_total >= 0 then Some h.h_total else None in
+  let sketch =
+    read_sections s ~len ~body:h.h_body ~n:h.h_meta.n ~k:h.h_meta.k
+      ~pivot_words:h.h_pivot_words ?declared_total
+      ~sketch_family:h.h_meta.sketch_family ()
+  in
+  { meta = h.h_meta; sketch; load_mode = Heap }
 
 let save path t =
   let oc = open_out_bin path in
@@ -217,11 +288,68 @@ let save path t =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (to_bytes t))
 
-let load path =
-  let ic = open_in_bin path in
-  let s =
+(* Header prefix large enough for any header this writer produces
+   (the two family strings are the only variable-length fields). *)
+let max_header_bytes = 65536
+
+let load_mmap path =
+  let size, prefix =
+    let ic = open_in_bin path in
     Fun.protect
       ~finally:(fun () -> close_in ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
+      (fun () ->
+        let size = in_channel_length ic in
+        (size, really_input_string ic (min size max_header_bytes)))
   in
-  of_bytes s
+  if size < 16 then error "truncated snapshot: %d bytes, no header" size;
+  if size land 7 <> 0 then
+    error "misaligned snapshot: %d bytes is not a multiple of 8 — cannot map"
+      size;
+  let h = parse_header prefix ~avail:(String.length prefix) in
+  if h.h_ver < version then
+    error
+      "snapshot version %d predates the mappable v3 layout — heap-load and \
+       re-save to upgrade"
+      h.h_ver;
+  let { n; k; _ } = h.h_meta in
+  if h.h_body land 7 <> 0 then
+    error "misaligned snapshot: sections start at byte %d" h.h_body;
+  let expected =
+    h.h_body + (8 * (n + 1)) + (8 * h.h_pivot_words) + (8 * 2 * h.h_total) + 8
+  in
+  if size <> expected then
+    error "truncated or oversized snapshot: expected %d bytes, got %d" expected
+      size;
+  let buf =
+    let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+    Fun.protect
+      ~finally:(fun () -> Unix.close fd)
+      (fun () ->
+        match
+          Unix.map_file fd Bigarray.int Bigarray.c_layout false [| size / 8 |]
+        with
+        | ga -> Bigarray.array1_of_genarray ga
+        | exception (Unix.Unix_error _ | Sys_error _) ->
+          error "cannot map snapshot %s" path)
+  in
+  let sketch =
+    match
+      Sketch.of_mapped ~family:h.h_meta.sketch_family ~k ~n ~total:h.h_total
+        ~buf ~off_at:(h.h_body / 8)
+    with
+    | sketch -> sketch
+    | exception Invalid_argument m -> error "corrupt snapshot: %s" m
+  in
+  { meta = h.h_meta; sketch; load_mode = Mmap }
+
+let load ?(mode = Heap) path =
+  match mode with
+  | Mmap -> load_mmap path
+  | Heap ->
+    let ic = open_in_bin path in
+    let s =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    of_bytes s

@@ -7,22 +7,31 @@
 
     - {b versioned}: an 8-byte magic plus a version word, so a stale
       reader fails loudly instead of misparsing. This build writes
-      version 2 (family-polymorphic) and still reads version 1 (the
-      pre-platform Thorup–Zwick-only layout) as sketch family [tz];
+      version 3 (mappable) and still reads version 2 (the
+      family-polymorphic layout) and version 1 (the pre-platform
+      Thorup–Zwick-only layout, loaded as sketch family [tz]);
     - {b checksummed}: the last 8 bytes are an FNV-1a64 digest of
       everything before them, so truncation and bit rot are detected
-      on load;
+      on (heap) load; v3 additionally carries a header-only digest so
+      the mmap fast path can validate everything it parses eagerly
+      without touching the payload pages;
     - {b byte-deterministic}: equal stores serialize to equal bytes —
       entries are written in the {!Ds_sketch.Sketch} canonical order
       (sorted by node id within each owner) and every integer is a
       fixed-width little-endian 64-bit word, so [save] ∘ [load] ∘
-      [save] is the identity on bytes and snapshots diff cleanly in
-      CI.
+      [save] is the identity on bytes (in either load mode) and
+      snapshots diff cleanly in CI;
+    - {b mappable} (v3): every section starts on an 8-byte boundary
+      and the header declares the section extents up front, so
+      {!load}[ ~mode:Mmap] serves queries straight out of a
+      [Unix.map_file] word window — no copy, O(header + n) start-up,
+      the page cache is the working set and is shared across
+      processes serving the same snapshot.
 
-    Version-2 byte layout (all integers u64 LE):
+    Version-3 byte layout (all integers u64 LE):
     {v
     0      magic "DSKETCH1"                  (8 bytes)
-    8      version                           (currently 2)
+    8      version                           (currently 3)
     16     n  — number of nodes
     24     k  — depth / bottom-k parameter / iterations
     32     seed — generation seed (0 if unknown)
@@ -31,6 +40,8 @@
     .      graph_family_len, then that many topology-name bytes,
            zero-padded to an 8-byte boundary
     .      pivot_words — 2·n·k for family tz, 0 otherwise
+    .      total — number of (node, dist) entry pairs (= off.(n))
+    .      header_fnv — FNV-1a64 of every preceding byte
     .      off: n+1 cumulative entry counts
     .      pivots: per node, k (dist, node) pairs  (pivot_words words)
     .      entries: per node, (node, dist) pairs sorted
@@ -38,11 +49,21 @@
     end-8  FNV-1a64 checksum of all preceding bytes
     v}
 
-    Version 1 is the same minus the sketch-family and pivot-words
-    fields: its single [family] string was the {e graph} family (the
-    field rename is why v2 carries both), and its pivot section is
+    Version 2 is the same minus the [total] and [header_fnv] fields;
+    version 1 is v2 minus the sketch-family and pivot-words fields —
+    its single [family] string was the {e graph} family (the field
+    rename is why v2+ carry both), and its pivot section is
     unconditional. TZ bunch levels are analysis metadata and are not
-    persisted in either version. *)
+    persisted in any version.
+
+    Trust model per mode: [Heap] reads the whole file, verifies the
+    trailing checksum and every structural invariant, and copies into
+    fresh arrays — bit rot anywhere is detected. [Mmap] (v3 only)
+    verifies the header digest, the declared extents against the file
+    size (including 8-byte alignment) and the full offset table — so
+    a malformed file raises {!Error} and no query can index outside
+    the mapping — but serves the pivot/entry payload words as-is
+    without checksumming them. *)
 
 type meta = {
   n : int;  (** number of nodes *)
@@ -52,13 +73,19 @@ type meta = {
   sketch_family : Ds_sketch.Family.t;
 }
 
-type t = private { meta : meta; sketch : Ds_sketch.Sketch.t }
+type mode = Heap | Mmap  (** how {!load} materialises the payload *)
+
+type t = private {
+  meta : meta;
+  sketch : Ds_sketch.Sketch.t;
+  load_mode : mode;  (** [Heap] for built/deserialised stores *)
+}
 
 exception Error of string
 (** Raised by {!of_bytes} / {!load} on malformed input, with a message
     naming what is wrong (bad magic, unsupported version, truncation,
-    checksum mismatch, corrupt section). Never raised by well-formed
-    snapshots produced by {!to_bytes} / {!save}. *)
+    misalignment, checksum mismatch, corrupt section). Never raised by
+    well-formed snapshots produced by {!to_bytes} / {!save}. *)
 
 val v : ?seed:int -> ?graph_family:string -> Ds_sketch.Sketch.t -> t
 (** Wrap a built sketch set of any family; [meta] is derived from the
@@ -75,12 +102,23 @@ val magic : string
 (** The 8-byte file magic (["DSKETCH1"]). *)
 
 val version : int
-(** The format version this build writes (2). *)
+(** The format version this build writes (3). *)
+
+val mode_name : mode -> string
+(** ["heap"] / ["mmap"] — for artifact metadata. *)
+
+val mapped_bytes : t -> int
+(** Bytes of snapshot mapped into this process for [t]'s sketch; 0
+    for a heap-backed store. *)
 
 val to_bytes : t -> string
-(** Serialize to the version-2 layout above. Deterministic: stores
+(** Serialize to the version-3 layout above. Deterministic: stores
     with {!Ds_sketch.Sketch.equal} sketches and equal meta produce
-    identical bytes. *)
+    identical bytes, whichever backing the sketch has. *)
+
+val to_bytes_v2 : t -> string
+(** Serialize to the legacy version-2 layout, so the v2 reader path
+    stays testable without fixture files. *)
 
 val to_bytes_v1 : t -> string
 (** Serialize to the legacy version-1 layout ([sketch_family] must be
@@ -89,17 +127,21 @@ val to_bytes_v1 : t -> string
     bytes written today are read back like any historical snapshot. *)
 
 val of_bytes : string -> t
-(** Inverse of {!to_bytes}; also accepts version-1 bytes, which load
-    with [sketch_family = Tz] and the v1 family string as
-    [graph_family]. Raises {!Error} on malformed input. *)
+(** Inverse of {!to_bytes}; also accepts version-1 and version-2
+    bytes (v1 loads with [sketch_family = Tz] and the v1 family
+    string as [graph_family]). Raises {!Error} on malformed input.
+    Always heap-backed. *)
 
 val save : string -> t -> unit
 (** [save path t] writes [to_bytes t] atomically-ish (binary mode,
     single write). *)
 
-val load : string -> t
-(** [load path] reads and {!of_bytes}. Raises {!Error} on malformed
-    contents and [Sys_error] if the file cannot be read. *)
+val load : ?mode:mode -> string -> t
+(** [load path] reads a snapshot. [~mode:Heap] (default) reads and
+    {!of_bytes}. [~mode:Mmap] maps the file and serves the payload
+    zero-copy; requires a v3 snapshot (older versions raise {!Error}
+    telling the caller to heap-load and re-save). Raises {!Error} on
+    malformed contents and [Sys_error] if the file cannot be read. *)
 
 val fnv1a64 : string -> int64
 (** The checksum function (FNV-1a, 64-bit), exposed so tests can pin

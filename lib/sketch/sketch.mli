@@ -11,23 +11,23 @@
     merge-intersection [min d(u,w) + d(w,v)] over common entries for
     the other two.
 
+    The payload lives behind one of two backings: plain heap [int
+    array]s (built sketches, v1/v2/v3 heap loads) or a [Bigarray]
+    word window mapped straight over a v3 snapshot file
+    ([Sketch_store.load ~mode:Mmap] — zero copies, the page cache is
+    the working set). The hot estimators are compiled once per backing
+    (no per-access indirect call); cold accessors dispatch per access.
+
     Queries are allocation-free (top-level tail recursions over plain
     ints — see the note in [lib/oracle/oracle.ml] about minor-heap
     stalls serialising batch domains), so this is the serving-path
     representation as well as the snapshot one. *)
 
-type t = private {
-  family : Family.t;
-  n : int;
-  k : int;  (** hierarchy depth (tz) / bottom-k parameter / iterations *)
-  pivot_dist : int array;  (** [n·k] node-major for [Tz], empty otherwise *)
-  pivot_node : int array;  (** aligned with [pivot_dist] *)
-  off : int array;  (** [n+1] cumulative entry counts *)
-  ent_node : int array;
-      (** entry nodes, strictly increasing within each slice
-          [off.(u) .. off.(u+1) - 1] *)
-  ent_dist : int array;  (** distances aligned with [ent_node] *)
-}
+type buf = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** Word window over a mapped snapshot: OCaml ints stored untagged,
+    one 64-bit little-endian word each — exactly the v3 file words. *)
+
+type t
 
 val of_tz_labels : Ds_core.Label.t array -> t
 (** Compile a Thorup–Zwick label set (family [Tz]). Requires
@@ -51,13 +51,48 @@ val of_arrays :
   ent_dist:int array ->
   t
 (** Validating constructor over the flat arrays themselves — the
-    snapshot-load path. Checks array-length coherence, offset
-    monotonicity and per-slice entry order; raises [Invalid_argument]
+    heap snapshot-load path. Checks array-length coherence, offset
+    monotonicity, per-slice entry order and (for [Tz]) that every
+    finite pivot names an in-range node; raises [Invalid_argument]
     with a ["Sketch.of_arrays: …"] message on any violation. *)
+
+val of_mapped :
+  family:Family.t -> k:int -> n:int -> total:int -> buf:buf -> off_at:int -> t
+(** Zero-copy constructor over a mapped word window. [off_at] is the
+    word index of the offset table; the pivot and entry sections
+    follow contiguously in the v3 section order (off words, then
+    interleaved [(dist, node)] pivot pairs, then interleaved
+    [(node, dist)] entry pairs). Validates the structural metadata —
+    section bounds against the window, [off.(0) = 0], monotone
+    offsets, [off.(n) = total], finite pivot nodes in range — so no
+    query can index outside the mapping; the entry payload itself is
+    served as-is (the full-file checksum belongs to the heap loader).
+    Raises [Invalid_argument] on any violation. *)
 
 val family : t -> Family.t
 val n : t -> int
 val k : t -> int
+
+val total_entries : t -> int
+(** Number of [(node, dist)] entry pairs across all slices
+    ([off.(n)]). *)
+
+val pivot_pairs : t -> int
+(** Number of [(dist, node)] pivot pairs: [n·k] for [Tz], 0
+    otherwise. *)
+
+val mapped_bytes : t -> int
+(** Size in bytes of the mapped window backing this sketch; 0 for a
+    heap-backed sketch. *)
+
+val backing_name : t -> string
+(** ["heap"] or ["mapped"] — for artifact metadata. *)
+
+val iter_section_words : t -> (int -> unit) -> unit
+(** Feed the canonical snapshot section word stream to [f], in the
+    on-disk order: [n+1] offset words, the interleaved pivot pairs,
+    the interleaved entry pairs. Backing-independent — serialising a
+    mapped sketch reproduces the bytes it was mapped from. *)
 
 val size_words : t -> int
 (** Total size in the paper's units: two words per pivot plus two
@@ -78,11 +113,15 @@ val node_entries : t -> int -> (int * int) array
 val estimate : t -> int -> int -> int
 (** Family-dispatched point-to-point estimate; [Dist.infinity] when
     the sketches share no usable evidence. [Tz]: the Lemma 3.2 level
-    scan (identical to the pre-platform [Oracle.query]). [Landmark] /
-    [Bottomk]: min over common entries [w] of [d(u,w) + d(w,v)] —
-    always an upper bound on the true distance, exact whenever some
-    shortest-path vertex is a common entry. Raises [Invalid_argument]
-    on out-of-range endpoints. *)
+    scan (identical to the pre-platform [Oracle.query]) — per level,
+    the best of two membership probes into the sorted entry slices,
+    stopping at the first populated level. [Landmark] / [Bottomk]:
+    min over common entries [w] of [d(u,w) + d(w,v)], computed as a
+    merge intersection of the two sorted slices (linear when
+    balanced, galloping through the long side when skewed) — always
+    an upper bound on the true distance, exact whenever some
+    shortest-path vertex is a common entry. Raises
+    [Invalid_argument] on out-of-range endpoints. *)
 
 val estimate_bidirectional : t -> int -> int -> int
 (** [Tz]: minimum triangle estimate over every level and both
@@ -92,7 +131,10 @@ val estimate_bidirectional : t -> int -> int -> int
 val estimate_probes : t -> int -> int -> int * int
 (** [(estimate, probes)] where [probes] counts array lookups (pivot
     loads plus binary-search or merge-scan comparisons) — the
-    deterministic work measure experiment E8 uses. *)
+    deterministic work measure experiment E8 uses. Kept on the
+    original binary-search scan so the counts match the committed
+    E8 tables exactly; the estimate agrees with {!estimate}. *)
 
 val equal : t -> t -> bool
-(** Structural equality of family, shape and all payload words. *)
+(** Structural equality of family, shape and all payload words,
+    across backings (a mapped sketch equals its heap twin). *)

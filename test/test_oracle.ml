@@ -182,6 +182,157 @@ let test_store_v1_compat () =
   | _ -> Alcotest.fail "v1 writer accepted a non-tz store"
   | exception Invalid_argument _ -> ()
 
+(* ---- mapped snapshots ---- *)
+
+let with_temp_snapshot bytes f =
+  let path = Filename.temp_file "distsketch" ".dsk" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out_bin path in
+      output_string oc bytes;
+      close_out oc;
+      f path)
+
+let check_mmap_error ~name ~substring bytes =
+  with_temp_snapshot bytes (fun path ->
+      match Store.load ~mode:Store.Mmap path with
+      | _ -> Alcotest.failf "%s: expected Sketch_store.Error" name
+      | exception Store.Error msg ->
+        let found =
+          let sl = String.length substring and ml = String.length msg in
+          let rec scan i =
+            i + sl <= ml && (String.sub msg i sl = substring || scan (i + 1))
+          in
+          scan 0
+        in
+        if not found then
+          Alcotest.failf "%s: error %S does not mention %S" name msg substring)
+
+(* The mapped loader must reject every malformed input the heap loader
+   rejects — with a structured [Error], never a crash or silent
+   garbage — plus the mmap-only failure modes: a file whose length is
+   not a word multiple, and pre-v3 layouts that cannot be mapped. *)
+let test_store_mmap_malformed () =
+  let _, _, store = List.hd (suite_stores ()) in
+  let good = Store.to_bytes store in
+  let len = String.length good in
+  check_mmap_error ~name:"empty" ~substring:"truncated" "";
+  check_mmap_error ~name:"tiny" ~substring:"truncated" "DSSKETCH";
+  check_mmap_error ~name:"bad magic" ~substring:"magic"
+    ("NOTADSKS" ^ String.sub good 8 (len - 8));
+  (* Chopping 4 bytes breaks 8-byte alignment before anything else. *)
+  check_mmap_error ~name:"misaligned" ~substring:"multiple of 8"
+    (String.sub good 0 (len - 4));
+  (* Chopping a whole word keeps alignment but breaks the size
+     arithmetic. *)
+  check_mmap_error ~name:"short one word" ~substring:"truncated"
+    (String.sub good 0 (len - 8));
+  check_mmap_error ~name:"oversized" ~substring:"oversized"
+    (good ^ String.make 8 'x');
+  (* v1/v2 layouts have unaligned sections; the mapped loader must
+     refuse them with upgrade advice rather than serve garbage. *)
+  check_mmap_error ~name:"v2 via mmap" ~substring:"predates"
+    (Store.to_bytes_v2 store);
+  check_mmap_error ~name:"v1 via mmap" ~substring:"predates"
+    (Store.to_bytes_v1 store);
+  (* A flipped header byte fails the O(1) header checksum. *)
+  (let b = Bytes.of_string good in
+   Bytes.set_int64_le b 32 0x4242424242424242L;
+   check_mmap_error ~name:"header flip" ~substring:"header checksum"
+     (Bytes.to_string b));
+  (* A corrupted offset table is the one section a mapped query
+     indexes through, so [of_mapped] validates it in full. Locate it
+     from the section arithmetic: everything between the header and
+     the sections is fixed-width, so the header length falls out of
+     the file size. *)
+  (let sk = store.Store.sketch in
+   let n = Sketch.n sk in
+   let words =
+     n + 1 + (2 * Sketch.pivot_pairs sk) + (2 * Sketch.total_entries sk)
+   in
+   let header_bytes = len - (8 * words) - 8 in
+   let b = Bytes.of_string good in
+   Bytes.set_int64_le b (header_bytes + 8)
+     (Int64.of_int (Sketch.total_entries sk + 1000));
+   check_mmap_error ~name:"corrupt off table" ~substring:"corrupt snapshot"
+     (Bytes.to_string b))
+
+(* Property: for every family x graph, the mapped oracle is
+   indistinguishable from the heap one — same sketch, byte-identical
+   answers on every query path, byte-stable re-serialization — and
+   the mapping is visible only through [load_mode]/[mapped_bytes]. *)
+let test_store_mmap_matches_heap () =
+  let stores =
+    List.map (fun (name, g, s) -> ("tz/" ^ name, g, s)) (suite_stores ())
+    @ List.concat_map
+        (fun (name, g) ->
+          List.map
+            (fun family ->
+              let built = Sketch_build.run ~family g ~k:3 ~seed:53 in
+              ( Family.name family ^ "/" ^ name,
+                g,
+                Store.v ~seed:53 ~graph_family:name built.Sketch_build.sketch
+              ))
+            Family.all)
+        [ ("random", Helpers.random_graph ~seed:53 48) ]
+  in
+  List.iter
+    (fun (name, g, store) ->
+      let n = Graph.n g in
+      with_temp_snapshot (Store.to_bytes store) (fun path ->
+          let heap = Store.load ~mode:Store.Heap path in
+          let mapped = Store.load ~mode:Store.Mmap path in
+          Alcotest.(check string)
+            (name ^ ": load_mode") "mmap"
+            (Store.mode_name mapped.Store.load_mode);
+          Alcotest.(check string)
+            (name ^ ": heap load_mode") "heap"
+            (Store.mode_name heap.Store.load_mode);
+          Alcotest.(check int)
+            (name ^ ": mapped_bytes = file size")
+            (String.length (Store.to_bytes store))
+            (Store.mapped_bytes mapped);
+          Alcotest.(check int)
+            (name ^ ": heap maps nothing") 0 (Store.mapped_bytes heap);
+          Alcotest.(check bool)
+            (name ^ ": sketches equal") true
+            (Sketch.equal heap.Store.sketch mapped.Store.sketch);
+          Alcotest.(check bool)
+            (name ^ ": mmap -> save is byte-stable") true
+            (String.equal (Store.to_bytes store) (Store.to_bytes mapped));
+          let oh = Oracle.of_store heap and om = Oracle.of_store mapped in
+          for u = 0 to n - 1 do
+            for v = 0 to n - 1 do
+              Alcotest.(check int)
+                (Printf.sprintf "%s: query(%d,%d)" name u v)
+                (Oracle.query oh u v) (Oracle.query om u v);
+              Alcotest.(check int)
+                (Printf.sprintf "%s: bidir(%d,%d)" name u v)
+                (Oracle.query_bidirectional oh u v)
+                (Oracle.query_bidirectional om u v)
+            done
+          done;
+          let flat =
+            Workload.pairs_flat ~rng:(Rng.create 54) Workload.Uniform ~n
+              ~count:2000
+          in
+          Pool.with_pool ~domains:2 (fun pool ->
+              Alcotest.(check (array int))
+                (name ^ ": batch answers identical")
+                (Oracle.query_batch_flat ~pool oh flat)
+                (Oracle.query_batch_flat ~pool om flat));
+          (* Serve fingerprint: the whole serving loop (queues, cache,
+             workers) sees no difference either. *)
+          let config =
+            { Ds_oracle.Serve.default_config with cache_bits = 8 }
+          in
+          let ah, _ = Ds_oracle.Serve.run ~config oh flat in
+          let am, _ = Ds_oracle.Serve.run ~config om flat in
+          Alcotest.(check (array int))
+            (name ^ ": serve answers identical") ah am))
+    stores
+
 (* ---- compact oracle ---- *)
 
 let test_oracle_matches_label_query () =
@@ -427,6 +578,10 @@ let suite =
       test_store_v2_all_families;
     Alcotest.test_case "store: v1 snapshots still load" `Quick
       test_store_v1_compat;
+    Alcotest.test_case "store: mapped loader rejects malformed input" `Quick
+      test_store_mmap_malformed;
+    Alcotest.test_case "store: mmap oracle = heap oracle, all families" `Slow
+      test_store_mmap_matches_heap;
     Alcotest.test_case "oracle = Label.query, all families x k" `Slow
       test_oracle_matches_label_query;
     Alcotest.test_case "oracle from snapshot = oracle from labels" `Quick
